@@ -1,0 +1,68 @@
+//! Codec microbenches: Golomb vs raw fingerprint streams (the
+//! PDMS-Golomb tradeoff) and LCP-compressed vs plain wire runs (the MS
+//! tradeoff).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dss_codec::golomb::{golomb_decode_auto, golomb_encode_auto};
+use dss_codec::wire;
+use dss_gen::Workload;
+use dss_strkit::sort::sort_with_lcp;
+
+fn bench_golomb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("golomb");
+    let values: Vec<u64> = {
+        let mut v: Vec<u64> = (0..20_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 24).collect();
+        v.sort_unstable();
+        v
+    };
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("encode_20k", |b| {
+        b.iter(|| golomb_encode_auto(&values, u64::MAX >> 24).len())
+    });
+    let encoded = golomb_encode_auto(&values, u64::MAX >> 24);
+    group.bench_function("decode_20k", |b| {
+        b.iter(|| golomb_decode_auto(&encoded).expect("roundtrip").len())
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let mut set = Workload::Web { n_per_pe: 5000 }.generate(0, 1, 3);
+    let (lcps, _) = sort_with_lcp(&mut set);
+    group.throughput(Throughput::Elements(set.len() as u64));
+    group.bench_function("encode_plain", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            wire::encode_plain(set.iter(), None, &mut buf);
+            buf.len()
+        })
+    });
+    group.bench_function("encode_lcp", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            wire::encode_lcp(set.iter(), &lcps, None, false, &mut buf);
+            buf.len()
+        })
+    });
+    let mut plain = Vec::new();
+    wire::encode_plain(set.iter(), None, &mut plain);
+    let mut compressed = Vec::new();
+    wire::encode_lcp(set.iter(), &lcps, None, false, &mut compressed);
+    group.bench_function("decode_plain", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            wire::decode_plain(&plain, &mut pos).expect("roundtrip").len()
+        })
+    });
+    group.bench_function("decode_lcp", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            wire::decode_lcp(&compressed, &mut pos).expect("roundtrip").len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_golomb, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end wall-time benches of the six distributed algorithms on a
+//! 4-PE simulated machine (small instances; the figure binaries cover the
+//! real grids with modeled time + exact volumes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dss_gen::Workload;
+use dss_net::runner::{run_spmd, RunConfig};
+use dss_sort::Algorithm;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_sort_p4");
+    group.sample_size(10);
+    let p = 4;
+    for (wname, w) in [
+        (
+            "dn05",
+            Workload::DnRatio {
+                n_per_pe: 500,
+                len: 100,
+                r: 0.5,
+                sigma: 16,
+            },
+        ),
+        ("web", Workload::Web { n_per_pe: 500 }),
+    ] {
+        let n_total = (0..p).map(|r| w.generate(r, p, 1).len()).sum::<usize>() as u64;
+        group.throughput(Throughput::Elements(n_total));
+        for alg in Algorithm::all_paper() {
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), wname),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        let res = run_spmd(p, RunConfig::default(), |comm| {
+                            let shard = w.generate(comm.rank(), comm.size(), 1);
+                            alg.instance().sort(comm, shard).set.len()
+                        });
+                        res.values.iter().sum::<usize>()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! LCP loser tree vs plain loser tree (§II-B): the LCP-aware merge must
+//! win decisively on high-LCP runs and stay competitive on random data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dss_gen::Workload;
+use dss_strkit::losertree::{LcpLoserTree, LoserTree, MergeRun};
+use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::StringSet;
+
+fn make_runs(workload: &Workload, k: usize) -> Vec<(StringSet, Vec<u32>)> {
+    (0..k)
+        .map(|r| {
+            let mut set = workload.generate(r, k, 7);
+            let (lcps, _) = sort_with_lcp(&mut set);
+            (set, lcps)
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("losertree");
+    for (name, w) in [
+        ("web", Workload::Web { n_per_pe: 1500 }),
+        ("dna", Workload::Dna { n_per_pe: 1500 }),
+        (
+            "high_lcp",
+            Workload::DnRatio {
+                n_per_pe: 1500,
+                len: 120,
+                r: 0.9,
+                sigma: 4,
+            },
+        ),
+    ] {
+        let runs = make_runs(&w, 8);
+        let total: u64 = runs.iter().map(|(s, _)| s.len() as u64).sum();
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(BenchmarkId::new("lcp_tree", name), &runs, |b, runs| {
+            b.iter(|| {
+                let views: Vec<MergeRun<'_>> = runs
+                    .iter()
+                    .map(|(s, l)| MergeRun {
+                        arena: s.arena(),
+                        refs: s.refs(),
+                        lcps: l,
+                    })
+                    .collect();
+                let mut out = StringSet::new();
+                LcpLoserTree::new(views).merge_into(&mut out);
+                out.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("plain_tree", name), &runs, |b, runs| {
+            b.iter(|| {
+                let views: Vec<MergeRun<'_>> = runs
+                    .iter()
+                    .map(|(s, l)| MergeRun {
+                        arena: s.arena(),
+                        refs: s.refs(),
+                        lcps: l,
+                    })
+                    .collect();
+                let mut out = StringSet::new();
+                LoserTree::new(views).merge_into(&mut out);
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

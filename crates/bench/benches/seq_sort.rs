@@ -1,0 +1,77 @@
+//! Sequential sorter microbenches (§II-A substrate): MSD radix vs
+//! multikey quicksort vs LCP insertion sort vs `std` comparison sort,
+//! on web-like, DNA-like and D/N inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dss_gen::Workload;
+use dss_strkit::sort::{
+    lcp_insertion_sort_standalone, msd_radix_sort_standalone, multikey_quicksort_standalone,
+};
+use dss_strkit::StringSet;
+
+fn inputs() -> Vec<(&'static str, StringSet)> {
+    vec![
+        ("web", Workload::Web { n_per_pe: 3000 }.generate(0, 1, 1)),
+        ("dna", Workload::Dna { n_per_pe: 3000 }.generate(0, 1, 1)),
+        (
+            "dn05",
+            Workload::DnRatio {
+                n_per_pe: 3000,
+                len: 100,
+                r: 0.5,
+                sigma: 16,
+            }
+            .generate(0, 1, 1),
+        ),
+    ]
+}
+
+fn bench_seq_sorters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_sort");
+    for (name, set) in inputs() {
+        group.throughput(Throughput::Elements(set.len() as u64));
+        group.bench_with_input(BenchmarkId::new("msd_radix", name), &set, |b, set| {
+            b.iter(|| {
+                let mut s = set.clone();
+                let mut lcps = vec![0u32; s.len()];
+                let (arena, refs) = s.as_parts_mut();
+                msd_radix_sort_standalone(arena, refs, &mut lcps);
+                (s.len(), lcps.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mkqs", name), &set, |b, set| {
+            b.iter(|| {
+                let mut s = set.clone();
+                let mut lcps = vec![0u32; s.len()];
+                let (arena, refs) = s.as_parts_mut();
+                multikey_quicksort_standalone(arena, refs, &mut lcps);
+                (s.len(), lcps.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("std_sort", name), &set, |b, set| {
+            b.iter(|| {
+                let mut v = set.to_vecs();
+                v.sort();
+                v.len()
+            })
+        });
+    }
+    group.finish();
+
+    // Insertion sort only makes sense tiny.
+    let mut group = c.benchmark_group("seq_sort_small");
+    let small = Workload::Web { n_per_pe: 64 }.generate(0, 1, 2);
+    group.bench_function("lcp_insertion_64", |b| {
+        b.iter(|| {
+            let mut s = small.clone();
+            let mut lcps = vec![0u32; s.len()];
+            let (arena, refs) = s.as_parts_mut();
+            lcp_insertion_sort_standalone(arena, refs, &mut lcps);
+            lcps.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_sorters);
+criterion_main!(benches);

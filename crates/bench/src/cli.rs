@@ -1,0 +1,85 @@
+//! Minimal flag parsing for the experiment binaries (`--key value` /
+//! `--flag`), keeping the dependency set to the offline-approved crates.
+
+use std::collections::HashMap;
+
+/// Parsed command line: `--key value` pairs and bare `--switch`es.
+#[derive(Debug, Default)]
+pub struct Args {
+    vals: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses any iterator of arguments (testable).
+    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.vals.insert(key.to_string(), v);
+                    }
+                    _ => out.switches.push(key.to_string()),
+                }
+            }
+        }
+        out
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.vals
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String lookup with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.vals.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a bare switch was passed.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Comma-separated list of usizes (e.g. `--pes 2,4,8`).
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.vals.get(key) {
+            Some(v) => v
+                .split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_values_switches_and_lists() {
+        let a = args("--n 500 --fast --pes 2,4,8 --name web");
+        assert_eq!(a.get("n", 0usize), 500);
+        assert!(a.has("fast"));
+        assert!(!a.has("slow"));
+        assert_eq!(a.get_usize_list("pes", &[1]), vec![2, 4, 8]);
+        assert_eq!(a.get_str("name", "x"), "web");
+        assert_eq!(a.get("missing", 7u32), 7);
+    }
+}

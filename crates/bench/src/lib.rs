@@ -1,0 +1,24 @@
+//! # dss-bench — experiment harness for the paper's evaluation (§VII)
+//!
+//! Runs one `(algorithm, workload, p)` cell of the evaluation on the
+//! simulated machine, collecting:
+//!
+//! * **bytes sent per string** — exact, substrate-independent; the lower
+//!   panels of Figs. 4 and 5;
+//! * **modeled time** under the α–β cost model (max per-PE compute +
+//!   α·rounds + β·bottleneck bytes per phase) — the shape of the upper
+//!   panels;
+//! * **wall time** of the simulator run (reported for transparency; it
+//!   oversubscribes host cores and is *not* the reproduction target);
+//! * a full distributed correctness check.
+//!
+//! The `fig4`, `fig5` and `further` binaries sweep the same grids as the
+//! paper's figures and write both a human table and CSV files under
+//! `results/`.
+
+pub mod cli;
+pub mod harness;
+pub mod table;
+
+pub use harness::{run_custom, run_experiment, run_repeated, ExperimentResult};
+pub use table::{print_table, write_csv};

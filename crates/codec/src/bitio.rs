@@ -1,0 +1,291 @@
+//! Bit-granular writer and reader over byte buffers.
+//!
+//! The communication-volume analysis of the paper is stated in bits
+//! (messages of `m` bits cost `α + βm`). The Golomb coder and the compact
+//! reply bitmaps of the duplicate detection need sub-byte access, so this
+//! module provides a small, allocation-friendly bit stream.
+//!
+//! Bits are written LSB-first within each byte, which keeps the common
+//! "write k low bits of a word" path branch-free.
+
+/// Appends bits to a growable byte buffer, LSB-first within each byte.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the final byte of `buf` (0 ⇒ byte-aligned).
+    bit_pos: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with room for `bits` bits pre-allocated.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bits.div_ceil(8)),
+            bit_pos: 0,
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Whether no bits have been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.last_mut().expect("buffer non-empty after push");
+            *last |= 1 << self.bit_pos;
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Writes the `count` low bits of `value`, LSB first. `count ≤ 64`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        debug_assert!(count <= 64);
+        debug_assert!(count == 64 || value < (1u64 << count) || count == 0);
+        let mut remaining = count;
+        let mut v = value;
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.bit_pos;
+            let take = free.min(remaining);
+            let chunk = (v & ((1u64 << take) - 1)) as u8;
+            let last = self.buf.last_mut().expect("buffer non-empty after push");
+            *last |= chunk << self.bit_pos;
+            self.bit_pos = (self.bit_pos + take) % 8;
+            v >>= take;
+            remaining -= take;
+        }
+    }
+
+    /// Writes `count` one-bits followed by a zero bit (unary code).
+    #[inline]
+    pub fn write_unary(&mut self, count: u64) {
+        let mut rest = count;
+        while rest >= 32 {
+            self.write_bits(u32::MAX as u64, 32);
+            rest -= 32;
+        }
+        // `rest` one-bits, then the terminating zero.
+        self.write_bits(((1u64 << rest) - 1) << 0, rest as u32);
+        self.write_bit(false);
+    }
+
+    /// Finishes the stream, returning the underlying bytes (final byte
+    /// zero-padded) and the exact bit length.
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        let bits = self.len_bits();
+        (self.buf, bits)
+    }
+
+    /// Finishes and returns only the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits from a byte slice, LSB-first within each byte.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next bit index to read.
+    pos: usize,
+    /// Total number of readable bits.
+    len_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over all bits of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            len_bits: buf.len() * 8,
+        }
+    }
+
+    /// Creates a reader over exactly `len_bits` bits of `buf`.
+    pub fn with_len(buf: &'a [u8], len_bits: usize) -> Self {
+        debug_assert!(len_bits <= buf.len() * 8);
+        Self {
+            buf,
+            pos: 0,
+            len_bits,
+        }
+    }
+
+    /// Number of bits left to read.
+    pub fn remaining(&self) -> usize {
+        self.len_bits - self.pos
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.len_bits {
+            return None;
+        }
+        let byte = self.buf[self.pos / 8];
+        let bit = (byte >> (self.pos % 8)) & 1;
+        self.pos += 1;
+        Some(bit == 1)
+    }
+
+    /// Reads `count ≤ 64` bits, LSB first; `None` if fewer remain.
+    #[inline]
+    pub fn read_bits(&mut self, count: u32) -> Option<u64> {
+        debug_assert!(count <= 64);
+        if self.remaining() < count as usize {
+            return None;
+        }
+        let mut out: u64 = 0;
+        let mut got: u32 = 0;
+        while got < count {
+            let byte = self.buf[self.pos / 8] as u64;
+            let offset = (self.pos % 8) as u32;
+            let avail = 8 - offset;
+            let take = avail.min(count - got);
+            let chunk = (byte >> offset) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Some(out)
+    }
+
+    /// Reads a unary code (number of one-bits before the next zero bit).
+    #[inline]
+    pub fn read_unary(&mut self) -> Option<u64> {
+        let mut count = 0u64;
+        loop {
+            match self.read_bit()? {
+                true => count += 1,
+                false => return Some(count),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.len_bits(), pattern.len());
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_len(&bytes, bits);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn multi_bit_roundtrip() {
+        let values: [(u64, u32); 7] = [
+            (0, 1),
+            (1, 1),
+            (0b101, 3),
+            (0xffff_ffff, 32),
+            (u64::MAX, 64),
+            (42, 13),
+            (0, 0),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, c) in &values {
+            w.write_bits(v, c);
+        }
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_len(&bytes, bits);
+        for &(v, c) in &values {
+            assert_eq!(r.read_bits(c), Some(v), "value {v} width {c}");
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let values = [0u64, 1, 2, 7, 8, 31, 32, 33, 100, 1000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_unary(v);
+        }
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_len(&bytes, bits);
+        for &v in &values {
+            assert_eq!(r.read_unary(), Some(v));
+        }
+    }
+
+    #[test]
+    fn unary_length_is_value_plus_one() {
+        let mut w = BitWriter::new();
+        w.write_unary(5);
+        assert_eq!(w.len_bits(), 6);
+    }
+
+    #[test]
+    fn read_past_end_returns_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_len(&bytes, bits);
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(1), None);
+        assert_eq!(r.read_unary(), None);
+    }
+
+    #[test]
+    fn len_bits_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.len_bits(), 0);
+        w.write_bits(0x3, 2);
+        assert_eq!(w.len_bits(), 2);
+        w.write_bits(0x3f, 6);
+        assert_eq!(w.len_bits(), 8);
+        w.write_bit(true);
+        assert_eq!(w.len_bits(), 9);
+    }
+
+    #[test]
+    fn interleaved_unary_and_binary() {
+        let mut w = BitWriter::new();
+        w.write_unary(3);
+        w.write_bits(0xab, 8);
+        w.write_unary(0);
+        w.write_bits(5, 3);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_len(&bytes, bits);
+        assert_eq!(r.read_unary(), Some(3));
+        assert_eq!(r.read_bits(8), Some(0xab));
+        assert_eq!(r.read_unary(), Some(0));
+        assert_eq!(r.read_bits(3), Some(5));
+    }
+}

@@ -1,0 +1,221 @@
+//! Golomb(-Rice) coding of sorted integer sequences.
+//!
+//! The duplicate-detection step of PDMS sends streams of fingerprints to
+//! their hash-designated owner PEs (§VI-A of the paper, building on Sanders,
+//! Schlag and Müller's communication-efficient duplicate detection). When a
+//! stream of `k` fingerprints is sorted, its deltas are geometrically
+//! distributed with mean `range/k`, the regime where Golomb coding
+//! approaches the entropy bound. The PDMS-Golomb algorithm variant uses
+//! this module; plain PDMS sends raw 64-bit fingerprints.
+//!
+//! We use the Rice restriction of rounding the Golomb parameter to a power
+//! of two: quotients are unary-coded and remainders use a fixed bit width,
+//! which keeps encoding and decoding branch-light.
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Chooses a near-optimal Rice parameter (log2 of the Golomb divisor) for
+/// `count` sorted values spread over `range`.
+///
+/// The classic rule for geometric gaps with success probability
+/// `p = count/range` picks `M ≈ -1/log2(1-p) ≈ (ln 2) · range/count`;
+/// we return `⌈log2 M⌉` clamped to `[0, 63]`.
+pub fn optimal_golomb_parameter(count: usize, range: u64) -> u32 {
+    if count == 0 || range == 0 {
+        return 0;
+    }
+    let mean_gap = (range / count as u64).max(1);
+    // M = ln(2) * mean_gap ≈ mean_gap * 0.6931; avoid floats: (gap * 693) / 1000.
+    let m = ((mean_gap / 1000).saturating_mul(693))
+        .saturating_add((mean_gap % 1000).saturating_mul(693) / 1000)
+        .max(1);
+    63 - m.leading_zeros().min(63)
+}
+
+/// Encodes a **sorted** slice of values as delta + Rice codes.
+///
+/// Returns the encoded bytes and the exact bit length. The parameter `log_m`
+/// (Rice divisor `2^log_m`) must match at decode time; use
+/// [`optimal_golomb_parameter`] to pick it.
+///
+/// Duplicated values are legal (delta 0 encodes in `log_m + 1` bits).
+///
+/// # Panics
+/// Debug-asserts that `values` is sorted.
+pub fn golomb_encode_sorted(values: &[u64], log_m: u32) -> (Vec<u8>, usize) {
+    debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    debug_assert!(log_m < 64);
+    let mut w = BitWriter::with_capacity_bits(values.len() * (log_m as usize + 2));
+    let mut prev = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        let delta = if i == 0 { v } else { v - prev };
+        prev = v;
+        let q = delta >> log_m;
+        let r = delta & ((1u64 << log_m) - 1).min(u64::MAX);
+        w.write_unary(q);
+        if log_m > 0 {
+            w.write_bits(r, log_m);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes `count` values previously encoded with [`golomb_encode_sorted`].
+///
+/// Returns `None` if the stream is truncated or malformed.
+pub fn golomb_decode_sorted(
+    bytes: &[u8],
+    len_bits: usize,
+    count: usize,
+    log_m: u32,
+) -> Option<Vec<u64>> {
+    let mut r = BitReader::with_len(bytes, len_bits);
+    let mut out = Vec::with_capacity(count);
+    let mut prev = 0u64;
+    for i in 0..count {
+        let q = r.read_unary()?;
+        let rem = if log_m > 0 { r.read_bits(log_m)? } else { 0 };
+        let delta = (q << log_m) | rem;
+        let v = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(delta)?
+        };
+        out.push(v);
+        prev = v;
+    }
+    Some(out)
+}
+
+/// Encodes a sorted slice with an automatically chosen parameter and a tiny
+/// self-describing header (parameter + count as varints + bit length).
+pub fn golomb_encode_auto(values: &[u64], range: u64) -> Vec<u8> {
+    let log_m = optimal_golomb_parameter(values.len(), range);
+    let (payload, bits) = golomb_encode_sorted(values, log_m);
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    crate::varint::encode_u64(log_m as u64, &mut out);
+    crate::varint::encode_u64(values.len() as u64, &mut out);
+    crate::varint::encode_u64(bits as u64, &mut out);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a buffer produced by [`golomb_encode_auto`].
+pub fn golomb_decode_auto(buf: &[u8]) -> Option<Vec<u64>> {
+    let mut pos = 0;
+    let log_m = crate::varint::decode_u64(buf, &mut pos)? as u32;
+    let count = crate::varint::decode_u64(buf, &mut pos)? as usize;
+    let bits = crate::varint::decode_u64(buf, &mut pos)? as usize;
+    if log_m >= 64 || buf.len() < pos + bits.div_ceil(8) {
+        return None;
+    }
+    golomb_decode_sorted(&buf[pos..], bits, count, log_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let (bytes, bits) = golomb_encode_sorted(&[], 5);
+        assert_eq!(bits, 0);
+        assert_eq!(golomb_decode_sorted(&bytes, bits, 0, 5), Some(vec![]));
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        let values = vec![3u64, 7, 7, 20, 100, 101, 5000];
+        for log_m in [0u32, 1, 3, 8, 16] {
+            let (bytes, bits) = golomb_encode_sorted(&values, log_m);
+            assert_eq!(
+                golomb_decode_sorted(&bytes, bits, values.len(), log_m),
+                Some(values.clone()),
+                "log_m={log_m}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_only() {
+        let values = vec![42u64; 100];
+        let (bytes, bits) = golomb_encode_sorted(&values, 4);
+        assert_eq!(
+            golomb_decode_sorted(&bytes, bits, 100, 4),
+            Some(values.clone())
+        );
+    }
+
+    #[test]
+    fn auto_roundtrip() {
+        let values: Vec<u64> = (0..1000u64).map(|i| i * 97 + 13).collect();
+        let buf = golomb_encode_auto(&values, 100_000);
+        assert_eq!(golomb_decode_auto(&buf), Some(values));
+    }
+
+    #[test]
+    fn dense_sets_beat_raw_encoding() {
+        // 10_000 sorted values in a 20-bit range: Golomb should be far
+        // below the 8 bytes/value of raw u64s.
+        let values: Vec<u64> = (0..10_000u64).map(|i| i * 100 + (i % 7)).collect();
+        let buf = golomb_encode_auto(&values, 1_000_000);
+        assert!(
+            buf.len() < values.len() * 3,
+            "golomb {} bytes vs raw {}",
+            buf.len(),
+            values.len() * 8
+        );
+    }
+
+    #[test]
+    fn parameter_is_sane() {
+        assert_eq!(optimal_golomb_parameter(0, 100), 0);
+        assert_eq!(optimal_golomb_parameter(10, 0), 0);
+        // Mean gap 2^32: parameter should be around 31-32.
+        let p = optimal_golomb_parameter(1, 1 << 32);
+        assert!((28..=33).contains(&p), "p={p}");
+        // Dense: gap 1 → parameter 0.
+        assert_eq!(optimal_golomb_parameter(1000, 1000), 0);
+    }
+
+    #[test]
+    fn decode_truncated_is_none() {
+        let values = vec![5u64, 500, 50_000];
+        let (bytes, bits) = golomb_encode_sorted(&values, 6);
+        assert_eq!(golomb_decode_sorted(&bytes, bits / 2, 3, 6), None);
+    }
+
+    #[test]
+    fn large_first_value() {
+        let values = vec![u64::MAX / 2, u64::MAX / 2 + 1];
+        let (bytes, bits) = golomb_encode_sorted(&values, 60);
+        assert_eq!(golomb_decode_sorted(&bytes, bits, 2, 60), Some(values));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn roundtrip_random_sets(
+            mut values in proptest::collection::vec(0u64..1_000_000_000, 0..300),
+            log_m in 0u32..40,
+        ) {
+            values.sort_unstable();
+            let (bytes, bits) = golomb_encode_sorted(&values, log_m);
+            prop_assert_eq!(
+                golomb_decode_sorted(&bytes, bits, values.len(), log_m),
+                Some(values)
+            );
+        }
+
+        #[test]
+        fn auto_roundtrip_random(
+            mut values in proptest::collection::vec(any::<u64>(), 0..200),
+        ) {
+            values.sort_unstable();
+            let buf = golomb_encode_auto(&values, u64::MAX);
+            prop_assert_eq!(golomb_decode_auto(&buf), Some(values));
+        }
+    }
+}

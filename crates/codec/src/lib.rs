@@ -1,0 +1,26 @@
+//! # dss-codec — compression primitives for communication-efficient sorting
+//!
+//! This crate provides the encoding machinery used by the distributed string
+//! sorters of Bingmann, Sanders and Schimek (IPDPS 2020):
+//!
+//! * [`bitio`] — a bit-granular writer/reader over byte buffers. The paper
+//!   analyses communication volume in *bits*; everything below is built on
+//!   this layer so the accounting stays exact.
+//! * [`varint`] — LEB128 variable-length integers, used for string lengths
+//!   and LCP values on the wire.
+//! * [`golomb`] — Golomb(-Rice) coding of sorted integer sequences via
+//!   difference encoding. Used by the PDMS-Golomb variant to compress the
+//!   fingerprint streams of the distributed duplicate detection (§VI-A,
+//!   citing Sanders, Schlag and Müller).
+//! * [`wire`] — the string-run wire formats used in the all-to-all exchange
+//!   (Step 3 of Algorithm MS): a plain format (length + characters) and the
+//!   LCP-compressed format that transmits repeated prefixes only once.
+
+pub mod bitio;
+pub mod golomb;
+pub mod varint;
+pub mod wire;
+
+pub use bitio::{BitReader, BitWriter};
+pub use golomb::{golomb_decode_sorted, golomb_encode_sorted, optimal_golomb_parameter};
+pub use varint::{decode_u64, encode_u64, encoded_len_u64};

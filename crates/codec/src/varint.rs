@@ -1,0 +1,140 @@
+//! LEB128 variable-length integers.
+//!
+//! String lengths and LCP values are small on average (the paper's
+//! COMMONCRAWL lines average 40 characters with LCP 24), so fixed-width
+//! integers would dominate the per-string wire overhead. All per-string
+//! metadata in [`crate::wire`] uses these varints.
+
+/// Appends `value` to `out` as a LEB128 varint. Returns the encoded length.
+#[inline]
+pub fn encode_u64(value: u64, out: &mut Vec<u8>) -> usize {
+    let mut v = value;
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        n += 1;
+        if v == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`encode_u64`] will use for `value`.
+#[inline]
+pub fn encoded_len_u64(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Decodes a varint from `buf[*pos..]`, advancing `*pos`.
+///
+/// Returns `None` on truncated input or a value exceeding 64 bits.
+#[inline]
+pub fn decode_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflow beyond 64 bits
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Convenience: encodes `value` into a fresh buffer.
+pub fn to_vec(value: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(encoded_len_u64(value));
+    encode_u64(value, &mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(to_vec(0), vec![0x00]);
+        assert_eq!(to_vec(1), vec![0x01]);
+        assert_eq!(to_vec(127), vec![0x7f]);
+        assert_eq!(to_vec(128), vec![0x80, 0x01]);
+        assert_eq!(to_vec(300), vec![0xac, 0x02]);
+        assert_eq!(to_vec(u64::MAX).len(), 10);
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, 1 << 62, u64::MAX] {
+            assert_eq!(encoded_len_u64(v), to_vec(v).len(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn decode_truncated_is_none() {
+        let buf = to_vec(300);
+        let mut pos = 0;
+        assert_eq!(decode_u64(&buf[..1], &mut pos), None);
+    }
+
+    #[test]
+    fn decode_overlong_is_none() {
+        // 11 continuation bytes cannot fit in u64.
+        let buf = vec![0x80u8; 10];
+        let mut pos = 0;
+        assert_eq!(decode_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn sequential_decode_advances_pos() {
+        let mut buf = Vec::new();
+        encode_u64(7, &mut buf);
+        encode_u64(1000, &mut buf);
+        encode_u64(0, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_u64(&buf, &mut pos), Some(7));
+        assert_eq!(decode_u64(&buf, &mut pos), Some(1000));
+        assert_eq!(decode_u64(&buf, &mut pos), Some(0));
+        assert_eq!(pos, buf.len());
+        assert_eq!(decode_u64(&buf, &mut pos), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(v in any::<u64>()) {
+            let buf = to_vec(v);
+            prop_assert_eq!(buf.len(), encoded_len_u64(v));
+            let mut pos = 0;
+            prop_assert_eq!(decode_u64(&buf, &mut pos), Some(v));
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn roundtrip_sequence(vs in proptest::collection::vec(any::<u64>(), 0..50)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                encode_u64(v, &mut buf);
+            }
+            let mut pos = 0;
+            for &v in &vs {
+                prop_assert_eq!(decode_u64(&buf, &mut pos), Some(v));
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+}

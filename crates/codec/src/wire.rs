@@ -1,0 +1,448 @@
+//! Wire formats for sorted string runs.
+//!
+//! Step 3 of Algorithm MS performs a personalized all-to-all exchange of
+//! sorted string runs. This module defines the serialized forms:
+//!
+//! * **Plain** — `count`, then per string `len, bytes`. Used by the
+//!   baselines (FKmerge, MS-simple) that do not exploit LCPs.
+//! * **LCP-compressed** — `count`, then the first string in full and every
+//!   subsequent string as `(lcp, suffix)` relative to its predecessor.
+//!   Because the runs are locally sorted before the exchange, common
+//!   prefixes are transmitted only once (the "- - p h a" omission of
+//!   Fig. 2/3 in the paper). Decoding reconstructs the full strings *and*
+//!   the run-local LCP array for free, which the LCP loser tree consumes.
+//! * **LCP-delta** — like LCP-compressed but with the LCP values
+//!   difference-coded (zig-zag varints); this implements the §VI-B
+//!   observation that successive LCPs differ by O(1) on average.
+//!
+//! Each format optionally carries per-string origin tags (used by PDMS,
+//! which transmits only distinguishing prefixes and must report where the
+//! full string lives).
+//!
+//! All integers are LEB128 varints; all formats are self-delimiting.
+
+use crate::varint::{decode_u64, encode_u64};
+
+/// A decoded run: flat character data plus per-string boundaries.
+///
+/// `lcps[0]` is always 0; `lcps[i]` is the LCP of string `i` with string
+/// `i-1` *within this run* (exact for LCP-encoded formats, absent — all
+/// zeros — for the plain format unless recomputed by the caller).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DecodedRun {
+    /// Concatenated string payloads.
+    pub data: Vec<u8>,
+    /// `(offset, len)` of each string within `data`.
+    pub bounds: Vec<(usize, usize)>,
+    /// Run-local LCP array (first entry 0).
+    pub lcps: Vec<u32>,
+    /// Optional per-string origin tags (e.g. `(source_pe << 40) | index`).
+    pub origins: Option<Vec<u64>>,
+    /// Whether `lcps` carries real values (false for the plain format).
+    pub has_lcps: bool,
+}
+
+impl DecodedRun {
+    /// Number of strings in the run.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Whether the run holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Borrow string `i`.
+    pub fn get(&self, i: usize) -> &[u8] {
+        let (off, len) = self.bounds[i];
+        &self.data[off..off + len]
+    }
+
+    /// Iterate over all strings in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.bounds.iter().map(|&(off, len)| &self.data[off..off + len])
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes a run in the plain format (no LCP exploitation).
+///
+/// Layout: `count, has_origins, [len, bytes]*, [origin]*`.
+pub fn encode_plain<'a, I>(strings: I, origins: Option<&[u64]>, out: &mut Vec<u8>)
+where
+    I: ExactSizeIterator<Item = &'a [u8]>,
+{
+    encode_u64(strings.len() as u64, out);
+    encode_u64(u64::from(origins.is_some()), out);
+    if let Some(o) = origins {
+        debug_assert_eq!(o.len(), strings.len());
+    }
+    for s in strings {
+        encode_u64(s.len() as u64, out);
+        out.extend_from_slice(s);
+    }
+    if let Some(o) = origins {
+        for &v in o {
+            encode_u64(v, out);
+        }
+    }
+}
+
+/// Encodes a run with LCP compression.
+///
+/// `lcps[i]` must be the LCP of `strings[i]` with `strings[i-1]`
+/// (`lcps[0]` is ignored). The suffix `strings[i][lcps[i]..]` is what goes
+/// on the wire.
+///
+/// Layout: `count, has_origins, flavor, first(len,bytes),
+/// [lcp, suffix_len, suffix]*, [origin]*` where `flavor` selects raw or
+/// delta-coded LCPs.
+pub fn encode_lcp<'a, I>(
+    strings: I,
+    lcps: &[u32],
+    origins: Option<&[u64]>,
+    delta_lcps: bool,
+    out: &mut Vec<u8>,
+) where
+    I: ExactSizeIterator<Item = &'a [u8]>,
+{
+    let count = strings.len();
+    debug_assert_eq!(lcps.len(), count);
+    if let Some(o) = origins {
+        debug_assert_eq!(o.len(), count);
+    }
+    encode_u64(count as u64, out);
+    encode_u64(u64::from(origins.is_some()), out);
+    encode_u64(u64::from(delta_lcps), out);
+    let mut prev_lcp: u32 = 0;
+    for (i, s) in strings.enumerate() {
+        if i == 0 {
+            encode_u64(s.len() as u64, out);
+            out.extend_from_slice(s);
+        } else {
+            let lcp = lcps[i];
+            debug_assert!(
+                (lcp as usize) <= s.len(),
+                "lcp {lcp} exceeds string length {}",
+                s.len()
+            );
+            if delta_lcps {
+                encode_u64(zigzag(lcp as i64 - prev_lcp as i64), out);
+            } else {
+                encode_u64(lcp as u64, out);
+            }
+            let suffix = &s[lcp as usize..];
+            encode_u64(suffix.len() as u64, out);
+            out.extend_from_slice(suffix);
+            prev_lcp = lcp;
+        }
+    }
+    if let Some(o) = origins {
+        for &v in o {
+            encode_u64(v, out);
+        }
+    }
+}
+
+/// Decodes a plain-format run. Advances `pos` past the run.
+pub fn decode_plain(buf: &[u8], pos: &mut usize) -> Option<DecodedRun> {
+    let count = decode_u64(buf, pos)? as usize;
+    let has_origins = decode_u64(buf, pos)? == 1;
+    let mut run = DecodedRun {
+        has_lcps: false,
+        ..DecodedRun::default()
+    };
+    run.bounds.reserve(count);
+    run.lcps = vec![0; count];
+    for _ in 0..count {
+        let len = decode_u64(buf, pos)? as usize;
+        let bytes = buf.get(*pos..*pos + len)?;
+        *pos += len;
+        let off = run.data.len();
+        run.data.extend_from_slice(bytes);
+        run.bounds.push((off, len));
+    }
+    if has_origins {
+        let mut o = Vec::with_capacity(count);
+        for _ in 0..count {
+            o.push(decode_u64(buf, pos)?);
+        }
+        run.origins = Some(o);
+    }
+    Some(run)
+}
+
+/// Decodes an LCP-compressed run, reconstructing full strings and the
+/// run-local LCP array. Advances `pos` past the run.
+pub fn decode_lcp(buf: &[u8], pos: &mut usize) -> Option<DecodedRun> {
+    let count = decode_u64(buf, pos)? as usize;
+    let has_origins = decode_u64(buf, pos)? == 1;
+    let delta_lcps = decode_u64(buf, pos)? == 1;
+    let mut run = DecodedRun {
+        has_lcps: true,
+        ..DecodedRun::default()
+    };
+    run.bounds.reserve(count);
+    run.lcps.reserve(count);
+    let mut prev_lcp: u32 = 0;
+    let mut prev_off = 0usize;
+    for i in 0..count {
+        if i == 0 {
+            let len = decode_u64(buf, pos)? as usize;
+            let bytes = buf.get(*pos..*pos + len)?;
+            *pos += len;
+            run.data.extend_from_slice(bytes);
+            run.bounds.push((0, len));
+            run.lcps.push(0);
+            prev_off = 0;
+        } else {
+            let lcp = if delta_lcps {
+                let d = unzigzag(decode_u64(buf, pos)?);
+                u32::try_from(prev_lcp as i64 + d).ok()?
+            } else {
+                u32::try_from(decode_u64(buf, pos)?).ok()?
+            };
+            let suffix_len = decode_u64(buf, pos)? as usize;
+            let (_, prev_len) = *run.bounds.last()?;
+            if lcp as usize > prev_len {
+                return None; // malformed: prefix longer than predecessor
+            }
+            let off = run.data.len();
+            // Copy shared prefix from the previous (already reconstructed)
+            // string, then the transmitted suffix.
+            let prefix_src = prev_off..prev_off + lcp as usize;
+            run.data.extend_from_within(prefix_src);
+            let bytes = buf.get(*pos..*pos + suffix_len)?;
+            *pos += suffix_len;
+            run.data.extend_from_slice(bytes);
+            run.bounds.push((off, lcp as usize + suffix_len));
+            run.lcps.push(lcp);
+            prev_lcp = lcp;
+            prev_off = off;
+        }
+    }
+    if has_origins {
+        let mut o = Vec::with_capacity(count);
+        for _ in 0..count {
+            o.push(decode_u64(buf, pos)?);
+        }
+        run.origins = Some(o);
+    }
+    Some(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lcp_of(a: &[u8], b: &[u8]) -> u32 {
+        a.iter().zip(b).take_while(|(x, y)| x == y).count() as u32
+    }
+
+    fn lcp_array(strings: &[&[u8]]) -> Vec<u32> {
+        if strings.is_empty() {
+            return Vec::new();
+        }
+        let mut l = vec![0u32];
+        for w in strings.windows(2) {
+            l.push(lcp_of(w[0], w[1]));
+        }
+        l
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        let strings: Vec<&[u8]> = vec![b"algae", b"algo", b"alpha", b"alps"];
+        let mut buf = Vec::new();
+        encode_plain(strings.iter().copied(), None, &mut buf);
+        let mut pos = 0;
+        let run = decode_plain(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(run.len(), 4);
+        assert!(!run.has_lcps);
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(run.get(i), *s);
+        }
+    }
+
+    #[test]
+    fn plain_with_origins() {
+        let strings: Vec<&[u8]> = vec![b"a", b"b"];
+        let origins = vec![17u64, 123456789];
+        let mut buf = Vec::new();
+        encode_plain(strings.iter().copied(), Some(&origins), &mut buf);
+        let mut pos = 0;
+        let run = decode_plain(&buf, &mut pos).unwrap();
+        assert_eq!(run.origins, Some(origins));
+    }
+
+    #[test]
+    fn lcp_roundtrip_matches_paper_example() {
+        // The PE-2 bucket from Fig. 2: "snow, sorbet, sorter" is sent as
+        // "snow, (1)orbet, (3)ter".
+        let strings: Vec<&[u8]> = vec![b"snow", b"sorbet", b"sorter"];
+        let lcps = lcp_array(&strings);
+        assert_eq!(lcps, vec![0, 1, 3]);
+        let mut buf = Vec::new();
+        encode_lcp(strings.iter().copied(), &lcps, None, false, &mut buf);
+        // Payload chars transmitted: 4 + 5 + 3 = 12 instead of 16.
+        let mut pos = 0;
+        let run = decode_lcp(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert!(run.has_lcps);
+        assert_eq!(run.lcps, lcps);
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(run.get(i), *s, "string {i}");
+        }
+    }
+
+    #[test]
+    fn lcp_compression_shrinks_shared_prefixes() {
+        let strings: Vec<&[u8]> = vec![
+            b"prefix_common_aaaa",
+            b"prefix_common_aaab",
+            b"prefix_common_aabz",
+            b"prefix_common_b",
+        ];
+        let lcps = lcp_array(&strings);
+        let mut plain = Vec::new();
+        encode_plain(strings.iter().copied(), None, &mut plain);
+        let mut compressed = Vec::new();
+        encode_lcp(strings.iter().copied(), &lcps, None, false, &mut compressed);
+        assert!(
+            compressed.len() < plain.len(),
+            "compressed {} >= plain {}",
+            compressed.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn empty_run_roundtrip() {
+        let mut buf = Vec::new();
+        encode_lcp(std::iter::empty(), &[], None, false, &mut buf);
+        let mut pos = 0;
+        let run = decode_lcp(&buf, &mut pos).unwrap();
+        assert!(run.is_empty());
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn single_string_run() {
+        let strings: Vec<&[u8]> = vec![b"only"];
+        let mut buf = Vec::new();
+        encode_lcp(strings.iter().copied(), &[0], None, true, &mut buf);
+        let mut pos = 0;
+        let run = decode_lcp(&buf, &mut pos).unwrap();
+        assert_eq!(run.get(0), b"only");
+    }
+
+    #[test]
+    fn sequential_runs_in_one_buffer() {
+        let a: Vec<&[u8]> = vec![b"aa", b"ab"];
+        let b: Vec<&[u8]> = vec![b"zz"];
+        let mut buf = Vec::new();
+        encode_lcp(a.iter().copied(), &lcp_array(&a), None, false, &mut buf);
+        encode_plain(b.iter().copied(), None, &mut buf);
+        let mut pos = 0;
+        let ra = decode_lcp(&buf, &mut pos).unwrap();
+        let rb = decode_plain(&buf, &mut pos).unwrap();
+        assert_eq!(ra.get(1), b"ab");
+        assert_eq!(rb.get(0), b"zz");
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn malformed_lcp_rejected() {
+        // lcp of second string larger than first string's length.
+        let mut buf = Vec::new();
+        encode_u64(2, &mut buf); // count
+        encode_u64(0, &mut buf); // no origins
+        encode_u64(0, &mut buf); // raw lcps
+        encode_u64(1, &mut buf); // first len
+        buf.push(b'x');
+        encode_u64(9, &mut buf); // bogus lcp 9 > 1
+        encode_u64(0, &mut buf); // suffix len
+        let mut pos = 0;
+        assert_eq!(decode_lcp(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let strings: Vec<&[u8]> = vec![b"hello", b"help"];
+        let mut buf = Vec::new();
+        encode_lcp(
+            strings.iter().copied(),
+            &lcp_array(&strings),
+            None,
+            false,
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(decode_lcp(&buf[..cut], &mut pos), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 1234, -9876] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    fn sorted_string_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(b'a'..=b'f', 0..12),
+            0..40,
+        )
+        .prop_map(|mut v| {
+            v.sort();
+            v
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn lcp_roundtrip_random(strings in sorted_string_strategy(), delta in any::<bool>()) {
+            let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+            let lcps = lcp_array(&refs);
+            let mut buf = Vec::new();
+            encode_lcp(refs.iter().copied(), &lcps, None, delta, &mut buf);
+            let mut pos = 0;
+            let run = decode_lcp(&buf, &mut pos).unwrap();
+            prop_assert_eq!(pos, buf.len());
+            prop_assert_eq!(&run.lcps, &lcps);
+            for (i, s) in refs.iter().enumerate() {
+                prop_assert_eq!(run.get(i), *s);
+            }
+        }
+
+        #[test]
+        fn plain_roundtrip_random(strings in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..20), 0..30)) {
+            let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+            let origins: Vec<u64> = (0..refs.len() as u64).collect();
+            let mut buf = Vec::new();
+            encode_plain(refs.iter().copied(), Some(&origins), &mut buf);
+            let mut pos = 0;
+            let run = decode_plain(&buf, &mut pos).unwrap();
+            prop_assert_eq!(pos, buf.len());
+            prop_assert_eq!(run.origins.as_deref(), Some(origins.as_slice()));
+            for (i, s) in refs.iter().enumerate() {
+                prop_assert_eq!(run.get(i), *s);
+            }
+        }
+    }
+}

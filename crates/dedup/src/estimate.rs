@@ -1,0 +1,386 @@
+//! Estimating D/n without running a full sort — §VIII of the paper:
+//!
+//! "The algorithm for approximating distinguishing prefixes … is an
+//! overkill if we only need information on global values like D/n or its
+//! variance. These values can be approximated more efficiently by
+//! sampling. A simple approach is to gossip a small sample of the input
+//! strings. … More efficiently, we can take a Bernoulli sample of
+//! prefixes of keys rather than input strings. This allows us to still
+//! use distributed hashing and thus makes the algorithm more scalable."
+//!
+//! Both estimators are implemented:
+//!
+//! * [`estimate_dist_by_gossip`] — gossip s random strings per PE; every
+//!   PE computes the distinguishing prefixes *within the sample* locally.
+//!   Biased low (fewer neighbours than the full set; the paper notes a
+//!   sample of Θ(ε⁻²·n·d̂/D) is needed when a few strings dominate D).
+//! * [`estimate_dist_by_prefix_sampling`] — Bernoulli-sample (string,
+//!   prefix-length) pairs at geometric lengths and run one round of the
+//!   distributed duplicate detection over all sampled fingerprints;
+//!   `P(DIST > ℓ)` is estimated from the duplicate fraction per level and
+//!   integrated into `E[DIST]`. Scales like the duplicate detection
+//!   itself (distributed hashing; no central gather).
+//!
+//! The motivating application (§VI): "when D/n is small, we can use
+//! string sorting based algorithms [for suffix sorting], otherwise more
+//! sophisticated algorithms are better" — see [`recommend_suffix_strategy`].
+
+use crate::dupdetect::{global_uniqueness, recommended_fp_bits, DedupConfig};
+use dss_codec::wire;
+use dss_net::collectives::ReduceOp;
+use dss_net::Comm;
+use dss_strkit::lcp::dist_prefixes_from_sorted;
+use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::StringSet;
+
+/// Result of a D/n estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DnEstimate {
+    /// Estimated mean distinguishing prefix length (D/n).
+    pub mean_dist: f64,
+    /// Estimated standard deviation of DIST (gossip estimator only;
+    /// 0 for the prefix-sampling estimator).
+    pub std_dist: f64,
+    /// Number of sampled elements the estimate is based on (global).
+    pub samples: u64,
+}
+
+/// Gossip estimator: each PE contributes `sample_per_pe` random strings;
+/// the union is broadcast to everyone (O(β·s·p·ℓ̂) volume, one gossip),
+/// and DIST statistics are computed locally within the sample.
+pub fn estimate_dist_by_gossip(
+    comm: &Comm,
+    set: &StringSet,
+    sample_per_pe: usize,
+) -> DnEstimate {
+    let mut rng = comm.rng();
+    let n = set.len();
+    let take = sample_per_pe.min(n);
+    let mut buf = Vec::new();
+    // Sample *without* replacement (partial Fisher–Yates): a string drawn
+    // twice would look like an exact duplicate and inflate DIST to len+1.
+    let mut pool: Vec<usize> = (0..n).collect();
+    for k in 0..take {
+        let j = k + rng.next_index(n - k);
+        pool.swap(k, j);
+    }
+    let idxs = &pool[..take];
+    let strings: Vec<&[u8]> = idxs.iter().map(|&i| set.get(i)).collect();
+    wire::encode_plain(strings.into_iter(), None, &mut buf);
+    let parts = comm.allgatherv(buf);
+    let mut sample = StringSet::new();
+    for part in &parts {
+        let mut pos = 0;
+        let run = wire::decode_plain(part, &mut pos).expect("well-formed sample");
+        for s in run.iter() {
+            sample.push(s);
+        }
+    }
+    let m = sample.len();
+    if m == 0 {
+        return DnEstimate {
+            mean_dist: 0.0,
+            std_dist: 0.0,
+            samples: 0,
+        };
+    }
+    let (lcps, _) = sort_with_lcp(&mut sample);
+    let dists = dist_prefixes_from_sorted(&lcps, &sample.lens());
+    let sum: f64 = dists.iter().map(|&d| d as f64).sum();
+    let mean = sum / m as f64;
+    let var: f64 = dists
+        .iter()
+        .map(|&d| {
+            let x = d as f64 - mean;
+            x * x
+        })
+        .sum::<f64>()
+        / m as f64;
+    DnEstimate {
+        mean_dist: mean,
+        std_dist: var.sqrt(),
+        samples: m as u64,
+    }
+}
+
+/// Per-level outcome of the Bernoulli prefix-sampling estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelEstimate {
+    /// Prefix length ℓ of this level.
+    pub level: u32,
+    /// Sampled prefixes at this level (global).
+    pub sampled: u64,
+    /// Fraction of them that were globally unique.
+    pub unique_fraction: f64,
+}
+
+/// Bernoulli prefix-sampling estimator: at geometric prefix lengths
+/// ℓ = 1, 2, 4, … every string's ℓ-prefix is sampled with probability
+/// `rate`; one distributed duplicate detection over all sampled
+/// fingerprints yields per-level unique fractions, integrated into
+/// `E[DIST] ≈ Σ (ℓ_k − ℓ_{k−1}) · P(DIST > ℓ_{k−1})`.
+///
+/// Because a duplicated prefix is only *observed* duplicated when another
+/// copy is sampled too, small rates bias the unique fractions up (and the
+/// estimate down); `rate = 1` is exact up to fingerprint collisions.
+pub fn estimate_dist_by_prefix_sampling(
+    comm: &Comm,
+    set: &StringSet,
+    rate: f64,
+) -> (DnEstimate, Vec<LevelEstimate>) {
+    let mut rng = comm.rng();
+    let global_n = comm.allreduce_u64(set.len() as u64, ReduceOp::Sum);
+    let max_len = comm.allreduce_u64(
+        set.iter().map(|s| s.len() as u64).max().unwrap_or(0),
+        ReduceOp::Max,
+    );
+    let cfg = DedupConfig {
+        fp_bits: recommended_fp_bits(global_n.max(1)),
+        golomb: true,
+        latency_optimal: false,
+    };
+    // Geometric levels 1, 2, 4, …, ≥ max_len + 1 (to catch duplicates).
+    let mut levels: Vec<u64> = Vec::new();
+    let mut ell = 1u64;
+    while ell <= max_len {
+        levels.push(ell);
+        ell *= 2;
+    }
+    levels.push(max_len + 1);
+    // Sample (string, level) pairs; fingerprint = salted prefix hash, so
+    // different levels live in disjoint fingerprint families.
+    let mut fps: Vec<u64> = Vec::new();
+    let mut fp_level: Vec<u32> = Vec::new();
+    let threshold = (rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+    for i in 0..set.len() {
+        let s = set.get(i);
+        for (li, &ell) in levels.iter().enumerate() {
+            if (ell as usize) > s.len() + 1 {
+                break;
+            }
+            if rng.next_u64() <= threshold {
+                let plen = (ell as usize).min(s.len());
+                fps.push(super::prefix_doubling_fp(s, plen));
+                fp_level.push(li as u32);
+            }
+        }
+    }
+    let (unique, _) = global_uniqueness(comm, &fps, &cfg);
+    // Per-level tallies, combined across PEs.
+    let mut sampled = vec![0u64; levels.len()];
+    let mut uniq = vec![0u64; levels.len()];
+    for (k, &li) in fp_level.iter().enumerate() {
+        sampled[li as usize] += 1;
+        if unique[k] {
+            uniq[li as usize] += 1;
+        }
+    }
+    let mut per_level = Vec::with_capacity(levels.len());
+    for (li, &ell) in levels.iter().enumerate() {
+        let s_glob = comm.allreduce_u64(sampled[li], ReduceOp::Sum);
+        let u_glob = comm.allreduce_u64(uniq[li], ReduceOp::Sum);
+        per_level.push(LevelEstimate {
+            level: ell as u32,
+            sampled: s_glob,
+            unique_fraction: if s_glob == 0 {
+                1.0
+            } else {
+                u_glob as f64 / s_glob as f64
+            },
+        });
+    }
+    // E[DIST] ≈ Σ (ℓ_k − ℓ_{k−1}) · P(DIST > ℓ_{k−1});   P(DIST > 0) = 1.
+    let mut mean = 0.0f64;
+    let mut prev_level = 0u64;
+    let mut prev_dup_frac = 1.0f64;
+    for le in &per_level {
+        mean += (le.level as u64 - prev_level) as f64 * prev_dup_frac;
+        prev_level = le.level as u64;
+        prev_dup_frac = 1.0 - le.unique_fraction;
+    }
+    let samples: u64 = per_level.iter().map(|l| l.sampled).sum();
+    (
+        DnEstimate {
+            mean_dist: mean,
+            std_dist: 0.0,
+            samples,
+        },
+        per_level,
+    )
+}
+
+/// The §VI application: pick a suffix-sorting strategy from a D/n
+/// estimate — "when D/n is small, we can use string sorting based
+/// algorithms, otherwise more sophisticated algorithms are better".
+pub fn recommend_suffix_strategy(estimate: &DnEstimate, text_len: u64) -> &'static str {
+    // Suffix instances have n = text_len suffixes; string-sorting them is
+    // attractive while the total distinguishing prefix volume stays far
+    // below the quadratic worst case.
+    if estimate.mean_dist * (text_len as f64) < 0.05 * (text_len as f64) * (text_len as f64) {
+        "string-sorting (PDMS on suffixes)"
+    } else {
+        "dedicated suffix-array construction (e.g. difference cover)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_gen::Workload;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use dss_strkit::lcp::total_dist_prefix;
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(30),
+            ..RunConfig::default()
+        }
+    }
+
+    /// Exact global D/n for a workload (oracle).
+    fn true_mean_dist(w: &Workload, p: usize, seed: u64) -> f64 {
+        let mut all = StringSet::new();
+        for r in 0..p {
+            all.extend_from(&w.generate(r, p, seed));
+        }
+        let n = all.len();
+        let (lcps, _) = sort_with_lcp(&mut all);
+        total_dist_prefix(&lcps, &all.lens()) as f64 / n as f64
+    }
+
+    #[test]
+    fn gossip_estimator_tracks_the_ratio_family() {
+        // D/N inputs have near-constant DIST; even the biased gossip
+        // estimator should land close.
+        for r in [0.2f64, 0.8] {
+            let w = Workload::DnRatio {
+                n_per_pe: 400,
+                len: 100,
+                r,
+                sigma: 16,
+            };
+            let truth = true_mean_dist(&w, 4, 3);
+            let res = run_spmd(4, cfg_run(), move |comm| {
+                let set = w.generate(comm.rank(), comm.size(), 3);
+                estimate_dist_by_gossip(comm, &set, 100)
+            });
+            for est in &res.values {
+                assert!(
+                    (est.mean_dist - truth).abs() / truth < 0.25,
+                    "r={r}: estimate {} vs truth {truth}",
+                    est.mean_dist
+                );
+                assert!(est.samples >= 400);
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_estimates_agree_across_pes() {
+        let res = run_spmd(3, cfg_run(), |comm| {
+            let w = Workload::Web { n_per_pe: 200 };
+            let set = w.generate(comm.rank(), comm.size(), 9);
+            estimate_dist_by_gossip(comm, &set, 50)
+        });
+        for est in &res.values {
+            assert_eq!(est.mean_dist, res.values[0].mean_dist);
+        }
+    }
+
+    #[test]
+    fn prefix_sampling_at_rate_one_matches_oracle() {
+        let w = Workload::DnRatio {
+            n_per_pe: 300,
+            len: 64,
+            r: 0.5,
+            sigma: 16,
+        };
+        let truth = true_mean_dist(&w, 3, 5);
+        let res = run_spmd(3, cfg_run(), move |comm| {
+            let set = w.generate(comm.rank(), comm.size(), 5);
+            estimate_dist_by_prefix_sampling(comm, &set, 1.0).0
+        });
+        for est in &res.values {
+            // Geometric levels overshoot DIST by up to 2x; the estimate
+            // must bracket the truth within that envelope.
+            assert!(
+                est.mean_dist >= truth * 0.9 && est.mean_dist <= truth * 2.2,
+                "estimate {} vs truth {truth}",
+                est.mean_dist
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_sampling_separates_low_and_high_dn() {
+        let run_for = |r: f64| -> f64 {
+            let w = Workload::DnRatio {
+                n_per_pe: 300,
+                len: 80,
+                r,
+                sigma: 16,
+            };
+            let res = run_spmd(2, cfg_run(), move |comm| {
+                let set = w.generate(comm.rank(), comm.size(), 6);
+                estimate_dist_by_prefix_sampling(comm, &set, 0.5).0
+            });
+            res.values[0].mean_dist
+        };
+        let low = run_for(0.1);
+        let high = run_for(0.9);
+        assert!(
+            high > 3.0 * low,
+            "high-D/N estimate {high} must dwarf low-D/N estimate {low}"
+        );
+    }
+
+    #[test]
+    fn prefix_sampling_levels_are_monotone_in_uniqueness() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let w = Workload::Dna { n_per_pe: 300 };
+            let set = w.generate(comm.rank(), comm.size(), 7);
+            estimate_dist_by_prefix_sampling(comm, &set, 1.0).1
+        });
+        let levels = &res.values[0];
+        // Longer prefixes can only become *more* unique (up to sampling
+        // noise at rate 1 there is none, modulo fp collisions).
+        for w2 in levels.windows(2) {
+            assert!(
+                w2[1].unique_fraction >= w2[0].unique_fraction - 0.02,
+                "uniqueness must not drop: {:?}",
+                levels
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_estimates_zero() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let set = StringSet::new();
+            let g = estimate_dist_by_gossip(comm, &set, 10);
+            let (p, _) = estimate_dist_by_prefix_sampling(comm, &set, 1.0);
+            (g, p)
+        });
+        for (g, p) in &res.values {
+            assert_eq!(g.samples, 0);
+            assert_eq!(p.samples, 0);
+        }
+    }
+
+    #[test]
+    fn recommendation_switches_with_dn() {
+        let low = DnEstimate {
+            mean_dist: 12.0,
+            std_dist: 1.0,
+            samples: 100,
+        };
+        let high = DnEstimate {
+            mean_dist: 4000.0,
+            std_dist: 10.0,
+            samples: 100,
+        };
+        assert!(recommend_suffix_strategy(&low, 10_000).contains("PDMS"));
+        assert!(recommend_suffix_strategy(&high, 10_000).contains("difference cover"));
+    }
+}

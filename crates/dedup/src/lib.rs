@@ -1,0 +1,32 @@
+//! # dss-dedup — communication-efficient duplicate detection & Step 1+ε
+//!
+//! PDMS (§VI of the paper) bounds each string's distinguishing prefix by
+//! testing geometrically growing prefixes for global uniqueness. The test
+//! is the communication-efficient duplicate detection of Sanders, Schlag
+//! and Müller: hash the prefix to a fingerprint, route fingerprints to
+//! hash-designated owner PEs, count multiplicities, and reply one bit per
+//! fingerprint. Errors are one-sided — a fingerprint collision can only
+//! declare a truly unique prefix "duplicate", which merely grows the
+//! prefix further; anything declared *unique* really is unique.
+//!
+//! * [`dupdetect`] — the fingerprint exchange itself, with optional
+//!   Golomb coding of the (range-partitioned, sorted) fingerprint streams
+//!   and bitmap replies: this is what separates PDMS-Golomb from PDMS.
+//! * [`prefix_doubling`] — Step 1+ε: iterate ℓ ← ℓ·(1+ε) over still-
+//!   ambiguous strings, using the local LCP array to recognise locally
+//!   repeated prefixes without sending them (they are duplicates by
+//!   definition), until every string has a proven-unique prefix or is
+//!   capped at its full length.
+
+pub mod dupdetect;
+pub mod estimate;
+pub mod prefix_doubling;
+
+pub use dupdetect::{global_uniqueness, recommended_fp_bits, DedupConfig, DedupStats};
+pub use estimate::{
+    estimate_dist_by_gossip, estimate_dist_by_prefix_sampling, recommend_suffix_strategy,
+    DnEstimate,
+};
+pub use prefix_doubling::{approx_dist_prefixes, PrefixDoublingConfig, PrefixDoublingStats};
+
+pub(crate) use prefix_doubling::prefix_fp as prefix_doubling_fp;

@@ -1,0 +1,434 @@
+//! Step 1+ε: approximating distinguishing prefix lengths (§VI-A).
+//!
+//! After local sorting, every PE holds a sorted string set with its LCP
+//! array. The goal is an upper bound `approx[i] ≥ DIST(sᵢ)` for every
+//! string, as tight as the geometric growth allows, using O(log p) bits of
+//! communication per string (Theorem 6).
+//!
+//! Iteration with current prefix length ℓ, over the still-*active* strings:
+//!
+//! 1. **Local grouping.** Strings whose ℓ-prefixes coincide locally are
+//!    recognised for free from the LCP array (a run of entries ≥ ℓ). A
+//!    group of ≥ 2 active strings is duplicated by definition — nothing is
+//!    sent for it and every member stays active.
+//! 2. **Fingerprinting.** Each group with exactly one active member sends
+//!    one fingerprint of the ℓ-prefix to the duplicate detection.
+//! 3. **Resolution.** Unique ⇒ `approx = min(ℓ, len+1)`, deactivate.
+//!    Strings with `len < ℓ` whose prefix (the whole string) is still
+//!    duplicated can never become unique ⇒ `approx = len+1`, deactivate
+//!    (exact duplicates / prefix-of relationships).
+//! 4. ℓ ← ℓ·(1+ε) until no PE has active strings.
+//!
+//! One-sidedness of the duplicate detection makes the result safe:
+//! `approx[i] ≥ DIST(sᵢ)` always; fingerprint collisions only inflate it.
+
+use crate::dupdetect::{global_uniqueness, recommended_fp_bits, DedupConfig};
+use dss_net::collectives::ReduceOp;
+use dss_net::Comm;
+use dss_strkit::checker::{hash_bytes, mix64};
+use dss_strkit::StringSet;
+
+/// Configuration of the distinguishing-prefix approximation.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixDoublingConfig {
+    /// Initial guess ℓ₀ in characters; 0 ⇒ auto (Θ(log p / log σ), scaled
+    /// by `log2(σ)` ≈ 8 for byte alphabets, min 4).
+    pub initial: u32,
+    /// Growth factor 1+ε as a rational `num/den` (default 2/1 — doubling).
+    pub growth_num: u32,
+    /// See `growth_num`.
+    pub growth_den: u32,
+    /// Parameters of the underlying duplicate detection. `fp_bits = 0`
+    /// auto-selects from the global string count.
+    pub fp_bits: u32,
+    /// Golomb-code the fingerprint traffic (PDMS-Golomb).
+    pub golomb: bool,
+    /// Latency-reduced hypercube routing for the fingerprint all-to-alls.
+    pub latency_optimal: bool,
+}
+
+impl Default for PrefixDoublingConfig {
+    fn default() -> Self {
+        Self {
+            initial: 0,
+            growth_num: 2,
+            growth_den: 1,
+            fp_bits: 0,
+            golomb: false,
+            latency_optimal: false,
+        }
+    }
+}
+
+/// Counters of one approximation run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PrefixDoublingStats {
+    /// Number of ℓ-iterations executed.
+    pub iterations: u32,
+    /// Fingerprints this PE sent over all iterations.
+    pub fps_sent: u64,
+    /// Prefix characters hashed locally (the O(D̂) local work term).
+    pub chars_hashed: u64,
+}
+
+/// Fingerprint of the `plen`-prefix of a string.
+///
+/// Hashes the raw bytes plus the *effective* prefix length, so a complete
+/// string of length `plen` and a longer string's `plen`-prefix get equal
+/// fingerprints exactly when their first `plen` characters agree — the
+/// 0-terminator semantics of the paper fall out of `plen = min(ℓ, len)`.
+#[inline]
+pub(crate) fn prefix_fp(s: &[u8], plen: usize) -> u64 {
+    mix64(hash_bytes(&s[..plen]) ^ (plen as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Approximates distinguishing prefix lengths for a **locally sorted**
+/// set with its LCP array. Collective: every PE calls it.
+///
+/// Returns `approx[i] ∈ [1, len(sᵢ)+1]` with `approx[i] ≥ DIST(sᵢ)`;
+/// a value of `len+1` means the full string (with terminator) is needed
+/// (exact duplicates and prefix-of cases).
+pub fn approx_dist_prefixes(
+    comm: &Comm,
+    set: &StringSet,
+    lcps: &[u32],
+    cfg: &PrefixDoublingConfig,
+) -> (Vec<u32>, PrefixDoublingStats) {
+    let n = set.len();
+    debug_assert_eq!(lcps.len(), n);
+    debug_assert!(dss_strkit::checker::is_sorted(set), "input must be sorted");
+    let mut stats = PrefixDoublingStats::default();
+
+    // Worst-case default: the whole string plus terminator.
+    let mut approx: Vec<u32> = (0..n).map(|i| set.get(i).len() as u32 + 1).collect();
+    let mut active: Vec<u32> = (0..n as u32).collect();
+
+    let global_n = comm.allreduce_u64(n as u64, ReduceOp::Sum);
+    let fp_bits = if cfg.fp_bits == 0 {
+        recommended_fp_bits(global_n)
+    } else {
+        cfg.fp_bits
+    };
+    let dedup_cfg = DedupConfig {
+        fp_bits,
+        golomb: cfg.golomb,
+        latency_optimal: cfg.latency_optimal,
+    };
+    let mut ell: u64 = if cfg.initial == 0 {
+        // Θ(log p / log σ) characters; for byte data log σ ≈ 8, and tiny
+        // initial guesses only waste rounds, so start at ≥ 4.
+        (((64 - (comm.size() as u64).leading_zeros()) as u64).div_ceil(8)).max(4)
+    } else {
+        cfg.initial as u64
+    };
+    debug_assert!(cfg.growth_num > cfg.growth_den && cfg.growth_den > 0);
+
+    loop {
+        let globally_active = comm.allreduce_u64(active.len() as u64, ReduceOp::Sum);
+        if globally_active == 0 {
+            break;
+        }
+        stats.iterations += 1;
+
+        // Group active strings by their effective ℓ-prefix. Active
+        // strings need not be adjacent in the sorted order, so the running
+        // minimum LCP since the group representative decides membership:
+        // the group continues while `min ≥ plen` and the effective prefix
+        // lengths agree. Groups are the unit of communication — exactly
+        // **one** fingerprint per locally repeated prefix crosses the wire
+        // ("communicating repetitions of the same prefixes only once"),
+        // but it *must* cross even for groups of ≥ 2: another PE may hold
+        // a solo string with the same prefix that would otherwise be
+        // declared unique.
+        struct Group {
+            first: usize,           // index in `active` of the first member
+            members: usize,         // number of active members
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        let mut rep: Option<(usize, usize)> = None; // (string idx, plen)
+        let mut run_min_lcp = u32::MAX;
+        let mut prev_scanned = 0usize;
+        for (a_pos, &ai) in active.iter().enumerate() {
+            let i = ai as usize;
+            let plen = (ell as usize).min(set.get(i).len());
+            let same_group = match rep {
+                Some((_, rep_plen)) => {
+                    for k in prev_scanned + 1..=i {
+                        run_min_lcp = run_min_lcp.min(lcps[k]);
+                    }
+                    rep_plen == plen && run_min_lcp as usize >= plen
+                }
+                None => false,
+            };
+            prev_scanned = i;
+            if same_group {
+                groups.last_mut().expect("group open").members += 1;
+            } else {
+                groups.push(Group {
+                    first: a_pos,
+                    members: 1,
+                });
+                rep = Some((i, plen));
+                run_min_lcp = u32::MAX;
+            }
+        }
+
+        // One fingerprint per group.
+        let mut fps: Vec<u64> = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let i = active[g.first] as usize;
+            let s = set.get(i);
+            let plen = (ell as usize).min(s.len());
+            fps.push(prefix_fp(s, plen));
+            stats.chars_hashed += plen as u64;
+        }
+        stats.fps_sent += fps.len() as u64;
+
+        let (unique, _) = global_uniqueness(comm, &fps, &dedup_cfg);
+
+        let mut next_active: Vec<u32> = Vec::with_capacity(active.len());
+        for (g, is_unique) in groups.iter().zip(&unique) {
+            for m in 0..g.members {
+                let ai = active[g.first + m];
+                let i = ai as usize;
+                let len = set.get(i).len() as u64;
+                if g.members == 1 && *is_unique {
+                    // Prefix proven globally unique: DIST ≤ min(ℓ, len+1).
+                    approx[i] = (ell.min(len + 1)) as u32;
+                } else if len < ell {
+                    // The whole string (with terminator) is duplicated —
+                    // exact duplicate or exact prefix of a longer string;
+                    // approx stays at its len+1 cap.
+                } else {
+                    next_active.push(ai);
+                }
+            }
+        }
+        active = next_active;
+        ell = (ell * cfg.growth_num as u64).div_ceil(cfg.growth_den as u64);
+    }
+    (approx, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use dss_strkit::lcp::dist_prefixes_naive;
+    use dss_strkit::sort::sort_with_lcp;
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(30),
+            ..RunConfig::default()
+        }
+    }
+
+    /// Runs the approximation over `p` PEs and validates the guarantees:
+    /// approx ≥ true DIST (capped), and approx-length prefixes are unique
+    /// among non-duplicate strings.
+    fn check(p: usize, shards: Vec<Vec<&'static str>>, cfg: PrefixDoublingConfig) {
+        // Global truth.
+        let mut all: Vec<&str> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let global = StringSet::from_strs(&all);
+        let truth = dist_prefixes_naive(&global);
+        let truth_of = |s: &[u8]| -> u32 {
+            let i = (0..global.len())
+                .find(|&i| global.get(i) == s)
+                .expect("string in global set");
+            truth[i]
+        };
+        let shards_ref = &shards;
+        let res = run_spmd(p, cfg_run(), move |comm| {
+            let mut set = StringSet::from_strs(&shards_ref[comm.rank()]);
+            let (lcps, _) = sort_with_lcp(&mut set);
+            let (approx, stats) = approx_dist_prefixes(comm, &set, &lcps, &cfg);
+            let strs = set.to_vecs();
+            (strs, approx, stats.iterations)
+        });
+        for (strs, approx, _) in &res.values {
+            for (s, &a) in strs.iter().zip(approx) {
+                let t = truth_of(s);
+                assert!(
+                    a >= t,
+                    "approx {a} < true DIST {t} for {:?}",
+                    String::from_utf8_lossy(s)
+                );
+                assert!(
+                    a <= s.len() as u32 + 1,
+                    "approx {a} beyond len+1 for {:?}",
+                    String::from_utf8_lossy(s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_three_pes() {
+        check(
+            3,
+            vec![
+                vec!["alpha", "order", "alps", "algae"],
+                vec!["sorter", "snow", "algo", "sorbet"],
+                vec!["sorted", "orange", "soul", "organ"],
+            ],
+            PrefixDoublingConfig::default(),
+        );
+    }
+
+    #[test]
+    fn exact_duplicates_cap_at_full_length() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let mut set = StringSet::from_strs(&["dup", "unique_one"]);
+            if comm.rank() == 1 {
+                set = StringSet::from_strs(&["dup", "other"]);
+            }
+            let (lcps, _) = sort_with_lcp(&mut set);
+            let (approx, _) =
+                approx_dist_prefixes(comm, &set, &lcps, &PrefixDoublingConfig::default());
+            (set.to_vecs(), approx)
+        });
+        for (strs, approx) in &res.values {
+            for (s, &a) in strs.iter().zip(approx) {
+                if s == b"dup" {
+                    assert_eq!(a, 4, "dup needs len+1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_duplicates_send_one_representative_fingerprint() {
+        let res = run_spmd(1, cfg_run(), |comm| {
+            let mut set = StringSet::from_strs(&["same", "same", "same"]);
+            let (lcps, _) = sort_with_lcp(&mut set);
+            let (approx, stats) =
+                approx_dist_prefixes(comm, &set, &lcps, &PrefixDoublingConfig::default());
+            (approx, stats.fps_sent)
+        });
+        let (approx, fps_sent) = &res.values[0];
+        assert_eq!(approx, &vec![5, 5, 5]);
+        // The three equal strings form one group per round: exactly one
+        // fingerprint is sent per round (two rounds: ℓ = 4, then ℓ = 8
+        // caps them at len+1), never three.
+        assert_eq!(*fps_sent, 2);
+    }
+
+    #[test]
+    fn solo_prefix_against_remote_group_is_not_unique() {
+        // Regression: PE 0 holds two strings sharing "dcca"; PE 1 holds a
+        // *single* string sharing it too. The group sends one fingerprint,
+        // so PE 1's solo must be seen as duplicated at ℓ=4 and end up with
+        // approx ≥ its true DIST of 6.
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let strs = if comm.rank() == 0 {
+                vec!["dccadabbdedae", "dccadxyzaaaaa"]
+            } else {
+                vec!["dccadedaceabe"]
+            };
+            let mut set = StringSet::from_strs(&strs);
+            let (lcps, _) = sort_with_lcp(&mut set);
+            let (approx, _) =
+                approx_dist_prefixes(comm, &set, &lcps, &PrefixDoublingConfig::default());
+            (set.to_vecs(), approx)
+        });
+        for (strs, approx) in &res.values {
+            for (s, &a) in strs.iter().zip(approx) {
+                assert!(a >= 6, "approx {a} too small for {:?}", String::from_utf8_lossy(s));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_of_relation() {
+        check(
+            2,
+            vec![vec!["abc"], vec!["abcdef", "xyz"]],
+            PrefixDoublingConfig::default(),
+        );
+    }
+
+    #[test]
+    fn empty_and_single_pe_inputs() {
+        check(2, vec![vec![], vec![]], PrefixDoublingConfig::default());
+        check(2, vec![vec!["only"], vec![]], PrefixDoublingConfig::default());
+        check(1, vec![vec!["a", "b", "c"]], PrefixDoublingConfig::default());
+    }
+
+    #[test]
+    fn long_shared_prefixes_across_pes() {
+        // 64-char shared prefix across PEs: needs several doublings.
+        let a: &'static str = "0000000000000000000000000000000000000000000000000000000000000000A";
+        let b: &'static str = "0000000000000000000000000000000000000000000000000000000000000000B";
+        check(2, vec![vec![a], vec![b]], PrefixDoublingConfig::default());
+    }
+
+    #[test]
+    fn golomb_and_raw_agree() {
+        let shards = vec![
+            vec!["tree", "trie", "trunk", "apple"],
+            vec!["treat", "apple", "trick"],
+        ];
+        check(2, shards.clone(), PrefixDoublingConfig::default());
+        check(
+            2,
+            shards,
+            PrefixDoublingConfig {
+                golomb: true,
+                ..PrefixDoublingConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn growth_factor_controls_tightness() {
+        // With ε = 0.5 (growth 3/2) the bound is at most 1.5× above the
+        // power-of-two start, i.e. tighter on average than doubling.
+        let res = run_spmd(1, cfg_run(), |comm| {
+            let strs: Vec<String> = (0..64).map(|i| format!("{:030}x{i:02}", 0)).collect();
+            let refs: Vec<&str> = strs.iter().map(|s| s.as_str()).collect();
+            let mut set = StringSet::from_strs(&refs);
+            let (lcps, _) = sort_with_lcp(&mut set);
+            let tight = approx_dist_prefixes(
+                comm,
+                &set,
+                &lcps,
+                &PrefixDoublingConfig {
+                    growth_num: 3,
+                    growth_den: 2,
+                    ..PrefixDoublingConfig::default()
+                },
+            )
+            .0;
+            let doubled = approx_dist_prefixes(comm, &set, &lcps, &PrefixDoublingConfig::default()).0;
+            let t: u64 = tight.iter().map(|&v| v as u64).sum();
+            let d: u64 = doubled.iter().map(|&v| v as u64).sum();
+            (t, d)
+        });
+        let (t, d) = res.values[0];
+        assert!(t <= d, "3/2 growth {t} should be ≤ doubling {d}");
+    }
+
+    #[test]
+    fn stats_report_work() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let strs = if comm.rank() == 0 {
+                vec!["aaaa", "bbbb"]
+            } else {
+                vec!["cccc", "dddd"]
+            };
+            let mut set = StringSet::from_strs(&strs);
+            let (lcps, _) = sort_with_lcp(&mut set);
+            let (_, stats) =
+                approx_dist_prefixes(comm, &set, &lcps, &PrefixDoublingConfig::default());
+            stats
+        });
+        for s in &res.values {
+            assert!(s.iterations >= 1);
+            assert!(s.fps_sent >= 2);
+            assert!(s.chars_hashed >= 8);
+        }
+    }
+}

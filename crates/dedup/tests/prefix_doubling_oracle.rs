@@ -1,0 +1,132 @@
+//! Oracle test for Step 1+ε: over many random multi-PE instances, every
+//! approximated distinguishing prefix length must dominate the true
+//! `DIST` computed by the O(n²) definition — the one-sided-error
+//! guarantee PDMS's correctness rests on — while staying within the
+//! geometric-growth envelope.
+
+use dss_dedup::prefix_doubling::{approx_dist_prefixes, PrefixDoublingConfig};
+use dss_net::runner::{run_spmd, RunConfig};
+use dss_strkit::lcp::dist_prefixes_naive;
+use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::StringSet;
+use rand::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn cfg_run() -> RunConfig {
+    RunConfig {
+        recv_timeout: Duration::from_secs(30),
+        ..RunConfig::default()
+    }
+}
+
+fn random_shards(p: usize, n: usize, max_len: usize, sigma: u8, seed: u64) -> Vec<Vec<Vec<u8>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..p)
+        .map(|_| {
+            (0..n)
+                .map(|_| {
+                    let len = rng.gen_range(0..=max_len);
+                    (0..len).map(|_| rng.gen_range(b'a'..b'a' + sigma)).collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn check_instance(p: usize, shards: Vec<Vec<Vec<u8>>>, cfg: PrefixDoublingConfig) {
+    // Ground truth over the global multiset.
+    let mut all: Vec<Vec<u8>> = shards.iter().flatten().cloned().collect();
+    all.sort();
+    let global = StringSet::from_iter_bytes(all.iter().map(|s| s.as_slice()));
+    let truth = dist_prefixes_naive(&global);
+    let mut truth_of: HashMap<Vec<u8>, u32> = HashMap::new();
+    for (i, s) in global.iter().enumerate() {
+        // Equal strings share the same DIST; insert once.
+        truth_of.entry(s.to_vec()).or_insert(truth[i]);
+    }
+    let shards_ref = &shards;
+    let res = run_spmd(p, cfg_run(), move |comm| {
+        let mut set =
+            StringSet::from_iter_bytes(shards_ref[comm.rank()].iter().map(|s| s.as_slice()));
+        let (lcps, _) = sort_with_lcp(&mut set);
+        let (approx, stats) = approx_dist_prefixes(comm, &set, &lcps, &cfg);
+        (set.to_vecs(), approx, stats.iterations)
+    });
+    for (rank, (strs, approx, _)) in res.values.iter().enumerate() {
+        for (s, &a) in strs.iter().zip(approx) {
+            let t = truth_of[s];
+            assert!(
+                a >= t,
+                "PE{rank}: approx {a} < DIST {t} for {:?}",
+                String::from_utf8_lossy(s)
+            );
+            assert!(
+                a <= s.len() as u32 + 1,
+                "PE{rank}: approx {a} exceeds len+1 for {:?}",
+                String::from_utf8_lossy(s)
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_many_random_instances() {
+    for seed in 0..12u64 {
+        let p = 2 + (seed as usize % 3);
+        let sigma = [2u8, 3, 26][(seed % 3) as usize];
+        let shards = random_shards(p, 50, 12, sigma, seed * 31 + 1);
+        check_instance(p, shards, PrefixDoublingConfig::default());
+    }
+}
+
+#[test]
+fn oracle_with_golomb_and_slow_growth() {
+    for seed in 0..6u64 {
+        let shards = random_shards(3, 40, 10, 3, seed * 7 + 100);
+        check_instance(
+            3,
+            shards.clone(),
+            PrefixDoublingConfig {
+                golomb: true,
+                ..PrefixDoublingConfig::default()
+            },
+        );
+        check_instance(
+            3,
+            shards,
+            PrefixDoublingConfig {
+                growth_num: 3,
+                growth_den: 2,
+                ..PrefixDoublingConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn oracle_duplicate_heavy() {
+    // Small alphabet, short strings → many exact duplicates and
+    // prefix-of relationships across PEs.
+    for seed in 0..8u64 {
+        let shards = random_shards(4, 60, 5, 2, seed * 13 + 7);
+        check_instance(4, shards, PrefixDoublingConfig::default());
+    }
+}
+
+#[test]
+fn oracle_tiny_fingerprints_stay_safe() {
+    // 16-bit fingerprints force frequent collisions: approximations may
+    // inflate but must never dip below DIST.
+    for seed in 0..4u64 {
+        let shards = random_shards(3, 80, 8, 3, seed + 500);
+        check_instance(
+            3,
+            shards,
+            PrefixDoublingConfig {
+                fp_bits: 16,
+                ..PrefixDoublingConfig::default()
+            },
+        );
+    }
+}

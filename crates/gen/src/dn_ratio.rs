@@ -1,0 +1,198 @@
+//! The D/N instance family (§VII-A) and its skewed variant (§VII-E).
+//!
+//! "The i-th string from the D/N input consists of an appropriate number
+//! of repetitions of the first character of Σ followed by a base σ
+//! encoding of i followed by further characters to achieve the desired
+//! string length. Value r = 0 means that i begins immediately and r = 1
+//! means that i stands at the end of the string."
+//!
+//! The distinguishing prefix of string *i* ends within its digit block,
+//! so `DIST ≈ pad + digits` and `D/N ≈ (pad + digits)/len = r`. Strings
+//! are distributed round-robin over the PEs (a deterministic stand-in for
+//! the paper's random distribution with exactly balanced shard sizes).
+//!
+//! Skewed variant: the 20 % smallest strings (lowest *i*, since the
+//! encoding makes lexicographic order equal index order) are padded with
+//! trailing filler to 4× length; the filler sits beyond the distinguishing
+//! prefix, so D is unchanged while output lengths skew heavily.
+
+use dss_strkit::StringSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of base-σ digits needed for values `0..n`.
+fn digits_for(n: usize, sigma: u8) -> usize {
+    let base = sigma.max(2) as usize;
+    let mut d = 1;
+    let mut cap = base;
+    while cap < n {
+        d += 1;
+        cap = cap.saturating_mul(base);
+    }
+    d
+}
+
+/// Writes the fixed-width base-σ encoding of `i` using alphabet
+/// `'a'..'a'+σ`, most-significant digit first.
+fn encode_base_sigma(mut i: usize, digits: usize, sigma: u8, out: &mut Vec<u8>) {
+    let base = sigma.max(2) as usize;
+    let start = out.len();
+    out.resize(start + digits, b'a');
+    for k in (0..digits).rev() {
+        out[start + k] = b'a' + (i % base) as u8;
+        i /= base;
+    }
+    debug_assert_eq!(i, 0, "index exceeds digit capacity");
+}
+
+/// Generates PE `rank`'s shard of the D/N instance.
+///
+/// Global string count is `n_per_pe · p`; PE `rank` holds the strings with
+/// index ≡ rank (mod p). `r` is clamped to `[0, 1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn generate(
+    n_per_pe: usize,
+    len: usize,
+    r: f64,
+    sigma: u8,
+    skewed: bool,
+    rank: usize,
+    p: usize,
+    seed: u64,
+) -> StringSet {
+    let n_total = n_per_pe * p;
+    let digits = digits_for(n_total.max(1), sigma);
+    let r = r.clamp(0.0, 1.0);
+    let target_dist = ((r * len as f64).round() as usize).clamp(digits.min(len), len);
+    let pad = target_dist - digits.min(target_dist);
+    let filler_len = len.saturating_sub(pad + digits);
+    let mut set = StringSet::with_capacity(n_per_pe, n_per_pe * len);
+    let mut rng = StdRng::seed_from_u64(seed ^ (rank as u64) << 20 ^ 0xD4);
+    let mut buf = Vec::with_capacity(len * 4);
+    for j in 0..n_per_pe {
+        let i = j * p + rank; // round-robin global index
+        buf.clear();
+        buf.resize(pad, b'a');
+        encode_base_sigma(i, digits, sigma, &mut buf);
+        for _ in 0..filler_len {
+            buf.push(b'a' + rng.gen_range(0..sigma.max(2)));
+        }
+        if skewed && i < n_total / 5 {
+            // 4× total length, all beyond the distinguishing prefix.
+            for _ in 0..3 * len {
+                buf.push(b'a' + rng.gen_range(0..sigma.max(2)));
+            }
+        }
+        set.push(&buf);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_strkit::lcp::{lcp_array_naive, total_dist_prefix};
+    use dss_strkit::sort::sort_with_lcp;
+
+    fn gather(n_per_pe: usize, len: usize, r: f64, sigma: u8, skewed: bool, p: usize) -> StringSet {
+        let mut all = StringSet::new();
+        for rank in 0..p {
+            let shard = generate(n_per_pe, len, r, sigma, skewed, rank, p, 42);
+            all.extend_from(&shard);
+        }
+        all
+    }
+
+    fn measured_ratio(set: &mut StringSet) -> f64 {
+        let n_chars = set.num_chars() as f64;
+        let (lcps, _) = sort_with_lcp(set);
+        let lens = set.lens();
+        total_dist_prefix(&lcps, &lens) as f64 / n_chars
+    }
+
+    #[test]
+    fn strings_have_exact_length_and_count() {
+        let set = gather(50, 100, 0.5, 16, false, 4);
+        assert_eq!(set.len(), 200);
+        assert!(set.iter().all(|s| s.len() == 100));
+    }
+
+    #[test]
+    fn all_strings_globally_distinct() {
+        let set = gather(100, 60, 0.25, 16, false, 3);
+        let mut v = set.to_vecs();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 300);
+    }
+
+    #[test]
+    fn ratio_matches_request() {
+        for r in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let mut set = gather(200, 100, r, 16, false, 4);
+            let measured = measured_ratio(&mut set);
+            // digits consume a few chars even at r=0; allow ±0.08.
+            assert!(
+                (measured - r.max(0.04)).abs() < 0.08,
+                "r={r} measured={measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn r1_puts_index_at_the_end() {
+        let set = generate(4, 50, 1.0, 16, false, 0, 1, 1);
+        for s in set.iter() {
+            // Everything except the final digits is the pad character.
+            let digits = digits_for(4, 16);
+            assert!(s[..50 - digits].iter().all(|&c| c == b'a'));
+        }
+    }
+
+    #[test]
+    fn r0_puts_index_first() {
+        let n = 300usize;
+        let set = generate(n, 50, 0.0, 16, false, 0, 1, 1);
+        let digits = digits_for(n, 16);
+        // First digit varies across strings right away.
+        let firsts: std::collections::HashSet<u8> = set.iter().map(|s| s[digits - 2]).collect();
+        assert!(firsts.len() > 1);
+    }
+
+    #[test]
+    fn sorted_order_equals_index_order() {
+        // Fixed-width big-endian digits with identical pads sort by index.
+        let p = 3;
+        let mut labeled: Vec<(usize, Vec<u8>)> = Vec::new();
+        for rank in 0..p {
+            let shard = generate(20, 40, 0.5, 8, false, rank, p, 9);
+            for (j, s) in shard.iter().enumerate() {
+                labeled.push((j * p + rank, s.to_vec()));
+            }
+        }
+        labeled.sort_by(|a, b| a.1.cmp(&b.1));
+        let idxs: Vec<usize> = labeled.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idxs, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_pads_smallest_fifth() {
+        let set = gather(100, 100, 0.5, 16, true, 2);
+        let long = set.iter().filter(|s| s.len() == 400).count();
+        let short = set.iter().filter(|s| s.len() == 100).count();
+        assert_eq!(long, 40); // 20 % of 200
+        assert_eq!(short, 160);
+    }
+
+    #[test]
+    fn skew_does_not_change_d() {
+        let mut plain = gather(100, 100, 0.5, 16, false, 2);
+        let mut skewed = gather(100, 100, 0.5, 16, true, 2);
+        let (lp, _) = sort_with_lcp(&mut plain);
+        let (ls, _) = sort_with_lcp(&mut skewed);
+        let dp = total_dist_prefix(&lp, &plain.lens());
+        let ds = total_dist_prefix(&ls, &skewed.lens());
+        assert_eq!(dp, ds, "padding must not contribute to D");
+        let _ = lcp_array_naive(&plain);
+    }
+}

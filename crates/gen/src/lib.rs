@@ -1,0 +1,126 @@
+//! # dss-gen — workload generators for the evaluation (§VII-A, §VII-E)
+//!
+//! Reproduces the paper's instances, scaled to simulator sizes:
+//!
+//! * [`dn_ratio`] — the synthetic **D/N** family with tunable ratio
+//!   `r = D/N`: string *i* is `pad` repetitions of the first alphabet
+//!   character, then the base-σ encoding of *i*, then random filler to the
+//!   target length. `r = 0` puts *i* first, `r = 1` puts it last.
+//! * [`dn_ratio` (skewed)] — §VII-E's skewed variant: the 20 % smallest
+//!   strings get padded to 4× length without growing their distinguishing
+//!   prefix.
+//! * [`web`] — stand-in for COMMONCRAWL: Zipf-weighted word soup with a
+//!   hot pool of exactly repeated lines, tuned to the paper's measured
+//!   statistics (avg line ≈ 40 chars, avg LCP ≈ 60 %, D/N ≈ 0.68, many
+//!   repeated strings — the property that crashed FKmerge).
+//! * [`dna`] — stand-in for DNAREADS: reads over {A,C,G,T} sampled from a
+//!   synthetic genome with coverage-induced duplicate starts and a small
+//!   mutation rate (read ≈ 100 bp, avg LCP ≈ 30 %, D/N ≈ 0.38).
+//! * [`text`] — Markov-flavoured word text (the Wikipedia stand-in) and
+//!   its **suffix instance**: all suffixes of one text, the D/N ≪ 1
+//!   extreme where PDMS shines (§VII-E).
+//!
+//! All generators are deterministic in `(workload, seed, rank, p)` and
+//! generate each PE's shard independently — no communication needed.
+
+pub mod dn_ratio;
+pub mod dna;
+pub mod stats;
+pub mod text;
+pub mod web;
+
+use dss_strkit::StringSet;
+
+/// A named, shardable workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// The D/N family (per-PE string count, string length, ratio, σ).
+    DnRatio {
+        n_per_pe: usize,
+        len: usize,
+        r: f64,
+        sigma: u8,
+    },
+    /// Skewed D/N: 20 % smallest strings padded to 4× length.
+    SkewedDnRatio {
+        n_per_pe: usize,
+        len: usize,
+        r: f64,
+        sigma: u8,
+    },
+    /// COMMONCRAWL stand-in.
+    Web { n_per_pe: usize },
+    /// DNAREADS stand-in.
+    Dna { n_per_pe: usize },
+    /// Wikipedia-lines stand-in.
+    TextLines { n_per_pe: usize },
+    /// Suffix instance: all suffixes of a text of `text_len` chars,
+    /// truncated to `cap` characters.
+    Suffix { text_len: usize, cap: usize },
+}
+
+impl Workload {
+    /// Generates the shard of PE `rank` of `p`.
+    pub fn generate(&self, rank: usize, p: usize, seed: u64) -> StringSet {
+        match *self {
+            Workload::DnRatio {
+                n_per_pe,
+                len,
+                r,
+                sigma,
+            } => dn_ratio::generate(n_per_pe, len, r, sigma, false, rank, p, seed),
+            Workload::SkewedDnRatio {
+                n_per_pe,
+                len,
+                r,
+                sigma,
+            } => dn_ratio::generate(n_per_pe, len, r, sigma, true, rank, p, seed),
+            Workload::Web { n_per_pe } => web::generate(n_per_pe, rank, seed),
+            Workload::Dna { n_per_pe } => dna::generate(n_per_pe, rank, seed),
+            Workload::TextLines { n_per_pe } => text::generate_lines(n_per_pe, rank, seed),
+            Workload::Suffix { text_len, cap } => text::generate_suffixes(text_len, cap, rank, p, seed),
+        }
+    }
+
+    /// Short label for tables and CSV output.
+    pub fn label(&self) -> String {
+        match *self {
+            Workload::DnRatio { r, .. } => format!("D/N={r}"),
+            Workload::SkewedDnRatio { r, .. } => format!("skewed-D/N={r}"),
+            Workload::Web { .. } => "COMMONCRAWL".into(),
+            Workload::Dna { .. } => "DNAREADS".into(),
+            Workload::TextLines { .. } => "WIKI".into(),
+            Workload::Suffix { .. } => "SUFFIX".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_deterministic() {
+        let w = Workload::Web { n_per_pe: 50 };
+        let a = w.generate(1, 4, 7).to_vecs();
+        let b = w.generate(1, 4, 7).to_vecs();
+        assert_eq!(a, b);
+        let c = w.generate(2, 4, 7).to_vecs();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            Workload::DnRatio {
+                n_per_pe: 1,
+                len: 10,
+                r: 0.5,
+                sigma: 16
+            }
+            .label(),
+            "D/N=0.5"
+        );
+        assert_eq!(Workload::Dna { n_per_pe: 1 }.label(), "DNAREADS");
+    }
+}

@@ -1,0 +1,153 @@
+//! Instance statistics: the aggregates the paper uses to characterise its
+//! inputs (n, N, D/N, average length, average LCP, duplicate fraction).
+//!
+//! Used by the generator tests to pin the synthetic stand-ins to the
+//! published statistics, and by the bench harness to label experiment
+//! output.
+
+use dss_strkit::lcp::total_dist_prefix;
+use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::StringSet;
+
+/// Aggregate statistics of one instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceStats {
+    /// Number of strings.
+    pub n: usize,
+    /// Number of characters.
+    pub n_chars: usize,
+    /// Total distinguishing prefix size D.
+    pub d: u64,
+    /// D/N.
+    pub dn_ratio: f64,
+    /// Average string length.
+    pub avg_len: f64,
+    /// Average LCP between sorted neighbours.
+    pub avg_lcp: f64,
+    /// Fraction of strings that are exact duplicates of another string.
+    pub dup_fraction: f64,
+}
+
+/// Computes statistics over the union of per-PE shards (sorts a copy).
+pub fn instance_stats(shards: &[StringSet]) -> InstanceStats {
+    let mut all = StringSet::new();
+    for s in shards {
+        all.extend_from(s);
+    }
+    let n = all.len();
+    let n_chars = all.num_chars();
+    if n == 0 {
+        return InstanceStats {
+            n,
+            n_chars,
+            d: 0,
+            dn_ratio: 0.0,
+            avg_len: 0.0,
+            avg_lcp: 0.0,
+            dup_fraction: 0.0,
+        };
+    }
+    let (lcps, _) = sort_with_lcp(&mut all);
+    let lens = all.lens();
+    let d = total_dist_prefix(&lcps, &lens);
+    let sum_lcp: u64 = lcps.iter().map(|&h| h as u64).sum();
+    let mut dups = 0usize;
+    for i in 1..n {
+        if lcps[i] as usize == all.get(i).len() && all.get(i - 1).len() == all.get(i).len() {
+            dups += 1;
+        }
+    }
+    InstanceStats {
+        n,
+        n_chars,
+        d,
+        dn_ratio: d as f64 / n_chars.max(1) as f64,
+        avg_len: n_chars as f64 / n as f64,
+        avg_lcp: sum_lcp as f64 / n as f64,
+        dup_fraction: dups as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    fn shards_of(w: &Workload, p: usize) -> Vec<StringSet> {
+        (0..p).map(|r| w.generate(r, p, 20260611)).collect()
+    }
+
+    #[test]
+    fn web_instance_matches_paper_statistics() {
+        let s = instance_stats(&shards_of(&Workload::Web { n_per_pe: 1500 }, 4));
+        assert!(s.avg_len > 30.0 && s.avg_len < 60.0, "avg_len {}", s.avg_len);
+        assert!(
+            s.dn_ratio > 0.5 && s.dn_ratio < 0.85,
+            "D/N {} (paper: 0.68)",
+            s.dn_ratio
+        );
+        assert!(
+            s.avg_lcp / s.avg_len > 0.4,
+            "avg LCP fraction {} (paper: 0.60)",
+            s.avg_lcp / s.avg_len
+        );
+        assert!(s.dup_fraction > 0.1, "needs repeated strings (FKmerge trigger)");
+    }
+
+    #[test]
+    fn dna_instance_matches_paper_statistics() {
+        let s = instance_stats(&shards_of(&Workload::Dna { n_per_pe: 1500 }, 4));
+        assert_eq!(s.avg_len, 100.0);
+        assert!(
+            s.dn_ratio > 0.2 && s.dn_ratio < 0.55,
+            "D/N {} (paper: 0.38)",
+            s.dn_ratio
+        );
+        assert!(
+            s.avg_lcp / s.avg_len > 0.15 && s.avg_lcp / s.avg_len < 0.55,
+            "avg LCP fraction {} (paper: 0.30)",
+            s.avg_lcp / s.avg_len
+        );
+        // DNA must have *lower* LCP fraction than web (paper's contrast).
+        let web = instance_stats(&shards_of(&Workload::Web { n_per_pe: 1500 }, 4));
+        assert!(s.avg_lcp / s.avg_len < web.avg_lcp / web.avg_len);
+    }
+
+    #[test]
+    fn dn_family_spans_the_ratio_axis() {
+        for r in [0.0f64, 0.5, 1.0] {
+            let w = Workload::DnRatio {
+                n_per_pe: 500,
+                len: 100,
+                r,
+                sigma: 16,
+            };
+            let s = instance_stats(&shards_of(&w, 4));
+            assert!(
+                (s.dn_ratio - r.max(0.04)).abs() < 0.08,
+                "requested {r}, measured {}",
+                s.dn_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn suffix_instance_is_the_low_dn_extreme() {
+        let s = instance_stats(&shards_of(
+            &Workload::Suffix {
+                text_len: 4000,
+                cap: 400,
+            },
+            4,
+        ));
+        assert!(s.dn_ratio < 0.1, "suffix D/N {}", s.dn_ratio);
+        assert_eq!(s.n, 4000);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = instance_stats(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.dn_ratio, 0.0);
+    }
+}

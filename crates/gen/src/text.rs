@@ -1,0 +1,177 @@
+//! Wikipedia stand-in text, its line instance, and the suffix instance.
+//!
+//! §VII-E: "we also tried an instance consisting of 71 GB of Wikipedia
+//! pages. The results are similar to the COMMONCRAWL instance" — and, as
+//! a first attempt at suffix sorting, "the first 3000 lines of the above
+//! Wikipedia instance as a single string, using all their suffixes as
+//! input. This instance has N ≈ 104·10⁹ and D ≈ 10.4·10⁶, i.e.
+//! D/N ≈ 0.0001 — a very easy instance for algorithm PDMS and a fairly
+//! difficult instance for all the other algorithms."
+//!
+//! The text is a word-salad with wiki-flavoured markup tokens. For the
+//! suffix instance, suffix *i* is the text from position *i* truncated to
+//! `cap` characters; as long as the text has no repeated substring of
+//! length ≥ cap, the truncation preserves the exact sorting order while
+//! keeping N = text_len·cap/… simulator-sized. We append a tiny unique
+//! tail to each suffix block boundary — not needed in practice because the
+//! generator sprinkles position-dependent salt words, which the tests
+//! verify by checking that truncated suffixes are pairwise distinct.
+
+use dss_strkit::StringSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WIKI_TOKENS: [&[u8]; 8] = [
+    b"[[", b"]]", b"==", b"{{", b"}}", b"''", b"<ref>", b"|",
+];
+
+fn push_word(out: &mut Vec<u8>, rng: &mut StdRng) {
+    if rng.gen_bool(0.08) {
+        out.extend_from_slice(WIKI_TOKENS[rng.gen_range(0..WIKI_TOKENS.len())]);
+        return;
+    }
+    let len = 2 + rng.gen_range(0..9);
+    for _ in 0..len {
+        out.push(rng.gen_range(b'a'..=b'z'));
+    }
+}
+
+/// Generates a Wikipedia-ish text of exactly `len` characters.
+pub fn generate_text(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x717);
+    let mut text = Vec::with_capacity(len + 16);
+    let mut since_salt = 0usize;
+    while text.len() < len {
+        if !text.is_empty() {
+            text.push(b' ');
+        }
+        push_word(&mut text, &mut rng);
+        since_salt += 1;
+        if since_salt >= 12 {
+            // Position-dependent salt word: bounds the longest repeated
+            // substring, so capped suffixes stay pairwise distinct.
+            since_salt = 0;
+            text.push(b' ');
+            let mut v = text.len() as u64;
+            for _ in 0..6 {
+                text.push(b'0' + (v % 10) as u8);
+                v /= 10;
+            }
+        }
+    }
+    text.truncate(len);
+    text
+}
+
+/// Generates PE `rank`'s shard of the line instance (lines of ≈ 60 chars).
+pub fn generate_lines(n_per_pe: usize, rank: usize, seed: u64) -> StringSet {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x11A ^ (rank as u64) << 24);
+    // Reuse the web-like duplication structure but milder: 35 % of lines
+    // come from a hot template pool (section headers, infobox rows, …).
+    let mut global_rng = StdRng::seed_from_u64(seed ^ 0x11B);
+    let hot: Vec<Vec<u8>> = (0..300)
+        .map(|_| {
+            let mut l = Vec::new();
+            while l.len() < 60 {
+                if !l.is_empty() {
+                    l.push(b' ');
+                }
+                push_word(&mut l, &mut global_rng);
+            }
+            l
+        })
+        .collect();
+    let mut set = StringSet::with_capacity(n_per_pe, n_per_pe * 64);
+    for _ in 0..n_per_pe {
+        if rng.gen_bool(0.35) {
+            set.push(&hot[rng.gen_range(0..hot.len())]);
+        } else {
+            let mut l = Vec::new();
+            while l.len() < 60 {
+                if !l.is_empty() {
+                    l.push(b' ');
+                }
+                push_word(&mut l, &mut rng);
+            }
+            set.push(&l);
+        }
+    }
+    set
+}
+
+/// Generates PE `rank`'s shard of the suffix instance: suffixes starting
+/// at positions ≡ rank (mod p), truncated to `cap` characters.
+pub fn generate_suffixes(text_len: usize, cap: usize, rank: usize, p: usize, seed: u64) -> StringSet {
+    let text = generate_text(text_len, seed);
+    let count = (text_len - rank).div_ceil(p).min(text_len);
+    let mut set = StringSet::with_capacity(count, count * cap.min(text_len));
+    let mut pos = rank;
+    while pos < text_len {
+        let end = (pos + cap).min(text_len);
+        set.push(&text[pos..end]);
+        pos += p;
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_is_exact_length_and_nul_free() {
+        let t = generate_text(5000, 3);
+        assert_eq!(t.len(), 5000);
+        assert!(!t.contains(&0));
+    }
+
+    #[test]
+    fn capped_suffixes_are_distinct() {
+        let p = 4;
+        let cap = 200;
+        let mut all: Vec<Vec<u8>> = Vec::new();
+        for rank in 0..p {
+            let shard = generate_suffixes(3000, cap, rank, p, 9);
+            all.extend(shard.to_vecs());
+        }
+        assert_eq!(all.len(), 3000);
+        all.sort();
+        let before = all.len();
+        all.dedup();
+        assert_eq!(all.len(), before, "capped suffixes must stay distinct");
+    }
+
+    #[test]
+    fn suffix_shards_partition_positions() {
+        let p = 3;
+        let counts: usize = (0..p)
+            .map(|r| generate_suffixes(1000, 50, r, p, 1).len())
+            .sum();
+        assert_eq!(counts, 1000);
+    }
+
+    #[test]
+    fn suffix_instance_has_tiny_dn_ratio() {
+        use dss_strkit::lcp::total_dist_prefix;
+        use dss_strkit::sort::sort_with_lcp;
+        let mut set = generate_suffixes(4000, 300, 0, 1, 7);
+        let n_chars = set.num_chars() as f64;
+        let (lcps, _) = sort_with_lcp(&mut set);
+        let d = total_dist_prefix(&lcps, &set.lens()) as f64;
+        assert!(
+            d / n_chars < 0.2,
+            "suffix instance D/N = {} should be ≪ 1",
+            d / n_chars
+        );
+    }
+
+    #[test]
+    fn lines_have_duplicates() {
+        let set = generate_lines(400, 0, 11);
+        let mut v = set.to_vecs();
+        v.sort();
+        let before = v.len();
+        v.dedup();
+        assert!(v.len() < before);
+    }
+}

@@ -1,0 +1,97 @@
+//! COMMONCRAWL stand-in: web-text lines.
+//!
+//! The paper characterises the real 82 GB instance by four aggregates:
+//! average line ≈ 40 characters, alphabet ≈ 242 symbols, average LCP
+//! ≈ 23.9 (60 % of a line), D/N = 0.68, and "many repeated input strings"
+//! (the property that crashes FKmerge). Those statistics — not the
+//! actual crawl bytes — are what the sorting algorithms respond to, so we
+//! synthesize lines that match them:
+//!
+//! * a Zipf-weighted vocabulary provides natural-language-like shared
+//!   word prefixes;
+//! * a hot pool of boilerplate lines is sampled with high probability,
+//!   yielding exact duplicates and near-duplicates (long LCPs);
+//! * fresh lines fill the remainder.
+//!
+//! The mix (55 % hot pool, 45 % fresh) lands D/N in the 0.55–0.8 band;
+//! `stats::instance_stats` in the tests pins the realised values.
+
+use dss_strkit::StringSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const VOCAB_SIZE: usize = 4000;
+const HOT_POOL: usize = 400;
+const HOT_FRACTION: f64 = 0.55;
+const TARGET_LEN: usize = 40;
+
+/// Deterministic pseudo-word for vocabulary rank `r` (2–12 chars,
+/// letters + occasional punctuation/digits to widen the alphabet).
+fn word(r: usize, rng: &mut StdRng) -> Vec<u8> {
+    let len = 2 + rng.gen_range(0..11);
+    let mut w = Vec::with_capacity(len);
+    for k in 0..len {
+        let c = if k == 0 && r % 17 == 0 {
+            rng.gen_range(b'A'..=b'Z')
+        } else if r % 31 == 0 && k == len - 1 {
+            *[b'.', b',', b';', b':', b'!', b'-', b'/', b'0', b'7']
+                .get(rng.gen_range(0..9))
+                .expect("in range")
+        } else {
+            rng.gen_range(b'a'..=b'z')
+        };
+        w.push(c);
+    }
+    w
+}
+
+/// Zipf-ish rank sampler: rank ∝ 1/(k+1) via inverse-CDF on a harmonic
+/// approximation (cheap, no aux tables).
+fn zipf_rank(rng: &mut StdRng, n: usize) -> usize {
+    // H(n) ≈ ln(n) + γ; invert u·H(n) ≈ ln(k) ⇒ k ≈ e^{u·ln n}.
+    let u: f64 = rng.gen();
+    let k = (n as f64).powf(u) as usize;
+    k.min(n - 1)
+}
+
+fn make_line(vocab: &[Vec<u8>], rng: &mut StdRng) -> Vec<u8> {
+    let mut line = Vec::with_capacity(TARGET_LEN + 12);
+    while line.len() < TARGET_LEN {
+        if !line.is_empty() {
+            line.push(b' ');
+        }
+        line.extend_from_slice(&vocab[zipf_rank(rng, vocab.len())]);
+    }
+    line
+}
+
+/// Generates PE `rank`'s shard: `n_per_pe` lines.
+pub fn generate(n_per_pe: usize, rank: usize, seed: u64) -> StringSet {
+    // Vocabulary and hot pool are global (same seed on every PE).
+    let mut global_rng = StdRng::seed_from_u64(seed ^ 0x0857_0CC5);
+    let vocab: Vec<Vec<u8>> = (0..VOCAB_SIZE).map(|r| word(r, &mut global_rng)).collect();
+    let hot: Vec<Vec<u8>> = (0..HOT_POOL).map(|_| make_line(&vocab, &mut global_rng)).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3B ^ (rank as u64) << 24);
+    let mut set = StringSet::with_capacity(n_per_pe, n_per_pe * (TARGET_LEN + 8));
+    for _ in 0..n_per_pe {
+        if rng.gen_bool(HOT_FRACTION) {
+            // Boilerplate: exact duplicate or near-duplicate with a tiny
+            // varied suffix (e.g. an id in a repeated template).
+            let base = &hot[zipf_rank(&mut rng, HOT_POOL)];
+            if rng.gen_bool(0.6) {
+                set.push(base);
+            } else {
+                let mut line = base.clone();
+                line.push(b'/');
+                for _ in 0..4 {
+                    line.push(rng.gen_range(b'0'..=b'9'));
+                }
+                set.push(&line);
+            }
+        } else {
+            set.push(&make_line(&vocab, &mut rng));
+        }
+    }
+    set
+}

@@ -1,0 +1,373 @@
+//! Collective operations over [`Comm`], built on point-to-point messages
+//! with the textbook algorithms, so rounds and volumes match the cost
+//! table of §II:
+//!
+//! | operation            | algorithm            | rounds      | volume |
+//! |----------------------|----------------------|-------------|--------|
+//! | barrier              | dissemination        | ⌈log p⌉     | O(p)   |
+//! | broadcast            | binomial tree        | ⌈log p⌉     | O(h)   |
+//! | reduce / allreduce   | binomial tree (+bcast)| ⌈log p⌉ (2×)| O(h)  |
+//! | gatherv              | direct to root       | p−1 at root | O(h)   |
+//! | allgatherv (gossip)  | Bruck doubling       | ⌈log p⌉     | O(h)   |
+//! | alltoallv            | direct exchange      | p−1         | O(h)   |
+//! | alltoallv_hypercube  | dimension-wise       | log p       | O(h·log p) |
+//!
+//! `gatherv` is deliberately the *linear* centralized algorithm — that is
+//! what FKmerge's sample-sorting bottleneck uses and what the paper
+//! criticizes; the efficient algorithms never gather payloads centrally.
+//!
+//! Reduction operators must be associative and commutative (all uses here
+//! are sums/max/min/fingerprint-combines/median selection).
+
+use crate::comm::{Comm, Tag};
+
+#[inline]
+fn ceil_log2(p: usize) -> u32 {
+    debug_assert!(p >= 1);
+    usize::BITS - (p - 1).leading_zeros()
+}
+
+/// Reduction ops for the `u64` convenience wrappers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+/// Encodes a `u64` slice as little-endian bytes.
+pub fn u64s_to_bytes(vals: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes little-endian bytes into `u64`s.
+pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert_eq!(bytes.len() % 8, 0, "malformed u64 payload");
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+impl Comm {
+    /// Dissemination barrier: ⌈log p⌉ rounds, every PE synchronized.
+    pub fn barrier(&self) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        self.enter();
+        let tag = Tag::coll(self.next_coll_tag()).0;
+        let r = self.rank();
+        let mut k = 1usize;
+        while k < p {
+            let dst = (r + k) % p;
+            let src = (r + p - k) % p;
+            self.raw_send(dst, tag, Vec::new(), true);
+            let _ = self.raw_recv(src, tag, true);
+            k <<= 1;
+        }
+        self.add_rounds(ceil_log2(p) as u64);
+        self.exit();
+    }
+
+    /// Binomial-tree broadcast from `root`. Every PE returns the payload.
+    pub fn broadcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        let p = self.size();
+        if p == 1 {
+            return data;
+        }
+        self.enter();
+        let tag = Tag::coll(self.next_coll_tag()).0;
+        let r = self.rank();
+        let vr = (r + p - root) % p;
+        let d = ceil_log2(p);
+        let mut data = data;
+        let first_send_bit = if vr == 0 {
+            0
+        } else {
+            let b = 63 - (vr as u64).leading_zeros();
+            let parent_vr = vr - (1 << b);
+            data = self.raw_recv((parent_vr + root) % p, tag, true);
+            b + 1
+        };
+        for k in first_send_bit..d {
+            let child_vr = vr + (1 << k);
+            if child_vr < p {
+                self.raw_send((child_vr + root) % p, tag, data.clone(), true);
+            }
+        }
+        self.add_rounds(d as u64);
+        self.exit();
+        data
+    }
+
+    /// Binomial-tree reduction to `root` with a binary combining operator
+    /// (must be associative + commutative). Non-roots return `None`.
+    pub fn reduce(
+        &self,
+        root: usize,
+        data: Vec<u8>,
+        mut op: impl FnMut(Vec<u8>, Vec<u8>) -> Vec<u8>,
+    ) -> Option<Vec<u8>> {
+        let p = self.size();
+        if p == 1 {
+            return Some(data);
+        }
+        self.enter();
+        let tag = Tag::coll(self.next_coll_tag()).0;
+        let r = self.rank();
+        let vr = (r + p - root) % p;
+        let d = ceil_log2(p);
+        let mut acc = data;
+        let mut sent = false;
+        for k in 0..d {
+            if vr & (1 << k) != 0 {
+                let parent_vr = vr - (1 << k);
+                self.raw_send((parent_vr + root) % p, tag, acc, true);
+                acc = Vec::new();
+                sent = true;
+                break;
+            } else if vr + (1 << k) < p {
+                let child = self.raw_recv(((vr + (1 << k)) + root) % p, tag, true);
+                acc = op(acc, child);
+            }
+        }
+        self.add_rounds(d as u64);
+        self.exit();
+        if sent {
+            None
+        } else {
+            debug_assert_eq!(vr, 0);
+            Some(acc)
+        }
+    }
+
+    /// Reduce + broadcast: every PE returns the combined value.
+    pub fn allreduce(
+        &self,
+        data: Vec<u8>,
+        op: impl FnMut(Vec<u8>, Vec<u8>) -> Vec<u8>,
+    ) -> Vec<u8> {
+        let v = self.reduce(0, data, op).unwrap_or_default();
+        self.broadcast(0, v)
+    }
+
+    /// Direct gather of variable-size payloads to `root`: returns, at the
+    /// root only, the payloads indexed by source rank. Linear latency at
+    /// the root — the centralized bottleneck FKmerge exhibits.
+    pub fn gatherv(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let p = self.size();
+        self.enter();
+        let tag = Tag::coll(self.next_coll_tag()).0;
+        let r = self.rank();
+        let result = if r == root {
+            let mut out: Vec<Vec<u8>> = (0..p).map(|_| Vec::new()).collect();
+            out[root] = data;
+            for src in 0..p {
+                if src != root {
+                    out[src] = self.raw_recv(src, tag, true);
+                }
+            }
+            self.add_rounds(p as u64 - 1);
+            Some(out)
+        } else {
+            self.raw_send(root, tag, data, true);
+            self.add_rounds(1);
+            None
+        };
+        self.exit();
+        result
+    }
+
+    /// All-gather (the paper's "gossiping"): Bruck doubling, ⌈log p⌉
+    /// rounds. Returns all payloads indexed by source rank, on every PE.
+    pub fn allgatherv(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        let p = self.size();
+        if p == 1 {
+            return vec![data];
+        }
+        self.enter();
+        let tag = Tag::coll(self.next_coll_tag()).0;
+        let r = self.rank();
+        let mut blocks: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
+        blocks[r] = Some(data);
+        let mut k = 1usize;
+        while k < p {
+            // Send blocks [r, r+min(k, p-k)) to (r - k); receive the
+            // corresponding window from (r + k).
+            let send_count = k.min(p - k);
+            let dst = (r + p - k) % p;
+            let src = (r + k) % p;
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&(send_count as u32).to_le_bytes());
+            for i in 0..send_count {
+                let origin = (r + i) % p;
+                let b = blocks[origin].as_ref().expect("block present by induction");
+                frame.extend_from_slice(&(origin as u32).to_le_bytes());
+                frame.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                frame.extend_from_slice(b);
+            }
+            self.raw_send(dst, tag, frame, true);
+            let incoming = self.raw_recv(src, tag, true);
+            let mut pos = 0usize;
+            let count = read_u32(&incoming, &mut pos) as usize;
+            for _ in 0..count {
+                let origin = read_u32(&incoming, &mut pos) as usize;
+                let len = read_u32(&incoming, &mut pos) as usize;
+                blocks[origin] = Some(incoming[pos..pos + len].to_vec());
+                pos += len;
+            }
+            k <<= 1;
+        }
+        self.add_rounds(ceil_log2(p) as u64);
+        self.exit();
+        blocks
+            .into_iter()
+            .map(|b| b.expect("all blocks present after ⌈log p⌉ Bruck steps"))
+            .collect()
+    }
+
+    /// Personalized all-to-all, direct algorithm: p−1 rounds, minimal
+    /// volume (the low-volume end of the paper's tradeoff). `msgs[i]` goes
+    /// to rank `i`; returns received payloads indexed by source.
+    pub fn alltoallv(&self, mut msgs: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let p = self.size();
+        assert_eq!(msgs.len(), p, "need one message per destination");
+        if p == 1 {
+            return msgs;
+        }
+        self.enter();
+        let tag = Tag::coll(self.next_coll_tag()).0;
+        let r = self.rank();
+        let mut out: Vec<Vec<u8>> = (0..p).map(|_| Vec::new()).collect();
+        out[r] = std::mem::take(&mut msgs[r]);
+        for i in 1..p {
+            let dst = (r + i) % p;
+            self.raw_send(dst, tag, std::mem::take(&mut msgs[dst]), true);
+        }
+        for i in 1..p {
+            let src = (r + p - i) % p;
+            out[src] = self.raw_recv(src, tag, true);
+        }
+        self.add_rounds(p as u64 - 1);
+        self.exit();
+        out
+    }
+
+    /// Personalized all-to-all along hypercube dimensions: log p rounds at
+    /// the cost of up to log p× volume (messages are forwarded). Requires
+    /// a power-of-two communicator. The low-latency end of the tradeoff
+    /// (used by the latency-reduced PDMS variant of Theorem 6).
+    pub fn alltoallv_hypercube(&self, msgs: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let p = self.size();
+        assert_eq!(msgs.len(), p);
+        assert!(p.is_power_of_two(), "hypercube all-to-all needs 2^d PEs");
+        if p == 1 {
+            return msgs;
+        }
+        self.enter();
+        let tag_base = self.next_coll_tag();
+        let r = self.rank();
+        let d = ceil_log2(p);
+        // In transit: (original source, final destination, payload).
+        let mut in_transit: Vec<(u32, u32, Vec<u8>)> = msgs
+            .into_iter()
+            .enumerate()
+            .map(|(dst, m)| (r as u32, dst as u32, m))
+            .collect();
+        for k in 0..d {
+            let partner = r ^ (1 << k);
+            let tag = Tag::coll(tag_base).0 ^ ((k as u64 + 1) << 32);
+            let (keep, forward): (Vec<_>, Vec<_>) = in_transit
+                .into_iter()
+                .partition(|(_, dst, _)| (*dst as usize) & (1 << k) == r & (1 << k));
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&(forward.len() as u32).to_le_bytes());
+            for (src, dst, m) in &forward {
+                frame.extend_from_slice(&src.to_le_bytes());
+                frame.extend_from_slice(&dst.to_le_bytes());
+                frame.extend_from_slice(&(m.len() as u32).to_le_bytes());
+                frame.extend_from_slice(m);
+            }
+            self.raw_send(partner, tag, frame, true);
+            let incoming = self.raw_recv(partner, tag, true);
+            in_transit = keep;
+            let mut pos = 0usize;
+            let count = read_u32(&incoming, &mut pos) as usize;
+            for _ in 0..count {
+                let src = read_u32(&incoming, &mut pos);
+                let dst = read_u32(&incoming, &mut pos);
+                let len = read_u32(&incoming, &mut pos) as usize;
+                in_transit.push((src, dst, incoming[pos..pos + len].to_vec()));
+                pos += len;
+            }
+        }
+        self.add_rounds(d as u64);
+        self.exit();
+        let mut out: Vec<Vec<u8>> = (0..p).map(|_| Vec::new()).collect();
+        for (src, dst, m) in in_transit {
+            debug_assert_eq!(dst as usize, r, "message not at its destination");
+            out[src as usize] = m;
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // typed conveniences
+    // ------------------------------------------------------------------
+
+    /// All-gather of one `u64` per PE.
+    pub fn allgather_u64(&self, v: u64) -> Vec<u64> {
+        self.allgatherv(v.to_le_bytes().to_vec())
+            .into_iter()
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte block")))
+            .collect()
+    }
+
+    /// All-reduce of one `u64`.
+    pub fn allreduce_u64(&self, v: u64, op: ReduceOp) -> u64 {
+        let out = self.allreduce(v.to_le_bytes().to_vec(), |a, b| {
+            let x = u64::from_le_bytes(a.try_into().expect("8 bytes"));
+            let y = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+            op.apply(x, y).to_le_bytes().to_vec()
+        });
+        u64::from_le_bytes(out.try_into().expect("8 bytes"))
+    }
+
+    /// Broadcast of a `u64` slice from `root`.
+    pub fn broadcast_u64s(&self, root: usize, vals: &[u64]) -> Vec<u64> {
+        bytes_to_u64s(&self.broadcast(root, u64s_to_bytes(vals)))
+    }
+
+    /// Exclusive prefix sum of one `u64` per PE (rank 0 gets 0), plus the
+    /// global total. Implemented over the gossip primitive: O(log p)
+    /// rounds, O(8p) volume.
+    pub fn exclusive_scan_sum_u64(&self, v: u64) -> (u64, u64) {
+        let all = self.allgather_u64(v);
+        let prefix: u64 = all[..self.rank()].iter().sum();
+        let total: u64 = all.iter().sum();
+        (prefix, total)
+    }
+}
+
+#[inline]
+fn read_u32(buf: &[u8], pos: &mut usize) -> u32 {
+    let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("4 bytes"));
+    *pos += 4;
+    v
+}

@@ -1,0 +1,348 @@
+//! Communicators and point-to-point messaging.
+//!
+//! A [`Comm`] is the SPMD handle a PE uses to talk to its peers — the
+//! moral equivalent of an `MPI_Comm`. Messages are tagged byte buffers
+//! delivered through per-PE unbounded channels; a receive filters by
+//! `(communicator, source, tag)` and parks out-of-order arrivals in a
+//! pending list (MPI-style matching).
+//!
+//! [`Comm::split`] creates subcommunicators (hQuick's hypercube subcubes),
+//! which route through the same world mailboxes but match on their own
+//! communicator id.
+//!
+//! ## Accounting rules
+//!
+//! * every payload byte sent to *another* PE is counted (self-delivery is
+//!   free, as local data movement is not communication);
+//! * a bare [`Comm::recv`] contributes one latency round; collectives
+//!   instead add their critical-path depth explicitly (see
+//!   [`collectives`](crate::collectives));
+//! * wall time inside any communication call is attributed to `comm_ns`,
+//!   time between calls to `compute_ns`, per phase.
+
+use crate::metrics::PeMetrics;
+use crate::rng::SplitMix64;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Communicator id reserved for the poison pill broadcast on PE panic.
+pub(crate) const POISON_COMM: u64 = u64::MAX;
+
+/// Message tag. User tags live in their own namespace, distinct from the
+/// sequence tags collectives generate internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tag(pub(crate) u64);
+
+impl Tag {
+    const USER_BIT: u64 = 1 << 63;
+
+    /// A user-level tag (p2p protocols of the algorithms).
+    pub fn user(t: u64) -> Self {
+        debug_assert!(t < Self::USER_BIT);
+        Tag(t | Self::USER_BIT)
+    }
+
+    pub(crate) fn coll(seq: u64) -> Self {
+        debug_assert!(seq < Self::USER_BIT);
+        Tag(seq)
+    }
+}
+
+pub(crate) struct Envelope {
+    pub comm: u64,
+    /// Sender's rank *within* the destination communicator.
+    pub src: u32,
+    pub tag: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Shared world state: one mailbox sender per PE.
+pub struct WorldShared {
+    pub(crate) senders: Vec<Sender<Envelope>>,
+    pub(crate) size: usize,
+}
+
+impl WorldShared {
+    /// Sends the poison pill to every PE (called on panic, so blocked
+    /// receives fail fast instead of deadlocking the run).
+    pub(crate) fn poison_all(&self) {
+        for s in &self.senders {
+            // Ignore failures: the receiver may already be gone.
+            let _ = s.send(Envelope {
+                comm: POISON_COMM,
+                src: 0,
+                tag: 0,
+                payload: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Per-PE endpoint state, shared by all communicators of this PE.
+pub(crate) struct PeCore {
+    pub world_rank: usize,
+    pub world: Arc<WorldShared>,
+    pub rx: Receiver<Envelope>,
+    pub pending: Vec<Envelope>,
+    pub metrics: PeMetrics,
+    pub seed: u64,
+    pub recv_timeout: Duration,
+}
+
+/// Membership of one communicator.
+struct CommGroup {
+    id: u64,
+    /// World ranks of the members, in communicator rank order.
+    members: Vec<u32>,
+    /// This PE's rank within the communicator.
+    my_rank: usize,
+    /// Sequence numbers for collective tags and for child communicators.
+    coll_seq: Cell<u64>,
+    split_seq: Cell<u64>,
+}
+
+/// The SPMD communicator handle (per PE; not `Send` — each PE thread owns
+/// its own).
+pub struct Comm {
+    core: Rc<RefCell<PeCore>>,
+    group: Rc<CommGroup>,
+}
+
+impl Comm {
+    /// Builds the world communicator for one PE (runner-internal).
+    pub(crate) fn world(core: PeCore) -> Self {
+        let size = core.world.size;
+        let my_rank = core.world_rank;
+        Self {
+            core: Rc::new(RefCell::new(core)),
+            group: Rc::new(CommGroup {
+                id: 0,
+                members: (0..size as u32).collect(),
+                my_rank,
+                coll_seq: Cell::new(0),
+                split_seq: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Rank of this PE within the communicator.
+    pub fn rank(&self) -> usize {
+        self.group.my_rank
+    }
+
+    /// Number of PEs in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.members.len()
+    }
+
+    /// Rank of this PE in the world communicator.
+    pub fn world_rank(&self) -> usize {
+        self.core.borrow().world_rank
+    }
+
+    /// Whether this PE is rank 0 of the communicator.
+    pub fn is_root(&self) -> bool {
+        self.group.my_rank == 0
+    }
+
+    /// Deterministic per-(run, communicator, rank) RNG.
+    pub fn rng(&self) -> SplitMix64 {
+        let core = self.core.borrow();
+        let mut mixer = SplitMix64::new(
+            core.seed ^ self.group.id.rotate_left(17) ^ (self.group.my_rank as u64) << 1,
+        );
+        let s = mixer.next_u64();
+        SplitMix64::new(s)
+    }
+
+    /// Switches the metrics phase label (SPMD-collective by convention:
+    /// call it on every PE at the same point).
+    pub fn set_phase(&self, name: &str) {
+        let mut core = self.core.borrow_mut();
+        core.metrics.flush_compute();
+        core.metrics.set_phase(name);
+    }
+
+    /// Runs `f` with the raw per-PE metrics (diagnostics).
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&PeMetrics) -> R) -> R {
+        f(&self.core.borrow().metrics)
+    }
+
+    // ------------------------------------------------------------------
+    // point-to-point
+    // ------------------------------------------------------------------
+
+    /// Sends `payload` to communicator rank `dst` (non-blocking; the
+    /// channel buffers). Counts bytes unless `dst` is this PE.
+    pub fn send(&self, dst: usize, tag: Tag, payload: Vec<u8>) {
+        self.enter();
+        self.raw_send(dst, tag.0, payload, true);
+        self.exit();
+    }
+
+    /// Receives the message from `src` with `tag` (blocking). Adds one
+    /// latency round.
+    pub fn recv(&self, src: usize, tag: Tag) -> Vec<u8> {
+        self.enter();
+        let p = self.raw_recv(src, tag.0, true);
+        {
+            let mut core = self.core.borrow_mut();
+            core.metrics.add_rounds(1);
+        }
+        self.exit();
+        p
+    }
+
+    /// Simultaneous exchange with a partner (MPI sendrecv): one round.
+    pub fn exchange(&self, partner: usize, tag: Tag, payload: Vec<u8>) -> Vec<u8> {
+        self.enter();
+        self.raw_send(partner, tag.0, payload, true);
+        let p = self.raw_recv(partner, tag.0, true);
+        {
+            let mut core = self.core.borrow_mut();
+            core.metrics.add_rounds(1);
+        }
+        self.exit();
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // internals used by the collectives module
+    // ------------------------------------------------------------------
+
+    pub(crate) fn enter(&self) {
+        self.core.borrow_mut().metrics.flush_compute();
+    }
+
+    pub(crate) fn exit(&self) {
+        self.core.borrow_mut().metrics.flush_comm();
+    }
+
+    pub(crate) fn add_rounds(&self, rounds: u64) {
+        self.core.borrow_mut().metrics.add_rounds(rounds);
+    }
+
+    /// Fresh tag for one collective operation (same sequence on every
+    /// member because collectives are SPMD-ordered).
+    pub(crate) fn next_coll_tag(&self) -> u64 {
+        let t = self.group.coll_seq.get();
+        self.group.coll_seq.set(t + 1);
+        t
+    }
+
+    pub(crate) fn raw_send(&self, dst: usize, tag: u64, payload: Vec<u8>, count: bool) {
+        let mut core = self.core.borrow_mut();
+        if dst == self.group.my_rank {
+            // Self-delivery: free local move, straight into pending.
+            core.pending.push(Envelope {
+                comm: self.group.id,
+                src: self.group.my_rank as u32,
+                tag,
+                payload,
+            });
+            return;
+        }
+        if count {
+            core.metrics.on_send(payload.len());
+        }
+        let dst_world = self.group.members[dst] as usize;
+        core.world.senders[dst_world]
+            .send(Envelope {
+                comm: self.group.id,
+                src: self.group.my_rank as u32,
+                tag,
+                payload,
+            })
+            .expect("mailbox closed: peer PE terminated early");
+    }
+
+    pub(crate) fn raw_recv(&self, src: usize, tag: u64, count: bool) -> Vec<u8> {
+        let mut core = self.core.borrow_mut();
+        let comm_id = self.group.id;
+        // Check messages parked earlier.
+        if let Some(i) = core
+            .pending
+            .iter()
+            .position(|e| e.comm == comm_id && e.src == src as u32 && e.tag == tag)
+        {
+            let env = core.pending.swap_remove(i);
+            if count && src != self.group.my_rank {
+                core.metrics.on_recv(env.payload.len());
+            }
+            return env.payload;
+        }
+        let timeout = core.recv_timeout;
+        loop {
+            let env = match core.rx.recv_timeout(timeout) {
+                Ok(env) => env,
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "PE {} (comm {comm_id}, rank {}): recv(src={src}, tag={tag}) timed out \
+                     after {timeout:?} — likely deadlock",
+                    core.world_rank, self.group.my_rank,
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("world mailbox disconnected — runner tore down mid-operation")
+                }
+            };
+            if env.comm == POISON_COMM {
+                panic!("peer PE panicked; aborting this PE");
+            }
+            if env.comm == comm_id && env.src == src as u32 && env.tag == tag {
+                if count && src != self.group.my_rank {
+                    core.metrics.on_recv(env.payload.len());
+                }
+                return env.payload;
+            }
+            core.pending.push(env);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // communicator management
+    // ------------------------------------------------------------------
+
+    /// Splits the communicator: PEs passing the same `color` form a new
+    /// communicator, ordered by their rank in `self`. Involves one
+    /// all-gather of colors (counted, like a real `MPI_Comm_split`).
+    pub fn split(&self, color: u64) -> Comm {
+        let colors = self.allgather_u64(color);
+        let members: Vec<u32> = (0..self.size())
+            .filter(|&i| colors[i] == color)
+            .map(|i| self.group.members[i])
+            .collect();
+        let my_rank = (0..self.size())
+            .filter(|&i| colors[i] == color)
+            .position(|i| i == self.group.my_rank)
+            .expect("calling PE is a member of its own color class");
+        let seq = self.group.split_seq.get();
+        self.group.split_seq.set(seq + 1);
+        let id = crate::rng::SplitMix64::new(self.group.id ^ (seq << 32) ^ color.rotate_left(7))
+            .next_u64()
+            // Avoid colliding with the reserved ids.
+            & !(1 << 63);
+        Comm {
+            core: Rc::clone(&self.core),
+            group: Rc::new(CommGroup {
+                id,
+                members,
+                my_rank,
+                coll_seq: Cell::new(0),
+                split_seq: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Extracts a clone of this PE's metrics (runner-internal).
+    pub(crate) fn take_metrics(&self) -> PeMetrics {
+        let mut core = self.core.borrow_mut();
+        core.metrics.flush_compute();
+        core.metrics.clone()
+    }
+
+    pub(crate) fn world_shared(&self) -> Arc<WorldShared> {
+        Arc::clone(&self.core.borrow().world)
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal deterministic RNG (splitmix64).
+//!
+//! The distributed algorithms need per-PE randomness (hQuick's random
+//! placement, pivot sampling, fingerprint salts). A 10-line splitmix64
+//! keeps `dss-net` and `dss-sort` free of heavyweight dependencies while
+//! staying reproducible: seeds derive deterministically from
+//! `(run seed, world rank)`.
+
+/// splitmix64 — passes BigCrush, one u64 of state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (bound > 0), via Lemire's method.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` index into a slice of length `len`.
+    pub fn next_index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_values_stay_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = SplitMix64::new(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.next_index(8)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Hypercube topology helpers.
+//!
+//! hQuick (§IV) arranges `2^⌊log p⌋` PEs as a d-dimensional hypercube and
+//! peels one dimension per iteration; these helpers keep the bit fiddling
+//! in one place.
+
+/// Largest `d` with `2^d ≤ p`; the paper's `d = ⌊log p⌋` (0 for `p = 1`).
+pub fn hypercube_dim(p: usize) -> u32 {
+    debug_assert!(p >= 1);
+    usize::BITS - 1 - p.leading_zeros()
+}
+
+/// Number of PEs used by the hypercube algorithms: `2^⌊log p⌋ ≥ p/2`.
+pub fn hypercube_size(p: usize) -> usize {
+    1 << hypercube_dim(p)
+}
+
+/// Communication partner of `rank` across dimension `dim`.
+pub fn partner(rank: usize, dim: u32) -> usize {
+    rank ^ (1 << dim)
+}
+
+/// Whether `rank` is in the lower half of its subcube along `dim`.
+pub fn is_lower(rank: usize, dim: u32) -> bool {
+    rank & (1 << dim) == 0
+}
+
+/// Identifier of the `i`-dimensional subcube containing `rank` (its high
+/// bits above dimension `i`).
+pub fn subcube_id(rank: usize, dims: u32) -> usize {
+    rank >> dims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_and_sizes() {
+        assert_eq!(hypercube_dim(1), 0);
+        assert_eq!(hypercube_dim(2), 1);
+        assert_eq!(hypercube_dim(3), 1);
+        assert_eq!(hypercube_dim(4), 2);
+        assert_eq!(hypercube_dim(20), 4);
+        assert_eq!(hypercube_size(20), 16);
+        assert_eq!(hypercube_size(1280), 1024);
+    }
+
+    #[test]
+    fn partners_are_symmetric() {
+        for p in [2usize, 4, 8, 16] {
+            let d = hypercube_dim(p);
+            for r in 0..p {
+                for k in 0..d {
+                    let q = partner(r, k);
+                    assert_eq!(partner(q, k), r);
+                    assert_ne!(is_lower(r, k), is_lower(q, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subcube_ids_group_correctly() {
+        // In an 8-cube split along 2 low dims: {0..3} and {4..7}.
+        assert_eq!(subcube_id(3, 2), 0);
+        assert_eq!(subcube_id(4, 2), 1);
+        assert_eq!(subcube_id(7, 2), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Distributed result validation.
+//!
+//! Checks a [`SortedRun`] across all PEs without centralizing the data:
+//!
+//! 1. local sortedness (free);
+//! 2. global order across PE boundaries: gossip each PE's (first, last)
+//!    strings and verify the chain rank by rank;
+//! 3. content preservation: an order-independent multiset fingerprint of
+//!    the input must equal that of the output (combined by an allreduce).
+//!    For PDMS — whose output is prefixes + origins — the origin tags must
+//!    instead form exactly the set {(pe, 0..n_pe)}, checked through a
+//!    commutative fingerprint of the tags.
+
+use crate::output::{origin_tag, SortedRun};
+use dss_net::Comm;
+use dss_strkit::checker::{mix64, MultisetFingerprint};
+use dss_strkit::StringSet;
+
+fn fp_to_bytes(fp: &MultisetFingerprint) -> Vec<u8> {
+    let mut v = Vec::with_capacity(24);
+    v.extend_from_slice(&fp.sum.to_le_bytes());
+    v.extend_from_slice(&fp.sum_sq.to_le_bytes());
+    v.extend_from_slice(&fp.count.to_le_bytes());
+    v
+}
+
+fn fp_from_bytes(b: &[u8]) -> MultisetFingerprint {
+    MultisetFingerprint {
+        sum: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+        sum_sq: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+        count: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+    }
+}
+
+fn allreduce_fp(comm: &Comm, fp: MultisetFingerprint) -> MultisetFingerprint {
+    let out = comm.allreduce(fp_to_bytes(&fp), |a, b| {
+        fp_to_bytes(&fp_from_bytes(&a).combine(fp_from_bytes(&b)))
+    });
+    fp_from_bytes(&out)
+}
+
+/// Checks global sortedness of the per-PE outputs (strings on PE i ≤
+/// strings on PE i+1, empty PEs skipped) plus local sortedness.
+pub fn check_global_order(comm: &Comm, set: &StringSet) -> Result<(), String> {
+    if !dss_strkit::checker::is_sorted(set) {
+        return Err(format!("PE {}: local output not sorted", comm.rank()));
+    }
+    // Gossip boundary strings: [has_data, first, last] in a tiny frame.
+    let mut frame = Vec::new();
+    if set.is_empty() {
+        frame.push(0u8);
+    } else {
+        frame.push(1u8);
+        let first = set.get(0);
+        let last = set.get(set.len() - 1);
+        frame.extend_from_slice(&(first.len() as u32).to_le_bytes());
+        frame.extend_from_slice(first);
+        frame.extend_from_slice(&(last.len() as u32).to_le_bytes());
+        frame.extend_from_slice(last);
+    }
+    let frames = comm.allgatherv(frame);
+    let mut prev_last: Option<Vec<u8>> = None;
+    for (rank, f) in frames.iter().enumerate() {
+        if f[0] == 0 {
+            continue;
+        }
+        let flen = u32::from_le_bytes(f[1..5].try_into().expect("4 bytes")) as usize;
+        let first = &f[5..5 + flen];
+        let llen_at = 5 + flen;
+        let llen =
+            u32::from_le_bytes(f[llen_at..llen_at + 4].try_into().expect("4 bytes")) as usize;
+        let last = &f[llen_at + 4..llen_at + 4 + llen];
+        if let Some(pl) = &prev_last {
+            if pl.as_slice() > first {
+                return Err(format!(
+                    "global order violated before PE {rank}: {:?} > {:?}",
+                    String::from_utf8_lossy(pl),
+                    String::from_utf8_lossy(first)
+                ));
+            }
+        }
+        prev_last = Some(last.to_vec());
+    }
+    Ok(())
+}
+
+/// Full distributed check of a sort result against the original input
+/// shard. Collective: every PE calls it with its own input/output pair.
+pub fn check_distributed_sort(
+    comm: &Comm,
+    input: &StringSet,
+    output: &SortedRun,
+) -> Result<(), String> {
+    check_global_order(comm, &output.set)?;
+    if let Some(l) = &output.lcps {
+        dss_strkit::lcp::verify_lcp_array(&output.set, l)
+            .map_err(|e| format!("PE {}: {e}", comm.rank()))?;
+    }
+    match &output.origins {
+        None => {
+            // Plain sort: multiset preserved.
+            let in_fp = allreduce_fp(comm, MultisetFingerprint::of(input));
+            let out_fp = allreduce_fp(comm, MultisetFingerprint::of(&output.set));
+            if in_fp != out_fp {
+                return Err(format!(
+                    "global multiset mismatch: {} strings in, {} out",
+                    in_fp.count, out_fp.count
+                ));
+            }
+        }
+        Some(origins) => {
+            // PDMS: origin tags must form {(pe, 0..n_pe)} exactly. Both
+            // sides are commutative sums of mixed tags.
+            let mut got = MultisetFingerprint::default();
+            for &tag in origins {
+                got.add_str(&mix64(tag).to_le_bytes());
+            }
+            let mut want = MultisetFingerprint::default();
+            for i in 0..input.len() {
+                want.add_str(&mix64(origin_tag(comm.rank(), i)).to_le_bytes());
+            }
+            let got = allreduce_fp(comm, got);
+            let want = allreduce_fp(comm, want);
+            if got != want {
+                return Err(format!(
+                    "origin permutation mismatch: {} tags vs {} strings",
+                    got.count, want.count
+                ));
+            }
+            // Each prefix must be a prefix of *some* string; locally we
+            // can at least validate tags pointing at this PE.
+            if let Some(store) = &output.local_store {
+                for (i, &tag) in origins.iter().enumerate() {
+                    let (pe, idx) = crate::output::origin_parts(tag);
+                    if pe == comm.rank() {
+                        if idx >= store.len() {
+                            return Err(format!("origin index {idx} out of range"));
+                        }
+                        if !store.get(idx).starts_with(output.set.get(i)) {
+                            return Err("prefix does not match its origin string".into());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(30),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn accepts_correct_results_of_all_algorithms() {
+        for alg in Algorithm::all_paper() {
+            let res = run_spmd(4, cfg_run(), move |comm| {
+                let mut set = StringSet::new();
+                for i in 0..50u32 {
+                    set.push(format!("w{:03}", (i * 7 + comm.rank() as u32 * 13) % 97).as_bytes());
+                }
+                let input = set.clone();
+                let out = alg.instance().sort(comm, set);
+                check_distributed_sort(comm, &input, &out).map_err(|e| format!("{alg:?}: {e}"))
+            });
+            for v in res.values {
+                v.expect("checker accepts");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unsorted_output() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let input = StringSet::from_strs(&["a", "b"]);
+            let bad = SortedRun::plain(StringSet::from_strs(&["b", "a"]));
+            check_distributed_sort(comm, &input, &bad).is_err()
+        });
+        assert!(res.values.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn rejects_wrong_boundaries() {
+        // Locally sorted but globally out of order.
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let input = StringSet::from_strs(&["a", "z"]);
+            let out = if comm.rank() == 0 {
+                SortedRun::plain(StringSet::from_strs(&["z", "z"]))
+            } else {
+                SortedRun::plain(StringSet::from_strs(&["a", "a"]))
+            };
+            check_distributed_sort(comm, &input, &out).is_err()
+        });
+        assert!(res.values.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn rejects_lost_strings() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let input = StringSet::from_strs(&["a", "b", "c"]);
+            // One string vanished.
+            let out = SortedRun::plain(StringSet::from_strs(&["a", "b"]));
+            check_distributed_sort(comm, &input, &out).is_err()
+        });
+        assert!(res.values.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn rejects_broken_origin_permutation() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let input = StringSet::from_strs(&["a", "b"]);
+            let mut out = SortedRun::plain(StringSet::from_strs(&["a", "b"]));
+            // Duplicate tag 0, missing tag 1.
+            out.origins = Some(vec![origin_tag(comm.rank(), 0), origin_tag(comm.rank(), 0)]);
+            check_distributed_sort(comm, &input, &out).is_err()
+        });
+        assert!(res.values.iter().all(|&v| v));
+    }
+}

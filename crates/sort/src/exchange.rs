@@ -1,0 +1,369 @@
+//! Step 3 of the merge-based algorithms: the personalized all-to-all
+//! string exchange, with the paper's LCP compression, plus the shared
+//! "merge the received runs" step 4.
+//!
+//! Because every bucket is a contiguous slice of the *sorted* local set,
+//! its run-local LCP array is just the corresponding slice of the local
+//! LCP array (first entry zeroed). LCP compression then transmits each
+//! string as `(lcp, suffix)` — repeated prefixes cross the wire exactly
+//! once (Fig. 2, step 3). PDMS additionally truncates every string to its
+//! approximated distinguishing prefix and tags it with an origin.
+
+use crate::output::SortedRun;
+use dss_codec::wire::{self, DecodedRun};
+use dss_net::Comm;
+use dss_strkit::losertree::{LcpLoserTree, LoserTree, MergeRun};
+use dss_strkit::{StrRef, StringSet};
+
+/// Wire format of the exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeCodec {
+    /// Full strings, no LCP data (FKmerge, MS-simple, hQuick).
+    Plain,
+    /// First string full, rest as (lcp, suffix) — Algorithm MS.
+    #[default]
+    LcpCompressed,
+    /// Like `LcpCompressed` with difference-coded LCP values (§VI-B).
+    LcpDelta,
+}
+
+/// Everything the exchange needs to know about the local buckets.
+pub struct ExchangeInput<'a> {
+    /// Sorted local set.
+    pub set: &'a StringSet,
+    /// Its LCP array.
+    pub lcps: &'a [u32],
+    /// Bucket boundaries from [`crate::partition::bucket_bounds`].
+    pub bounds: &'a [usize],
+    /// Per-string origin tags to ship along (PDMS).
+    pub origins: Option<&'a [u64]>,
+    /// Per-string transmit lengths (PDMS: approximate distinguishing
+    /// prefixes). `None` sends full strings.
+    pub truncate: Option<&'a [u32]>,
+}
+
+impl<'a> ExchangeInput<'a> {
+    fn send_len(&self, i: usize) -> usize {
+        let full = self.set.get(i).len();
+        match self.truncate {
+            Some(t) => (t[i] as usize).min(full),
+            None => full,
+        }
+    }
+}
+
+/// Serializes and exchanges all buckets; returns the decoded runs indexed
+/// by source PE. Each run is sorted and carries its exact LCP array when
+/// an LCP codec is used.
+pub fn exchange_buckets(
+    comm: &Comm,
+    input: &ExchangeInput<'_>,
+    codec: ExchangeCodec,
+) -> Vec<DecodedRun> {
+    let p = comm.size();
+    debug_assert_eq!(input.bounds.len(), p + 1);
+    debug_assert_eq!(input.lcps.len(), input.set.len());
+    let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
+    for dest in 0..p {
+        let (lo, hi) = (input.bounds[dest], input.bounds[dest + 1]);
+        let mut buf = Vec::new();
+        let origins_slice: Option<Vec<u64>> = input.origins.map(|o| o[lo..hi].to_vec());
+        match codec {
+            ExchangeCodec::Plain => {
+                let strings = (lo..hi).map(|i| &input.set.get(i)[..input.send_len(i)]);
+                wire::encode_plain(
+                    ExactIter::new(strings, hi - lo),
+                    origins_slice.as_deref(),
+                    &mut buf,
+                );
+            }
+            ExchangeCodec::LcpCompressed | ExchangeCodec::LcpDelta => {
+                // Run-local LCPs: slice of the global array, truncated to
+                // the transmitted lengths, first entry 0.
+                let run_lcps: Vec<u32> = (lo..hi)
+                    .enumerate()
+                    .map(|(k, i)| {
+                        if k == 0 {
+                            0
+                        } else {
+                            input.lcps[i]
+                                .min(input.send_len(i - 1) as u32)
+                                .min(input.send_len(i) as u32)
+                        }
+                    })
+                    .collect();
+                let strings = (lo..hi).map(|i| &input.set.get(i)[..input.send_len(i)]);
+                wire::encode_lcp(
+                    ExactIter::new(strings, hi - lo),
+                    &run_lcps,
+                    origins_slice.as_deref(),
+                    codec == ExchangeCodec::LcpDelta,
+                    &mut buf,
+                );
+            }
+        }
+        msgs.push(buf);
+    }
+    comm.alltoallv(msgs)
+        .into_iter()
+        .map(|buf| {
+            let mut pos = 0;
+            match codec {
+                ExchangeCodec::Plain => wire::decode_plain(&buf, &mut pos),
+                _ => wire::decode_lcp(&buf, &mut pos),
+            }
+            .expect("well-formed exchange run")
+        })
+        .collect()
+}
+
+/// Adapter: attach an exact size to any iterator (the wire encoder needs
+/// `ExactSizeIterator` and range-map chains lose it).
+struct ExactIter<I> {
+    inner: I,
+    remaining: usize,
+}
+
+impl<I> ExactIter<I> {
+    fn new(inner: I, len: usize) -> Self {
+        Self {
+            inner,
+            remaining: len,
+        }
+    }
+}
+
+impl<'a, I: Iterator<Item = &'a [u8]>> Iterator for ExactIter<I> {
+    type Item = &'a [u8];
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let v = self.inner.next();
+        if v.is_some() {
+            self.remaining -= 1;
+        }
+        v
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, I: Iterator<Item = &'a [u8]>> ExactSizeIterator for ExactIter<I> {}
+
+/// Merges received runs with the LCP loser tree. Returns the local
+/// output with its exact LCP array (and merged origin tags if present).
+pub fn merge_received_lcp(runs: &[DecodedRun]) -> SortedRun {
+    let ref_vecs: Vec<Vec<StrRef>> = runs.iter().map(run_refs).collect();
+    let views: Vec<MergeRun<'_>> = runs
+        .iter()
+        .zip(&ref_vecs)
+        .map(|(r, refs)| MergeRun {
+            arena: &r.data,
+            refs,
+            lcps: &r.lcps,
+        })
+        .collect();
+    let mut out = StringSet::new();
+    let merged = LcpLoserTree::new(views).merge_into(&mut out);
+    let origins = collect_origins(runs, &merged.sources);
+    SortedRun {
+        set: out,
+        lcps: merged.lcps,
+        origins,
+        local_store: None,
+    }
+}
+
+/// Merges received runs with the plain loser tree (no LCP information).
+pub fn merge_received_plain(runs: &[DecodedRun]) -> SortedRun {
+    let ref_vecs: Vec<Vec<StrRef>> = runs.iter().map(run_refs).collect();
+    let views: Vec<MergeRun<'_>> = runs
+        .iter()
+        .zip(&ref_vecs)
+        .map(|(r, refs)| MergeRun {
+            arena: &r.data,
+            refs,
+            lcps: &r.lcps,
+        })
+        .collect();
+    let mut out = StringSet::new();
+    let merged = LoserTree::new(views).merge_into(&mut out);
+    let origins = collect_origins(runs, &merged.sources);
+    SortedRun {
+        set: out,
+        lcps: None,
+        origins,
+        local_store: None,
+    }
+}
+
+fn run_refs(run: &DecodedRun) -> Vec<StrRef> {
+    run.bounds
+        .iter()
+        .map(|&(off, len)| StrRef {
+            begin: u32::try_from(off).expect("run under 4 GiB"),
+            len: u32::try_from(len).expect("string under 4 GiB"),
+        })
+        .collect()
+}
+
+fn collect_origins(runs: &[DecodedRun], sources: &[(u32, u32)]) -> Option<Vec<u64>> {
+    if runs.iter().any(|r| r.origins.is_none()) {
+        return None;
+    }
+    Some(
+        sources
+            .iter()
+            .map(|&(run, idx)| runs[run as usize].origins.as_ref().expect("checked")[idx as usize])
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::bucket_bounds;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use dss_strkit::sort::sort_with_lcp;
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(30),
+            ..RunConfig::default()
+        }
+    }
+
+    /// Two PEs swap their buckets and each merges; the concatenation must
+    /// be the global sorted order, for every codec.
+    fn roundtrip(codec: ExchangeCodec, lcp_merge: bool) {
+        let res = run_spmd(2, cfg_run(), move |comm| {
+            let mut set = if comm.rank() == 0 {
+                StringSet::from_strs(&["snow", "alpha", "sorted", "algae"])
+            } else {
+                StringSet::from_strs(&["sorter", "alps", "orange", "algo"])
+            };
+            let lcps = sort_with_lcp(&mut set).0;
+            let splitters = StringSet::from_strs(&["oo"]);
+            let bounds = bucket_bounds(&set, &splitters);
+            let runs = exchange_buckets(
+                comm,
+                &ExchangeInput {
+                    set: &set,
+                    lcps: &lcps,
+                    bounds: &bounds,
+                    origins: None,
+                    truncate: None,
+                },
+                codec,
+            );
+            let merged = if lcp_merge {
+                merge_received_lcp(&runs)
+            } else {
+                merge_received_plain(&runs)
+            };
+            if let Some(l) = &merged.lcps {
+                dss_strkit::lcp::verify_lcp_array(&merged.set, l).expect("merged lcps");
+            }
+            merged.set.to_vecs()
+        });
+        let all: Vec<Vec<u8>> = res.values.into_iter().flatten().collect();
+        let mut expect: Vec<&str> = vec![
+            "snow", "alpha", "sorted", "algae", "sorter", "alps", "orange", "algo",
+        ];
+        expect.sort_unstable();
+        assert_eq!(
+            all,
+            expect.iter().map(|s| s.as_bytes().to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        roundtrip(ExchangeCodec::Plain, false);
+    }
+
+    #[test]
+    fn lcp_roundtrip() {
+        roundtrip(ExchangeCodec::LcpCompressed, true);
+    }
+
+    #[test]
+    fn lcp_delta_roundtrip() {
+        roundtrip(ExchangeCodec::LcpDelta, true);
+    }
+
+    #[test]
+    fn lcp_compression_sends_fewer_bytes_on_shared_prefixes() {
+        let run = |codec: ExchangeCodec| -> u64 {
+            let res = run_spmd(2, cfg_run(), move |comm| {
+                // Long shared prefixes within each bucket; every string is
+                // destined for the *other* PE so the data actually travels.
+                let mut set = StringSet::new();
+                for i in 0..200u32 {
+                    set.push(
+                        format!("shared_prefix_{:02}_{:03}", 1 - comm.rank(), i).as_bytes(),
+                    );
+                }
+                let lcps = sort_with_lcp(&mut set).0;
+                let splitters = StringSet::from_strs(&["shared_prefix_00_z"]);
+                let bounds = bucket_bounds(&set, &splitters);
+                comm.set_phase("exchange");
+                let _ = exchange_buckets(
+                    comm,
+                    &ExchangeInput {
+                        set: &set,
+                        lcps: &lcps,
+                        bounds: &bounds,
+                        origins: None,
+                        truncate: None,
+                    },
+                    codec,
+                );
+            });
+            res.stats
+                .phases
+                .iter()
+                .find(|p| p.name == "exchange")
+                .expect("phase")
+                .total
+                .bytes_sent
+        };
+        let plain = run(ExchangeCodec::Plain);
+        let compressed = run(ExchangeCodec::LcpCompressed);
+        assert!(
+            compressed * 2 < plain,
+            "lcp-compressed {compressed} vs plain {plain}"
+        );
+    }
+
+    #[test]
+    fn truncation_limits_transmitted_prefixes() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let mut set = StringSet::new();
+            for i in 0..50u32 {
+                set.push(format!("{:02}_plus_long_tail_that_should_not_travel", i + 50 * comm.rank() as u32).as_bytes());
+            }
+            let lcps = sort_with_lcp(&mut set).0;
+            let trunc: Vec<u32> = vec![3; set.len()];
+            let origins: Vec<u64> = (0..set.len() as u64).collect();
+            let splitters = StringSet::from_strs(&["50"]);
+            let bounds = bucket_bounds(&set, &splitters);
+            let runs = exchange_buckets(
+                comm,
+                &ExchangeInput {
+                    set: &set,
+                    lcps: &lcps,
+                    bounds: &bounds,
+                    origins: Some(&origins),
+                    truncate: Some(&trunc),
+                },
+                ExchangeCodec::LcpCompressed,
+            );
+            let merged = merge_received_lcp(&runs);
+            assert!(merged.set.iter().all(|s| s.len() == 3));
+            assert_eq!(merged.origins.as_ref().map(Vec::len), Some(merged.set.len()));
+            merged.set.len()
+        });
+        assert_eq!(res.values.iter().sum::<usize>(), 100);
+    }
+}

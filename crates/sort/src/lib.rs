@@ -1,0 +1,120 @@
+//! # dss-sort — distributed string sorting (the paper's contribution)
+//!
+//! The six algorithms evaluated in §VII, over the [`dss_net`] runtime:
+//!
+//! | algorithm | module | paper | idea |
+//! |---|---|---|---|
+//! | `hQuick` | [`hquick`] | §IV | hypercube atomic quicksort adapted to strings: polylog latency, moves all data log p times |
+//! | `FKmerge` | [`fkmerge`] | §II-C, [15] | Fischer–Kurpicz mergesort: deterministic sampling, centralized sample sort, plain loser tree |
+//! | `MS-simple` | [`ms`] | §V | distributed string mergesort without LCP optimizations |
+//! | `MS` | [`ms`] | §V | + LCP compression on the wire and LCP loser-tree merge |
+//! | `PDMS` | [`pdms`] | §VI | + prefix doubling: transmit only (approximate) distinguishing prefixes |
+//! | `PDMS-Golomb` | [`pdms`] | §VI-A | + Golomb-coded fingerprint traffic in the duplicate detection |
+//!
+//! Supporting modules: [`partition`] (string- and character-based regular
+//! sampling, Theorems 2 and 3), [`exchange`] (the all-to-all with the wire
+//! codecs), [`checker`] (distributed result validation), [`output`]
+//! (result types).
+//!
+//! ## Example
+//!
+//! ```
+//! use dss_net::runner::{run_spmd, RunConfig};
+//! use dss_sort::{Algorithm, DistSorter};
+//! use dss_strkit::StringSet;
+//!
+//! let res = run_spmd(4, RunConfig::default(), |comm| {
+//!     let shard = match comm.rank() {
+//!         0 => StringSet::from_strs(&["alpha", "order", "alps"]),
+//!         1 => StringSet::from_strs(&["algae", "sorter", "snow"]),
+//!         2 => StringSet::from_strs(&["algo", "sorbet", "sorted"]),
+//!         _ => StringSet::from_strs(&["orange", "soul", "organ"]),
+//!     };
+//!     let sorter = Algorithm::Ms.instance();
+//!     let out = sorter.sort(comm, shard);
+//!     out.set.to_vecs()
+//! });
+//! // Concatenating the per-PE outputs yields the globally sorted set.
+//! let all: Vec<Vec<u8>> = res.values.into_iter().flatten().collect();
+//! assert!(all.windows(2).all(|w| w[0] <= w[1]));
+//! assert_eq!(all.len(), 12);
+//! ```
+
+pub mod checker;
+pub mod exchange;
+pub mod fkmerge;
+pub mod hquick;
+pub mod ms;
+pub mod output;
+pub mod partition;
+pub mod pdms;
+
+pub use exchange::ExchangeCodec;
+pub use fkmerge::FkMerge;
+pub use hquick::HQuick;
+pub use ms::{Ms, MsConfig};
+pub use output::SortedRun;
+pub use partition::{PartitionConfig, SamplingPolicy};
+pub use pdms::{Pdms, PdmsConfig};
+
+use dss_net::Comm;
+use dss_strkit::StringSet;
+
+/// A distributed string sorter: every PE calls [`DistSorter::sort`] with
+/// its local shard; afterwards PE i's output precedes PE i+1's and is
+/// locally sorted.
+pub trait DistSorter: Send + Sync {
+    /// Algorithm label (as used in the paper's plots).
+    fn name(&self) -> &'static str;
+    /// Collective sort. Consumes the local shard.
+    fn sort(&self, comm: &Comm, input: StringSet) -> SortedRun;
+}
+
+/// The named algorithm set of the evaluation (§VII-C), for harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    FkMerge,
+    HQuick,
+    MsSimple,
+    Ms,
+    PdmsGolomb,
+    Pdms,
+}
+
+impl Algorithm {
+    /// All six algorithms, in the paper's plot order.
+    pub fn all_paper() -> [Algorithm; 6] {
+        [
+            Algorithm::FkMerge,
+            Algorithm::HQuick,
+            Algorithm::MsSimple,
+            Algorithm::Ms,
+            Algorithm::PdmsGolomb,
+            Algorithm::Pdms,
+        ]
+    }
+
+    /// Instantiates the sorter with its paper-default configuration.
+    pub fn instance(&self) -> Box<dyn DistSorter> {
+        match self {
+            Algorithm::FkMerge => Box::new(FkMerge::default()),
+            Algorithm::HQuick => Box::new(HQuick::default()),
+            Algorithm::MsSimple => Box::new(Ms::simple()),
+            Algorithm::Ms => Box::new(Ms::default()),
+            Algorithm::PdmsGolomb => Box::new(Pdms::golomb()),
+            Algorithm::Pdms => Box::new(Pdms::default()),
+        }
+    }
+
+    /// Plot label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::FkMerge => "FKmerge",
+            Algorithm::HQuick => "hQuick",
+            Algorithm::MsSimple => "MS-simple",
+            Algorithm::Ms => "MS",
+            Algorithm::PdmsGolomb => "PDMS-Golomb",
+            Algorithm::Pdms => "PDMS",
+        }
+    }
+}

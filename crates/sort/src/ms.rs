@@ -1,0 +1,248 @@
+//! Algorithm MS — Distributed String Merge Sort (§V), and its stripped
+//! variant MS-simple.
+//!
+//! The four steps of Fig. 1, each with the paper's string-specific
+//! augmentation:
+//!
+//! 1. **sort locally**, producing the LCP array as a by-product;
+//! 2. **partition**: regular sampling (string- or character-based,
+//!    Theorems 2/3), sample sorted *distributed* with hQuick (saving the
+//!    factor-p sample blowup of FKmerge), splitters gossiped;
+//! 3. **all-to-all exchange**, with LCP compression (repeated prefixes
+//!    travel once) — MS-simple skips this and ships plain strings;
+//! 4. **multiway merge** with the LCP loser tree (MS) or a plain loser
+//!    tree (MS-simple).
+
+use crate::exchange::{
+    exchange_buckets, merge_received_lcp, merge_received_plain, ExchangeCodec, ExchangeInput,
+};
+use crate::output::SortedRun;
+use crate::partition::{self, PartitionConfig};
+use crate::DistSorter;
+use dss_net::Comm;
+use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::StringSet;
+
+/// Configuration of Algorithm MS.
+#[derive(Debug, Clone, Copy)]
+pub struct MsConfig {
+    /// LCP compression + LCP-aware merge (false ⇒ MS-simple).
+    pub lcp: bool,
+    /// Difference-code the LCP values on the wire (§VI-B extension).
+    pub delta_lcps: bool,
+    /// Sampling/splitter policy.
+    pub partition: PartitionConfig,
+}
+
+impl Default for MsConfig {
+    fn default() -> Self {
+        Self {
+            lcp: true,
+            delta_lcps: false,
+            partition: PartitionConfig::default(),
+        }
+    }
+}
+
+/// Distributed String Merge Sort.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Ms {
+    pub cfg: MsConfig,
+}
+
+impl Ms {
+    /// MS-simple: "no LCP related optimizations at all".
+    pub fn simple() -> Self {
+        Self {
+            cfg: MsConfig {
+                lcp: false,
+                ..MsConfig::default()
+            },
+        }
+    }
+
+    /// MS with a custom configuration.
+    pub fn with_config(cfg: MsConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl DistSorter for Ms {
+    fn name(&self) -> &'static str {
+        if self.cfg.lcp {
+            "MS"
+        } else {
+            "MS-simple"
+        }
+    }
+
+    fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        comm.set_phase("local_sort");
+        let (lcps, _) = sort_with_lcp(&mut input);
+        if comm.size() == 1 {
+            return SortedRun {
+                lcps: self.cfg.lcp.then_some(lcps),
+                set: input,
+                origins: None,
+                local_store: None,
+            };
+        }
+        comm.set_phase("partition");
+        let bounds = partition::partition(comm, &input, &self.cfg.partition, None, None);
+        comm.set_phase("exchange");
+        let codec = match (self.cfg.lcp, self.cfg.delta_lcps) {
+            (false, _) => ExchangeCodec::Plain,
+            (true, false) => ExchangeCodec::LcpCompressed,
+            (true, true) => ExchangeCodec::LcpDelta,
+        };
+        let runs = exchange_buckets(
+            comm,
+            &ExchangeInput {
+                set: &input,
+                lcps: &lcps,
+                bounds: &bounds,
+                origins: None,
+                truncate: None,
+            },
+            codec,
+        );
+        comm.set_phase("merge");
+        if self.cfg.lcp {
+            merge_received_lcp(&runs)
+        } else {
+            merge_received_plain(&runs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::SamplingPolicy;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use rand::prelude::*;
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(30),
+            ..RunConfig::default()
+        }
+    }
+
+    fn check(p: usize, shards: Vec<Vec<Vec<u8>>>, sorter: Ms) {
+        let mut expect: Vec<Vec<u8>> = shards.iter().flatten().cloned().collect();
+        expect.sort();
+        let shards_ref = &shards;
+        let res = run_spmd(p, cfg_run(), move |comm| {
+            let set =
+                StringSet::from_iter_bytes(shards_ref[comm.rank()].iter().map(|s| s.as_slice()));
+            let out = sorter.sort(comm, set);
+            if let Some(l) = &out.lcps {
+                dss_strkit::lcp::verify_lcp_array(&out.set, l).expect("output lcps");
+            }
+            out.set.to_vecs()
+        });
+        let got: Vec<Vec<u8>> = res.values.into_iter().flatten().collect();
+        assert_eq!(got, expect);
+    }
+
+    fn random_shards(p: usize, n: usize, seed: u64) -> Vec<Vec<Vec<u8>>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        let len = rng.gen_range(0..14);
+                        (0..len).map(|_| rng.gen_range(b'a'..=b'e')).collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ms_sorts_various_pe_counts() {
+        for p in [1usize, 2, 3, 4, 6] {
+            check(p, random_shards(p, 70, p as u64), Ms::default());
+        }
+    }
+
+    #[test]
+    fn ms_simple_sorts() {
+        for p in [2usize, 4] {
+            check(p, random_shards(p, 60, 100 + p as u64), Ms::simple());
+        }
+    }
+
+    #[test]
+    fn ms_with_char_sampling_sorts() {
+        let sorter = Ms::with_config(MsConfig {
+            partition: PartitionConfig {
+                policy: SamplingPolicy::Chars,
+                ..PartitionConfig::default()
+            },
+            ..MsConfig::default()
+        });
+        check(4, random_shards(4, 80, 7), sorter);
+    }
+
+    #[test]
+    fn ms_with_delta_lcps_sorts() {
+        let sorter = Ms::with_config(MsConfig {
+            delta_lcps: true,
+            ..MsConfig::default()
+        });
+        check(3, random_shards(3, 60, 8), sorter);
+    }
+
+    #[test]
+    fn ms_with_central_sample_sort_sorts() {
+        let sorter = Ms::with_config(MsConfig {
+            partition: PartitionConfig {
+                central_sample_sort: true,
+                ..PartitionConfig::default()
+            },
+            ..MsConfig::default()
+        });
+        check(3, random_shards(3, 60, 9), sorter);
+    }
+
+    #[test]
+    fn handles_duplicates_and_empties() {
+        let mut shards = random_shards(4, 0, 10);
+        shards[1] = vec![b"dup".to_vec(); 120];
+        shards[3] = vec![b"dup".to_vec(); 40];
+        check(4, shards, Ms::default());
+    }
+
+    #[test]
+    fn output_lcps_cross_run_boundaries_correctly() {
+        // Strings interleave across PEs so the merge must compute LCPs
+        // between strings from different source runs.
+        let shards = vec![
+            vec![b"aaa1".to_vec(), b"aab1".to_vec(), b"zzz1".to_vec()],
+            vec![b"aaa2".to_vec(), b"aab2".to_vec(), b"zzz2".to_vec()],
+        ];
+        check(2, shards, Ms::default());
+    }
+
+    #[test]
+    fn ms_sends_fewer_bytes_than_ms_simple_on_high_lcp_input() {
+        let run = |sorter: Ms| -> u64 {
+            let res = run_spmd(2, cfg_run(), move |comm| {
+                let mut set = StringSet::new();
+                for i in 0..300u32 {
+                    set.push(format!("very_long_common_prefix_block_{:04}", i).as_bytes());
+                }
+                let r = comm.rank() as u32;
+                set.push(format!("tail{r}").as_bytes());
+                let _ = sorter.sort(comm, set);
+            });
+            res.stats.total_bytes_sent()
+        };
+        let simple = run(Ms::simple());
+        let full = run(Ms::default());
+        assert!(full < simple, "MS {full} should be < MS-simple {simple}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Result types of the distributed sorters.
+
+use dss_strkit::StringSet;
+
+/// Builds the origin tag PDMS attaches to each transmitted prefix:
+/// `(source PE, index within the source's sorted local set)`.
+pub fn origin_tag(pe: usize, idx: usize) -> u64 {
+    debug_assert!(idx < (1 << 40));
+    ((pe as u64) << 40) | idx as u64
+}
+
+/// Decomposes an origin tag.
+pub fn origin_parts(tag: u64) -> (usize, usize) {
+    ((tag >> 40) as usize, (tag & ((1 << 40) - 1)) as usize)
+}
+
+/// Per-PE output of a distributed sort.
+///
+/// Concatenated over PEs in rank order, `set` is globally sorted. For the
+/// merge-based algorithms `lcps` is the exact LCP array of the local
+/// output (with `lcps[0] = 0`, i.e. ⊥ at each PE boundary).
+///
+/// PDMS "only computes the permutation without completely executing it"
+/// (§VI): `set` then holds the *approximate distinguishing prefixes*, the
+/// `origins` say where each full string lives, and `local_store` keeps
+/// this PE's full strings (sorted) so that remote suffixes remain
+/// queryable — the paper's remembered-origin API.
+pub struct SortedRun {
+    /// Locally sorted output strings (full strings, or distinguishing
+    /// prefixes for PDMS).
+    pub set: StringSet,
+    /// LCP array of `set` if the algorithm produces one.
+    pub lcps: Option<Vec<u32>>,
+    /// Origin tags parallel to `set` (PDMS only).
+    pub origins: Option<Vec<u64>>,
+    /// This PE's full input strings in sorted order (PDMS only), indexed
+    /// by the position part of origin tags held by *other* PEs.
+    pub local_store: Option<StringSet>,
+}
+
+impl SortedRun {
+    /// A plain result with no LCP/origin information.
+    pub fn plain(set: StringSet) -> Self {
+        Self {
+            set,
+            lcps: None,
+            origins: None,
+            local_store: None,
+        }
+    }
+
+    /// Number of output strings on this PE.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether this PE's output is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_tags_roundtrip() {
+        for (pe, idx) in [(0usize, 0usize), (3, 17), (1023, (1 << 40) - 1)] {
+            assert_eq!(origin_parts(origin_tag(pe, idx)), (pe, idx));
+        }
+    }
+}

@@ -1,0 +1,669 @@
+//! Splitter determination and bucket boundaries (§V-A).
+//!
+//! After local sorting, p−1 global splitters f₁ < … < f_{p−1} partition the
+//! data: PE i receives bucket bᵢ = { s | fᵢ < s ≤ fᵢ₊₁ }. Because the
+//! local sets are sorted, *regular sampling* applies:
+//!
+//! * **String-based** (Theorem 2): v evenly spaced strings per PE; every
+//!   bucket ends up with ≤ n/p + n/v strings.
+//! * **Character-based** (Theorem 3): sample strings at evenly spaced
+//!   *character* ranks; every bucket gets ≤ N/p + N/v + (p+v)·ℓ̂
+//!   characters — the variant that survives skewed length distributions.
+//! * **Distinguishing-prefix-based** (§VI): character-based over the
+//!   approximated distinguishing prefix lengths, balancing the work that
+//!   actually matters for PDMS; samples are truncated to their prefix.
+//!
+//! The pv samples are sorted either **centrally** (gather on PE 0 — the
+//! Fischer–Kurpicz bottleneck, kept for the baseline) or **distributed**
+//! with hQuick, after which the p−1 order statistics at ranks v, 2v, … are
+//! extracted and gossiped to everyone.
+
+use crate::hquick;
+use dss_codec::wire;
+use dss_net::Comm;
+use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::{lcp, StringSet};
+
+/// Which quantity regular sampling balances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingPolicy {
+    /// Balance string counts (Theorem 2).
+    Strings,
+    /// Balance character counts (Theorem 3).
+    Chars,
+    /// Balance distinguishing-prefix characters (PDMS; needs `weights`).
+    DistPrefix,
+}
+
+/// Sampling/splitter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionConfig {
+    pub policy: SamplingPolicy,
+    /// Oversampling factor v (samples per PE); 0 ⇒ auto (`max(2, p)`,
+    /// the Θ(p) choice of Theorems 2–4).
+    pub oversampling: usize,
+    /// Sort the sample centrally on PE 0 (FKmerge-style) instead of with
+    /// distributed hQuick.
+    pub central_sample_sort: bool,
+    /// Random instead of regular sampling — §VIII future work: "this
+    /// requires less samples and, in expectation, the sample strings have
+    /// average length rather than ℓ̂".
+    pub random_sampling: bool,
+    /// Split runs of strings equal to a splitter across the adjacent
+    /// buckets instead of sending them all left — §VIII future work:
+    /// "remove load balancing problems due to duplicate strings by tie
+    /// breaking techniques". Sortedness is preserved because the spread
+    /// strings are all equal.
+    pub duplicate_tie_break: bool,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            policy: SamplingPolicy::Strings,
+            oversampling: 0,
+            central_sample_sort: false,
+            random_sampling: false,
+            duplicate_tie_break: false,
+        }
+    }
+}
+
+impl PartitionConfig {
+    fn v(&self, p: usize) -> usize {
+        if self.oversampling == 0 {
+            p.max(2)
+        } else {
+            self.oversampling
+        }
+    }
+}
+
+/// Draws this PE's regular sample from its **sorted** local set.
+///
+/// `weights[i]` is the per-string balance weight: 1 for string-based
+/// sampling, the length for character-based, the approximate
+/// distinguishing prefix length for PDMS. `truncate_to` trims the sampled
+/// strings (PDMS sends splitters of length ≤ d̂).
+fn draw_sample(
+    set: &StringSet,
+    v: usize,
+    policy: SamplingPolicy,
+    weights: Option<&[u32]>,
+    truncate_to: Option<&[u32]>,
+    rng: Option<&mut dss_net::SplitMix64>,
+) -> StringSet {
+    let n = set.len();
+    let mut sample = StringSet::new();
+    if n == 0 {
+        return sample;
+    }
+    let push_sample = |sample: &mut StringSet, i: usize| {
+        let s = set.get(i);
+        let cut = truncate_to
+            .map(|t| (t[i] as usize).min(s.len()))
+            .unwrap_or(s.len());
+        sample.push(&s[..cut]);
+    };
+    if let Some(rng) = rng {
+        // Random sampling (§VIII): v uniform picks, in sorted order so the
+        // downstream machinery sees a sorted sample run.
+        let mut idxs: Vec<usize> = (0..v).map(|_| rng.next_index(n)).collect();
+        idxs.sort_unstable();
+        for i in idxs {
+            push_sample(&mut sample, i);
+        }
+        return sample;
+    }
+    match policy {
+        SamplingPolicy::Strings => {
+            // The paper's regular sampling: Sᵢ[ω·j − 1] with ω = n/(v+1)
+            // (generalised to ⌊j·n/(v+1)⌋ − 1 for non-divisible n).
+            for j in 1..=v {
+                let idx = ((j * n) / (v + 1)).saturating_sub(1);
+                push_sample(&mut sample, idx.min(n - 1));
+            }
+        }
+        SamplingPolicy::Chars | SamplingPolicy::DistPrefix => {
+            let w = |i: usize| -> u64 {
+                match weights {
+                    Some(ws) => ws[i] as u64,
+                    None => set.get(i).len() as u64,
+                }
+            };
+            let total: u64 = (0..n).map(w).sum();
+            if total == 0 {
+                // Degenerate (all-empty strings): fall back to string-based.
+                return draw_sample(set, v, SamplingPolicy::Strings, None, truncate_to, None);
+            }
+            // First string starting at or after char rank j·ω′.
+            let mut cum = 0u64;
+            let mut i = 0usize;
+            for j in 1..=v {
+                let target = (j as u64 * total) / (v as u64 + 1);
+                while i + 1 < n && cum + w(i) <= target {
+                    cum += w(i);
+                    i += 1;
+                }
+                push_sample(&mut sample, i);
+            }
+        }
+    }
+    sample
+}
+
+/// Serializes a sorted-ish sample as a plain wire run.
+fn encode_set(set: &StringSet) -> Vec<u8> {
+    let mut buf = Vec::new();
+    wire::encode_plain(set.iter(), None, &mut buf);
+    buf
+}
+
+fn decode_set(buf: &[u8]) -> StringSet {
+    let mut pos = 0;
+    let run = wire::decode_plain(buf, &mut pos).expect("well-formed sample run");
+    StringSet::from_iter_bytes(run.iter())
+}
+
+/// Sorts the global sample and selects + gossips the p−1 splitters.
+///
+/// Returns the splitters as a sorted `StringSet` (identical on every PE).
+pub fn select_splitters(comm: &Comm, local_sample: StringSet, central: bool) -> StringSet {
+    let p = comm.size();
+    if p == 1 {
+        return StringSet::new();
+    }
+    if central {
+        // FKmerge-style: ship all samples to PE 0, sort there, broadcast.
+        let gathered = comm.gatherv(0, encode_set(&local_sample));
+        let splitters = if let Some(parts) = gathered {
+            let mut all = StringSet::new();
+            for part in &parts {
+                all.extend_from(&decode_set(part));
+            }
+            let (_, _) = sort_with_lcp(&mut all);
+            let s = all.len();
+            let mut splitters = StringSet::new();
+            if s > 0 {
+                // fᵢ = V[v·i − 1] in the paper's notation (V sorted, |V| = pv).
+                for j in 1..p {
+                    let idx = ((j * s) / p).saturating_sub(1);
+                    splitters.push(all.get(idx.min(s - 1)));
+                }
+            }
+            encode_set(&splitters)
+        } else {
+            Vec::new()
+        };
+        decode_set(&comm.broadcast(0, splitters))
+    } else {
+        // Distributed: hQuick-sort the sample, then extract the order
+        // statistics at global ranks j·s/p and gossip them.
+        let sorted = hquick::sort_for_samples(comm, local_sample);
+        let (prefix, total) = comm.exclusive_scan_sum_u64(sorted.len() as u64);
+        let mut mine = StringSet::new();
+        let mut ranks: Vec<u64> = Vec::new();
+        if total > 0 {
+            for j in 1..p as u64 {
+                let target = ((j * total) / p as u64).saturating_sub(1);
+                let target = target.min(total - 1);
+                if target >= prefix && target < prefix + sorted.len() as u64 {
+                    mine.push(sorted.get((target - prefix) as usize));
+                    ranks.push(j);
+                }
+            }
+        }
+        // Gossip (rank, splitter) pairs and assemble in rank order.
+        let mut buf = Vec::new();
+        wire::encode_plain(mine.iter(), Some(&ranks), &mut buf);
+        let parts = comm.allgatherv(buf);
+        let mut tagged: Vec<(u64, Vec<u8>)> = Vec::new();
+        for part in &parts {
+            let mut pos = 0;
+            let run = wire::decode_plain(part, &mut pos).expect("well-formed splitter run");
+            let origins = run.origins.clone().unwrap_or_default();
+            for (i, s) in run.iter().enumerate() {
+                tagged.push((origins[i], s.to_vec()));
+            }
+        }
+        tagged.sort_by_key(|(r, _)| *r);
+        StringSet::from_iter_bytes(tagged.iter().map(|(_, s)| s.as_slice()))
+    }
+}
+
+/// Computes bucket boundaries of the sorted local `set` for the given
+/// splitters: `bounds[i]..bounds[i+1]` is the sub-range going to PE i
+/// (strings s with fᵢ < s ≤ fᵢ₊₁; ties go left, matching the paper).
+pub fn bucket_bounds(set: &StringSet, splitters: &StringSet) -> Vec<usize> {
+    let n = set.len();
+    let mut bounds = Vec::with_capacity(splitters.len() + 2);
+    bounds.push(0);
+    for f in splitters.iter() {
+        // First index with s > f.
+        let start = bounds.last().copied().unwrap_or(0);
+        let mut lo = start;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if set.get(mid) <= f {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        bounds.push(lo);
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// [`bucket_bounds`] with duplicate tie breaking (§VIII): a local run of
+/// strings *equal* to splitter fᵢ — which the plain rule dumps entirely
+/// into bucket i−1 — is spread evenly over all buckets whose boundary
+/// splitters equal that value (for k consecutive equal splitters the run
+/// spans k+1 buckets). Equal strings may sit on either side of an equal
+/// splitter without violating global sortedness, so correctness is
+/// untouched while massive duplicates stop overloading one PE.
+pub fn bucket_bounds_tie_break(set: &StringSet, splitters: &StringSet) -> Vec<usize> {
+    let mut bounds = bucket_bounds(set, splitters);
+    let m = splitters.len();
+    let mut i = 0;
+    while i < m {
+        // Group of consecutive equal splitters [i, j).
+        let mut j = i + 1;
+        while j < m && splitters.get(j) == splitters.get(i) {
+            j += 1;
+        }
+        let f = splitters.get(i);
+        // Local run of strings equal to f: it ends at bounds[i+1] (plain
+        // rule sends ties left) and starts where the equality begins.
+        let end = bounds[i + 1];
+        let mut start = end;
+        while start > 0 && set.get(start - 1) == f {
+            start -= 1;
+        }
+        let run = end - start;
+        if run > 0 {
+            // Spread the run over buckets i-1+0 ..= i-1+(j-i+... ): the
+            // buckets delimited by these equal splitters are i..=j in
+            // bounds terms — positions bounds[i+1..=j] move inside the run.
+            let parts = j - i + 1;
+            for (t, b) in (i + 1..=j).enumerate() {
+                bounds[b] = start + (run * (t + 1)) / parts;
+            }
+        }
+        i = j;
+    }
+    debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    bounds
+}
+
+/// Full partitioning step: sample, sort sample, select splitters, compute
+/// local bucket boundaries.
+pub fn partition(
+    comm: &Comm,
+    set: &StringSet,
+    cfg: &PartitionConfig,
+    weights: Option<&[u32]>,
+    truncate_to: Option<&[u32]>,
+) -> Vec<usize> {
+    let p = comm.size();
+    let v = cfg.v(p);
+    let mut rng = comm.rng();
+    let sample = draw_sample(
+        set,
+        v,
+        cfg.policy,
+        weights,
+        truncate_to,
+        cfg.random_sampling.then_some(&mut rng),
+    );
+    let splitters = select_splitters(comm, sample, cfg.central_sample_sort);
+    // When sampling truncated strings (PDMS), compare against equally
+    // truncated local strings for consistency — handled by the caller via
+    // `truncate_to`-aware bounds if needed; plain comparison is safe since
+    // truncation preserves order (splitters are distinguishing prefixes).
+    let _ = lcp; // (module-level import used in tests)
+    if cfg.duplicate_tie_break {
+        bucket_bounds_tie_break(set, &splitters)
+    } else {
+        bucket_bounds(set, &splitters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use dss_strkit::sort::sort_with_lcp;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(30),
+            ..RunConfig::default()
+        }
+    }
+
+    fn sorted_set(rng: &mut StdRng, n: usize, max_len: usize) -> StringSet {
+        let mut set = StringSet::new();
+        for _ in 0..n {
+            let len = rng.gen_range(0..=max_len);
+            let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'f')).collect();
+            set.push(&s);
+        }
+        let _ = sort_with_lcp(&mut set);
+        set
+    }
+
+    #[test]
+    fn string_sample_is_evenly_spaced() {
+        let mut set = StringSet::new();
+        for i in 0..100u32 {
+            set.push(format!("{i:03}").as_bytes());
+        }
+        let sample = draw_sample(&set, 4, SamplingPolicy::Strings, None, None, None);
+        assert_eq!(sample.len(), 4);
+        assert_eq!(sample.get(0), b"019");
+        assert_eq!(sample.get(3), b"079");
+    }
+
+    #[test]
+    fn char_sample_tracks_char_mass() {
+        // One huge string among tiny ones: character sampling must sample
+        // inside/after the heavy region repeatedly.
+        let mut set = StringSet::new();
+        set.push(&vec![b'a'; 5]);
+        set.push(&vec![b'b'; 1000]);
+        set.push(&vec![b'c'; 5]);
+        set.push(&vec![b'd'; 5]);
+        let sample = draw_sample(&set, 3, SamplingPolicy::Chars, None, None, None);
+        assert_eq!(sample.len(), 3);
+        // All three char-rank targets fall within the heavy string's mass,
+        // so the sampled strings start at or after it.
+        assert!(sample.iter().all(|s| s[0] >= b'b'));
+    }
+
+    #[test]
+    fn truncated_samples_are_cut() {
+        let set = StringSet::from_strs(&["aaaa", "bbbb", "cccc"]);
+        let trunc = vec![2u32, 2, 2];
+        let sample = draw_sample(&set, 2, SamplingPolicy::Strings, None, Some(&trunc), None);
+        for s in sample.iter() {
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn bounds_respect_splitters() {
+        let set = StringSet::from_strs(&["a", "b", "b", "c", "d", "e"]);
+        let splitters = StringSet::from_strs(&["b", "d"]);
+        let bounds = bucket_bounds(&set, &splitters);
+        // bucket 0: s ≤ "b" → a,b,b ; bucket 1: "b" < s ≤ "d" → c,d ; rest: e.
+        assert_eq!(bounds, vec![0, 3, 5, 6]);
+    }
+
+    #[test]
+    fn bounds_with_empty_set_and_empty_splitters() {
+        let empty = StringSet::new();
+        assert_eq!(bucket_bounds(&empty, &StringSet::from_strs(&["x"])), vec![0, 0, 0]);
+        let set = StringSet::from_strs(&["a", "b"]);
+        assert_eq!(bucket_bounds(&set, &StringSet::new()), vec![0, 2]);
+    }
+
+    /// End-to-end Theorem 2: with string-based sampling every bucket holds
+    /// ≤ n/p + n/v strings.
+    #[test]
+    fn theorem2_string_bucket_bound() {
+        let p = 4;
+        let res = run_spmd(p, cfg_run(), |comm| {
+            let mut rng = StdRng::seed_from_u64(100 + comm.rank() as u64);
+            let set = sorted_set(&mut rng, 300, 8);
+            let cfg = PartitionConfig {
+                policy: SamplingPolicy::Strings,
+                oversampling: 8,
+                central_sample_sort: false,
+                ..PartitionConfig::default()
+            };
+            let bounds = partition(comm, &set, &cfg, None, None);
+            let sizes: Vec<usize> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+            (set.len(), sizes)
+        });
+        let n: usize = res.values.iter().map(|(n, _)| n).sum();
+        let v = 8;
+        let bound = n / p + n / v;
+        for dest in 0..p {
+            let bucket: usize = res.values.iter().map(|(_, sizes)| sizes[dest]).sum();
+            assert!(
+                bucket <= bound,
+                "bucket {dest} = {bucket} > n/p + n/v = {bound}"
+            );
+        }
+    }
+
+    /// End-to-end Theorem 3: with character-based sampling every bucket
+    /// holds ≤ N/p + N/v + (p+v)·ℓ̂ characters.
+    #[test]
+    fn theorem3_char_bucket_bound() {
+        let p = 4;
+        let max_len = 40usize;
+        let res = run_spmd(p, cfg_run(), |comm| {
+            let mut rng = StdRng::seed_from_u64(7 + comm.rank() as u64);
+            // Skewed lengths to stress the bound.
+            let mut set = StringSet::new();
+            for _ in 0..200 {
+                let len = if rng.gen_bool(0.2) {
+                    rng.gen_range(20..=max_len)
+                } else {
+                    rng.gen_range(0..5)
+                };
+                let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'e')).collect();
+                set.push(&s);
+            }
+            let _ = sort_with_lcp(&mut set);
+            let cfg = PartitionConfig {
+                policy: SamplingPolicy::Chars,
+                oversampling: 8,
+                central_sample_sort: false,
+                ..PartitionConfig::default()
+            };
+            let bounds = partition(comm, &set, &cfg, None, None);
+            let chars: Vec<usize> = bounds
+                .windows(2)
+                .map(|w| (w[0]..w[1]).map(|i| set.get(i).len()).sum())
+                .collect();
+            (set.num_chars(), chars)
+        });
+        let total: usize = res.values.iter().map(|(n, _)| n).sum();
+        let v = 8;
+        let bound = total / p + total / v + (p + v) * max_len;
+        for dest in 0..p {
+            let bucket: usize = res.values.iter().map(|(_, c)| c[dest]).sum();
+            assert!(
+                bucket <= bound,
+                "bucket {dest} = {bucket} chars > bound = {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn central_and_distributed_splitters_both_partition() {
+        for central in [false, true] {
+            let res = run_spmd(3, cfg_run(), move |comm| {
+                let mut rng = StdRng::seed_from_u64(31 + comm.rank() as u64);
+                let set = sorted_set(&mut rng, 100, 6);
+                let cfg = PartitionConfig {
+                    policy: SamplingPolicy::Strings,
+                    oversampling: 4,
+                    central_sample_sort: central,
+                    ..PartitionConfig::default()
+                };
+                let bounds = partition(comm, &set, &cfg, None, None);
+                assert_eq!(bounds.len(), comm.size() + 1);
+                assert_eq!(bounds[0], 0);
+                assert_eq!(*bounds.last().expect("nonempty"), set.len());
+                assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+                bounds
+            });
+            assert_eq!(res.values.len(), 3, "central={central}");
+        }
+    }
+
+    #[test]
+    fn splitters_are_identical_on_all_pes() {
+        let res = run_spmd(4, cfg_run(), |comm| {
+            let mut rng = StdRng::seed_from_u64(55 + comm.rank() as u64);
+            let set = sorted_set(&mut rng, 64, 6);
+            let sample = draw_sample(&set, 4, SamplingPolicy::Strings, None, None, None);
+            let splitters = select_splitters(comm, sample, false);
+            splitters.to_vecs()
+        });
+        for v in &res.values {
+            assert_eq!(v, &res.values[0]);
+            assert_eq!(v.len(), 3);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "splitters sorted");
+        }
+    }
+
+    #[test]
+    fn tie_break_spreads_duplicate_runs() {
+        // 90 copies of "dup" with splitters ["dup", "dup"]: the plain rule
+        // dumps all 90 into bucket 0; tie breaking spreads them ~evenly
+        // over the three buckets the equal splitters delimit.
+        let set = StringSet::from_strs(&["dup"; 90]);
+        let splitters = StringSet::from_strs(&["dup", "dup"]);
+        let plain = bucket_bounds(&set, &splitters);
+        assert_eq!(plain, vec![0, 90, 90, 90]);
+        let spread = bucket_bounds_tie_break(&set, &splitters);
+        assert_eq!(spread, vec![0, 30, 60, 90]);
+    }
+
+    #[test]
+    fn tie_break_is_identity_when_nothing_equals_a_splitter() {
+        let set = StringSet::from_strs(&["a", "b", "b", "c", "d", "e"]);
+        let splitters = StringSet::from_strs(&["bb", "dd"]);
+        assert_eq!(
+            bucket_bounds_tie_break(&set, &splitters),
+            bucket_bounds(&set, &splitters)
+        );
+    }
+
+    #[test]
+    fn tie_break_splits_runs_at_single_splitters_too() {
+        // Even a unique splitter halves the run of strings equal to it.
+        let set = StringSet::from_strs(&["a", "b", "b", "c", "d", "e"]);
+        let splitters = StringSet::from_strs(&["b", "d"]);
+        assert_eq!(bucket_bounds_tie_break(&set, &splitters), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn tie_break_splits_mixed_runs_only_at_equal_values() {
+        // Run of "m" (4 copies) equal to the single splitter "m":
+        // spread halves it; other strings stay put.
+        let set = StringSet::from_strs(&["a", "m", "m", "m", "m", "z"]);
+        let splitters = StringSet::from_strs(&["m"]);
+        let spread = bucket_bounds_tie_break(&set, &splitters);
+        // run = [1,5); parts = 2 -> boundary at 1 + 4/2 = 3.
+        assert_eq!(spread, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn random_sampling_still_partitions_correctly() {
+        let res = run_spmd(4, cfg_run(), |comm| {
+            let mut rng = StdRng::seed_from_u64(77 + comm.rank() as u64);
+            let set = sorted_set(&mut rng, 120, 8);
+            let cfg = PartitionConfig {
+                random_sampling: true,
+                oversampling: 6,
+                ..PartitionConfig::default()
+            };
+            let bounds = partition(comm, &set, &cfg, None, None);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().expect("nonempty"), set.len());
+            assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+            set.len()
+        });
+        assert_eq!(res.values.iter().sum::<usize>(), 480);
+    }
+
+    #[test]
+    fn random_sampling_is_deterministic_per_seed() {
+        let run = || {
+            run_spmd(3, cfg_run(), |comm| {
+                let mut rng = StdRng::seed_from_u64(5 + comm.rank() as u64);
+                let set = sorted_set(&mut rng, 60, 6);
+                let cfg = PartitionConfig {
+                    random_sampling: true,
+                    ..PartitionConfig::default()
+                };
+                partition(comm, &set, &cfg, None, None)
+            })
+            .values
+        };
+        assert_eq!(run(), run());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tie_break_bounds_remain_valid(
+            mut strs in proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'b', 0..3), 0..60),
+            mut splits in proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'b', 0..3), 0..5)) {
+            strs.sort();
+            splits.sort();
+            let set = StringSet::from_iter_bytes(strs.iter().map(|s| s.as_slice()));
+            let splitters = StringSet::from_iter_bytes(splits.iter().map(|s| s.as_slice()));
+            let bounds = bucket_bounds_tie_break(&set, &splitters);
+            prop_assert_eq!(bounds[0], 0);
+            prop_assert_eq!(*bounds.last().expect("nonempty"), set.len());
+            prop_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+            // Weakened bucket invariant under tie breaking: strings may
+            // sit in any bucket whose bounding splitters they equal.
+            for (b, w) in bounds.windows(2).enumerate() {
+                for i in w[0]..w[1] {
+                    let s = set.get(i);
+                    if b > 0 {
+                        prop_assert!(s >= splitters.get(b - 1));
+                    }
+                    if b < splitters.len() {
+                        prop_assert!(s <= splitters.get(b));
+                    }
+                }
+            }
+        }
+
+
+        #[test]
+        fn bucket_bounds_cover_everything(mut strs in proptest::collection::vec(
+            proptest::collection::vec(b'a'..=b'd', 0..6), 0..80),
+            mut splits in proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'd', 0..6), 0..6)) {
+            strs.sort();
+            splits.sort();
+            let set = StringSet::from_iter_bytes(strs.iter().map(|s| s.as_slice()));
+            let splitters = StringSet::from_iter_bytes(splits.iter().map(|s| s.as_slice()));
+            let bounds = bucket_bounds(&set, &splitters);
+            prop_assert_eq!(bounds[0], 0);
+            prop_assert_eq!(*bounds.last().expect("nonempty"), set.len());
+            prop_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+            // Every string is in the right bucket.
+            for (b, w) in bounds.windows(2).enumerate() {
+                for i in w[0]..w[1] {
+                    let s = set.get(i);
+                    if b > 0 {
+                        prop_assert!(s > splitters.get(b - 1));
+                    }
+                    if b < splitters.len() {
+                        prop_assert!(s <= splitters.get(b));
+                    }
+                }
+            }
+        }
+    }
+}

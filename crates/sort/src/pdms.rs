@@ -1,0 +1,304 @@
+//! PDMS — Distributed Prefix-Doubling String Merge Sort (§VI).
+//!
+//! Refines MS for the regime D ≪ N: Step 1+ε (between local sorting and
+//! splitter determination) approximates every string's distinguishing
+//! prefix length with the duplicate-detection-driven prefix doubling of
+//! [`dss_dedup`]; only those prefixes are sampled, exchanged and merged.
+//!
+//! PDMS does not solve exactly the same problem as MS: it "only computes
+//! the permutation without completely executing it". The output holds the
+//! sorted (approximate) distinguishing prefixes plus origin tags
+//! identifying the source PE and local index of each full string; the
+//! full strings stay on their original PE in sorted order
+//! ([`SortedRun::local_store`]), so suffixes and associated information
+//! remain queryable — sufficient for suffix sorting, pattern search and
+//! search-tree construction (the paper's listed applications).
+//!
+//! PDMS-Golomb Golomb-codes the fingerprint traffic of the duplicate
+//! detection; plain PDMS ships raw fingerprints (§VII-C).
+
+use crate::exchange::{exchange_buckets, merge_received_lcp, ExchangeCodec, ExchangeInput};
+use crate::output::{origin_tag, SortedRun};
+use crate::partition::{self, PartitionConfig};
+use crate::DistSorter;
+use dss_dedup::prefix_doubling::{approx_dist_prefixes, PrefixDoublingConfig};
+use dss_net::Comm;
+use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::StringSet;
+
+/// Configuration of PDMS.
+#[derive(Debug, Clone, Copy)]
+pub struct PdmsConfig {
+    /// Step 1+ε parameters (growth factor 1+ε, initial guess, fingerprint
+    /// width, Golomb coding).
+    pub pd: PrefixDoublingConfig,
+    /// Sampling/splitter policy. The paper's experiments use string-based
+    /// sampling; `SamplingPolicy::DistPrefix` balances the approximated
+    /// distinguishing-prefix characters instead (§VI: "knowing the
+    /// distinguishing prefix lengths also aids splitter determination").
+    pub partition: PartitionConfig,
+    /// Difference-code LCPs on the wire (§VI-B extension).
+    pub delta_lcps: bool,
+}
+
+impl Default for PdmsConfig {
+    fn default() -> Self {
+        Self {
+            pd: PrefixDoublingConfig::default(),
+            partition: PartitionConfig::default(),
+            delta_lcps: false,
+        }
+    }
+}
+
+/// Distributed Prefix-Doubling String Merge Sort.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Pdms {
+    pub cfg: PdmsConfig,
+}
+
+impl Pdms {
+    /// The PDMS-Golomb variant.
+    pub fn golomb() -> Self {
+        Self {
+            cfg: PdmsConfig {
+                pd: PrefixDoublingConfig {
+                    golomb: true,
+                    ..PrefixDoublingConfig::default()
+                },
+                ..PdmsConfig::default()
+            },
+        }
+    }
+
+    /// PDMS with a custom configuration.
+    pub fn with_config(cfg: PdmsConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl DistSorter for Pdms {
+    fn name(&self) -> &'static str {
+        if self.cfg.pd.golomb {
+            "PDMS-Golomb"
+        } else {
+            "PDMS"
+        }
+    }
+
+    fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        comm.set_phase("local_sort");
+        let (lcps, _) = sort_with_lcp(&mut input);
+        if comm.size() == 1 {
+            let origins = (0..input.len()).map(|i| origin_tag(0, i)).collect();
+            return SortedRun {
+                lcps: Some(lcps),
+                origins: Some(origins),
+                local_store: Some(input.clone()),
+                set: input,
+            };
+        }
+
+        // Step 1+ε: approximate distinguishing prefix lengths.
+        comm.set_phase("prefix_doubling");
+        let (approx, _) = approx_dist_prefixes(comm, &input, &lcps, &self.cfg.pd);
+        let trunc: Vec<u32> = (0..input.len())
+            .map(|i| approx[i].min(input.get(i).len() as u32))
+            .collect();
+
+        // Step 2: splitters over the truncated strings, weighted by the
+        // approximate distinguishing prefix lengths when requested.
+        comm.set_phase("partition");
+        let weights = approx.clone();
+        let bounds = partition::partition(
+            comm,
+            &input,
+            &self.cfg.partition,
+            Some(&weights),
+            Some(&trunc),
+        );
+
+        // Step 3: exchange only the distinguishing prefixes, tagged with
+        // their origin, LCP-compressed.
+        comm.set_phase("exchange");
+        let origins: Vec<u64> = (0..input.len())
+            .map(|i| origin_tag(comm.rank(), i))
+            .collect();
+        let codec = if self.cfg.delta_lcps {
+            ExchangeCodec::LcpDelta
+        } else {
+            ExchangeCodec::LcpCompressed
+        };
+        let runs = exchange_buckets(
+            comm,
+            &ExchangeInput {
+                set: &input,
+                lcps: &lcps,
+                bounds: &bounds,
+                origins: Some(&origins),
+                truncate: Some(&trunc),
+            },
+            codec,
+        );
+
+        // Step 4: LCP loser-tree merge of the prefix runs.
+        comm.set_phase("merge");
+        let mut out = merge_received_lcp(&runs);
+        out.local_store = Some(input);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::origin_parts;
+    use crate::partition::SamplingPolicy;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use rand::prelude::*;
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(30),
+            ..RunConfig::default()
+        }
+    }
+
+    /// Full PDMS validation: reconstruct the permutation via origins and
+    /// check it sorts the original input.
+    fn check(p: usize, shards: Vec<Vec<Vec<u8>>>, sorter: Pdms) {
+        let mut expect: Vec<Vec<u8>> = shards.iter().flatten().cloned().collect();
+        expect.sort();
+        let shards_ref = &shards;
+        let res = run_spmd(p, cfg_run(), move |comm| {
+            let set =
+                StringSet::from_iter_bytes(shards_ref[comm.rank()].iter().map(|s| s.as_slice()));
+            let out = sorter.sort(comm, set);
+            if let Some(l) = &out.lcps {
+                dss_strkit::lcp::verify_lcp_array(&out.set, l).expect("output lcps");
+            }
+            assert!(dss_strkit::checker::is_sorted(&out.set), "prefixes sorted");
+            (
+                out.set.to_vecs(),
+                out.origins.expect("pdms reports origins"),
+                out.local_store.expect("pdms keeps local store").to_vecs(),
+            )
+        });
+        // Reconstruct full strings through the origin tags.
+        let stores: Vec<&Vec<Vec<u8>>> = res.values.iter().map(|(_, _, s)| s).collect();
+        let mut reconstructed: Vec<Vec<u8>> = Vec::new();
+        for (prefixes, origins, _) in &res.values {
+            assert_eq!(prefixes.len(), origins.len());
+            for (pref, &tag) in prefixes.iter().zip(origins) {
+                let (pe, idx) = origin_parts(tag);
+                let full = &stores[pe][idx];
+                assert!(
+                    full.starts_with(pref),
+                    "prefix {:?} not a prefix of its origin {:?}",
+                    String::from_utf8_lossy(pref),
+                    String::from_utf8_lossy(full)
+                );
+                reconstructed.push(full.clone());
+            }
+        }
+        assert_eq!(reconstructed, expect, "origin permutation sorts the input");
+    }
+
+    fn random_shards(p: usize, n: usize, seed: u64) -> Vec<Vec<Vec<u8>>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        let len = rng.gen_range(0..14);
+                        (0..len).map(|_| rng.gen_range(b'a'..=b'e')).collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pdms_sorts_various_pe_counts() {
+        for p in [1usize, 2, 3, 4] {
+            check(p, random_shards(p, 60, p as u64), Pdms::default());
+        }
+    }
+
+    #[test]
+    fn pdms_golomb_sorts() {
+        check(4, random_shards(4, 60, 44), Pdms::golomb());
+    }
+
+    #[test]
+    fn pdms_with_dist_prefix_sampling_sorts() {
+        let sorter = Pdms::with_config(PdmsConfig {
+            partition: PartitionConfig {
+                policy: SamplingPolicy::DistPrefix,
+                ..PartitionConfig::default()
+            },
+            ..PdmsConfig::default()
+        });
+        check(4, random_shards(4, 60, 45), sorter);
+    }
+
+    #[test]
+    fn handles_duplicates_prefixes_and_empties() {
+        let shards = vec![
+            vec![b"dup".to_vec(); 30],
+            vec![],
+            {
+                let mut v = vec![b"dup".to_vec(); 10];
+                v.push(b"du".to_vec());
+                v.push(b"d".to_vec());
+                v.push(Vec::new());
+                v
+            },
+            random_shards(1, 40, 46).remove(0),
+        ];
+        check(4, shards, Pdms::default());
+    }
+
+    #[test]
+    fn transmits_only_prefixes_on_low_dn_input() {
+        // Long strings with tiny distinguishing prefixes: the exchange
+        // volume of PDMS must be a small fraction of MS's.
+        let make_shards = |p: usize| -> Vec<Vec<Vec<u8>>> {
+            (0..p)
+                .map(|r| {
+                    (0..100)
+                        .map(|i| {
+                            let mut s = format!("{:03}", r * 100 + i).into_bytes();
+                            s.extend(std::iter::repeat(b'x').take(300));
+                            s
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let shards = make_shards(4);
+        check(4, shards.clone(), Pdms::default());
+        let shards_ref = &shards;
+        let exchange_bytes = |alg: crate::Algorithm| -> u64 {
+            let res = run_spmd(4, cfg_run(), move |comm| {
+                let set = StringSet::from_iter_bytes(
+                    shards_ref[comm.rank()].iter().map(|s| s.as_slice()),
+                );
+                let _ = alg.instance().sort(comm, set);
+            });
+            res.stats
+                .phases
+                .iter()
+                .filter(|ph| ph.name == "exchange")
+                .map(|ph| ph.total.bytes_sent)
+                .sum()
+        };
+        let pdms = exchange_bytes(crate::Algorithm::Pdms);
+        let ms = exchange_bytes(crate::Algorithm::Ms);
+        assert!(
+            pdms * 5 < ms,
+            "PDMS exchange {pdms} should be ≪ MS exchange {ms}"
+        );
+    }
+}

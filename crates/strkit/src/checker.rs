@@ -1,0 +1,155 @@
+//! Validators for sorted string sets.
+//!
+//! Used by the test suites and by the distributed checker in `dss-sort`:
+//! local sortedness is checked directly; global permutation equality uses
+//! an order-independent multiset fingerprint so that PEs only need to
+//! combine 16 bytes instead of shipping their data around.
+
+use crate::arena::StringSet;
+
+/// Returns `true` iff the set is in non-decreasing lexicographic order.
+pub fn is_sorted(set: &StringSet) -> bool {
+    (1..set.len()).all(|i| set.get(i - 1) <= set.get(i))
+}
+
+/// Order-independent multiset fingerprint of a set of strings.
+///
+/// Each string is hashed with a 64-bit mixer; fingerprints are combined
+/// with wrapping addition of `(h, h²)` pairs, which is commutative — equal
+/// multisets always agree, and unequal multisets collide with probability
+/// ≈ 2⁻⁶⁴ per component. The checker of the distributed sorters reduces
+/// these pairs over all PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MultisetFingerprint {
+    pub sum: u64,
+    pub sum_sq: u64,
+    pub count: u64,
+}
+
+impl MultisetFingerprint {
+    /// Fingerprint of one PE-local set.
+    pub fn of(set: &StringSet) -> Self {
+        let mut fp = Self::default();
+        for s in set.iter() {
+            fp.add_str(s);
+        }
+        fp
+    }
+
+    /// Adds one string.
+    pub fn add_str(&mut self, s: &[u8]) {
+        let h = hash_bytes(s);
+        self.sum = self.sum.wrapping_add(h);
+        self.sum_sq = self.sum_sq.wrapping_add(h.wrapping_mul(h));
+        self.count += 1;
+    }
+
+    /// Combines with another PE's fingerprint (commutative, associative).
+    pub fn combine(self, other: Self) -> Self {
+        Self {
+            sum: self.sum.wrapping_add(other.sum),
+            sum_sq: self.sum_sq.wrapping_add(other.sum_sq),
+            count: self.count + other.count,
+        }
+    }
+}
+
+/// 64-bit FNV-1a followed by an avalanching finalizer (splitmix64-style).
+/// Local implementation to keep the dependency set minimal.
+#[inline]
+pub fn hash_bytes(s: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// splitmix64 finalizer.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Full sequential check: sorted, LCP array valid, multiset preserved.
+pub fn check_sort_result(
+    input: &StringSet,
+    output: &StringSet,
+    lcps: Option<&[u32]>,
+) -> Result<(), String> {
+    if !is_sorted(output) {
+        return Err("output is not sorted".into());
+    }
+    if MultisetFingerprint::of(input) != MultisetFingerprint::of(output) {
+        return Err(format!(
+            "output is not a permutation of the input ({} vs {} strings)",
+            input.len(),
+            output.len()
+        ));
+    }
+    if let Some(l) = lcps {
+        crate::lcp::verify_lcp_array(output, l)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_sorted_basics() {
+        assert!(is_sorted(&StringSet::new()));
+        assert!(is_sorted(&StringSet::from_strs(&["a"])));
+        assert!(is_sorted(&StringSet::from_strs(&["a", "a", "b"])));
+        assert!(!is_sorted(&StringSet::from_strs(&["b", "a"])));
+        assert!(is_sorted(&StringSet::from_strs(&["a", "aa", "ab"])));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = MultisetFingerprint::of(&StringSet::from_strs(&["x", "yy", "zzz"]));
+        let b = MultisetFingerprint::of(&StringSet::from_strs(&["zzz", "x", "yy"]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_detects_multiset_changes() {
+        let base = MultisetFingerprint::of(&StringSet::from_strs(&["a", "a", "b"]));
+        let missing = MultisetFingerprint::of(&StringSet::from_strs(&["a", "b"]));
+        let swapped = MultisetFingerprint::of(&StringSet::from_strs(&["a", "b", "b"]));
+        assert_ne!(base, missing);
+        assert_ne!(base, swapped);
+    }
+
+    #[test]
+    fn fingerprint_combines_across_shards() {
+        let whole = MultisetFingerprint::of(&StringSet::from_strs(&["p", "q", "r", "s"]));
+        let left = MultisetFingerprint::of(&StringSet::from_strs(&["r", "p"]));
+        let right = MultisetFingerprint::of(&StringSet::from_strs(&["s", "q"]));
+        assert_eq!(whole, left.combine(right));
+    }
+
+    #[test]
+    fn check_sort_result_end_to_end() {
+        let input = StringSet::from_strs(&["b", "a", "c"]);
+        let sorted = StringSet::from_strs(&["a", "b", "c"]);
+        assert!(check_sort_result(&input, &sorted, Some(&[0, 0, 0])).is_ok());
+        let unsorted = StringSet::from_strs(&["b", "a", "c"]);
+        assert!(check_sort_result(&input, &unsorted, None).is_err());
+        let wrong_multiset = StringSet::from_strs(&["a", "b", "d"]);
+        assert!(check_sort_result(&input, &wrong_multiset, None).is_err());
+        assert!(check_sort_result(&input, &sorted, Some(&[0, 1, 0])).is_err());
+    }
+
+    #[test]
+    fn hash_bytes_differs_on_small_changes() {
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abd"));
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abcd"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"a"));
+    }
+}

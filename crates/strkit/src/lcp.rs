@@ -1,0 +1,238 @@
+//! Longest-common-prefix primitives and distinguishing prefixes.
+//!
+//! For a sorted string array `S` the paper defines the LCP array
+//! `[⊥, h₁, …]` with `hᵢ = LCP(sᵢ₋₁, sᵢ)` (we store `⊥` as 0), the
+//! distinguishing prefix length `DIST(s) = max_{t≠s} LCP(s, t) + 1`, and
+//! `D = Σ DIST(s)` — the lower bound on characters any string sorter must
+//! inspect. The D/N ratio drives every experiment in §VII.
+
+use crate::arena::StringSet;
+
+/// Length of the longest common prefix of two byte strings.
+#[inline]
+pub fn lcp(a: &[u8], b: &[u8]) -> u32 {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    // Word-at-a-time comparison: compare 8-byte chunks, then finish
+    // byte-wise. Keeps the O(D) scans cheap on long common prefixes.
+    while i + 8 <= n {
+        let wa = u64::from_ne_bytes(a[i..i + 8].try_into().expect("8 bytes"));
+        let wb = u64::from_ne_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        if wa != wb {
+            let diff = wa ^ wb;
+            // First differing byte index depends on endianness.
+            let byte = if cfg!(target_endian = "little") {
+                diff.trailing_zeros() / 8
+            } else {
+                diff.leading_zeros() / 8
+            };
+            return (i as u32) + byte;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i as u32
+}
+
+/// Three-way string comparison that starts at a known common prefix `h`
+/// and also returns the full LCP. Used by the LCP loser tree and the
+/// LCP-aware insertion sort: characters before `h` are never re-inspected.
+#[inline]
+pub fn lcp_compare(a: &[u8], b: &[u8], h: u32) -> (std::cmp::Ordering, u32) {
+    debug_assert!(lcp(a, b) >= h.min(a.len() as u32).min(b.len() as u32));
+    let ext = lcp(&a[(h as usize).min(a.len())..], &b[(h as usize).min(b.len())..]);
+    let full = h.min(a.len() as u32).min(b.len() as u32) + ext;
+    let fa = a.get(full as usize).copied();
+    let fb = b.get(full as usize).copied();
+    (fa.cmp(&fb), full)
+}
+
+/// Computes the LCP array of an already-sorted set by direct scanning.
+/// Reference implementation used to validate sorter by-products.
+pub fn lcp_array_naive(set: &StringSet) -> Vec<u32> {
+    let n = set.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if i == 0 {
+            out.push(0);
+        } else {
+            out.push(lcp(set.get(i - 1), set.get(i)));
+        }
+    }
+    out
+}
+
+/// Verifies that `lcps` is the LCP array of the (sorted) `set`.
+pub fn verify_lcp_array(set: &StringSet, lcps: &[u32]) -> Result<(), String> {
+    if lcps.len() != set.len() {
+        return Err(format!(
+            "lcp array length {} != string count {}",
+            lcps.len(),
+            set.len()
+        ));
+    }
+    for i in 1..set.len() {
+        let expect = lcp(set.get(i - 1), set.get(i));
+        if lcps[i] != expect {
+            return Err(format!(
+                "lcp[{i}] = {} but LCP({:?}, {:?}) = {expect}",
+                lcps[i],
+                String::from_utf8_lossy(set.get(i - 1)),
+                String::from_utf8_lossy(set.get(i)),
+            ));
+        }
+    }
+    if !lcps.is_empty() && lcps[0] != 0 {
+        return Err(format!("lcp[0] = {} (must be 0 / ⊥)", lcps[0]));
+    }
+    Ok(())
+}
+
+/// Distinguishing prefix lengths of a *sorted* set, derived from its LCP
+/// array: `DIST(sᵢ) = max(hᵢ, hᵢ₊₁) + 1`, capped at `|sᵢ| + 1` (the cap is
+/// reached exactly when the maximal LCP equals the string length, i.e. the
+/// string is a prefix of a neighbour or a duplicate; the `+1` then counts
+/// the virtual 0-terminator).
+pub fn dist_prefixes_from_sorted(lcps: &[u32], lens: &[u32]) -> Vec<u32> {
+    let n = lcps.len();
+    debug_assert_eq!(n, lens.len());
+    (0..n)
+        .map(|i| {
+            let left = if i > 0 { lcps[i] } else { 0 };
+            let right = if i + 1 < n { lcps[i + 1] } else { 0 };
+            (left.max(right) + 1).min(lens[i] + 1)
+        })
+        .collect()
+}
+
+/// `DIST` for every string of an arbitrary (unsorted) set, by definition —
+/// O(n²·ℓ). Test oracle only.
+pub fn dist_prefixes_naive(set: &StringSet) -> Vec<u32> {
+    let n = set.len();
+    (0..n)
+        .map(|i| {
+            let s = set.get(i);
+            let max_lcp = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| lcp(s, set.get(j)))
+                .max()
+                .unwrap_or(0);
+            (max_lcp + 1).min(s.len() as u32 + 1)
+        })
+        .collect()
+}
+
+/// Total distinguishing prefix size `D = Σ DIST(s)` of a sorted set.
+pub fn total_dist_prefix(lcps: &[u32], lens: &[u32]) -> u64 {
+    dist_prefixes_from_sorted(lcps, lens)
+        .iter()
+        .map(|&d| d as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lcp_basics() {
+        assert_eq!(lcp(b"", b""), 0);
+        assert_eq!(lcp(b"a", b""), 0);
+        assert_eq!(lcp(b"abc", b"abd"), 2);
+        assert_eq!(lcp(b"abc", b"abc"), 3);
+        assert_eq!(lcp(b"abc", b"abcdef"), 3);
+    }
+
+    #[test]
+    fn lcp_crosses_word_boundaries() {
+        let a = b"0123456789abcdefX";
+        let b = b"0123456789abcdefY";
+        assert_eq!(lcp(a, b), 16);
+        let c = b"0123456789abcdef";
+        assert_eq!(lcp(a, c), 16);
+    }
+
+    #[test]
+    fn lcp_compare_orders_and_extends() {
+        use std::cmp::Ordering::*;
+        assert_eq!(lcp_compare(b"alpha", b"alps", 2), (Less, 3));
+        assert_eq!(lcp_compare(b"alps", b"alpha", 2), (Greater, 3));
+        assert_eq!(lcp_compare(b"same", b"same", 0), (Equal, 4));
+        // Prefix relation: shorter < longer.
+        assert_eq!(lcp_compare(b"al", b"alp", 1), (Less, 2));
+    }
+
+    #[test]
+    fn dist_prefix_of_paper_example() {
+        // Sorted set from Fig. 2 step 4.
+        let set = StringSet::from_strs(&[
+            "algae", "algo", "alpha", "alps", "orange", "order", "organ", "snow", "sorbet",
+            "sorted", "sorter", "soul",
+        ]);
+        let lcps = lcp_array_naive(&set);
+        assert_eq!(lcps, vec![0, 3, 2, 3, 0, 2, 2, 0, 1, 3, 5, 2]);
+        let lens = set.lens();
+        let dists = dist_prefixes_from_sorted(&lcps, &lens);
+        // e.g. "sorter" needs 6 chars (vs "sorted"), "snow" needs 2.
+        assert_eq!(dists[10], 6);
+        assert_eq!(dists[7], 2);
+        assert_eq!(dists, dist_prefixes_naive(&set));
+    }
+
+    #[test]
+    fn duplicates_cap_dist_at_len_plus_one() {
+        let set = StringSet::from_strs(&["dup", "dup", "dup"]);
+        let dists = dist_prefixes_naive(&set);
+        assert_eq!(dists, vec![4, 4, 4]); // |s| + 1 = 4
+    }
+
+    #[test]
+    fn verify_lcp_array_catches_errors() {
+        let set = StringSet::from_strs(&["aa", "ab"]);
+        assert!(verify_lcp_array(&set, &[0, 1]).is_ok());
+        assert!(verify_lcp_array(&set, &[0, 2]).is_err());
+        assert!(verify_lcp_array(&set, &[0]).is_err());
+        assert!(verify_lcp_array(&set, &[1, 1]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn lcp_matches_naive(a in proptest::collection::vec(1u8..255, 0..64),
+                             b in proptest::collection::vec(1u8..255, 0..64)) {
+            let naive = a.iter().zip(&b).take_while(|(x, y)| x == y).count() as u32;
+            prop_assert_eq!(lcp(&a, &b), naive);
+        }
+
+        #[test]
+        fn lcp_compare_matches_ord(
+            a in proptest::collection::vec(b'a'..=b'c', 0..24),
+            b in proptest::collection::vec(b'a'..=b'c', 0..24),
+        ) {
+            let h = lcp(&a, &b);
+            // Any starting point up to the true LCP must give the same answer.
+            for start in 0..=h {
+                let (ord, full) = lcp_compare(&a, &b, start);
+                prop_assert_eq!(ord, a.cmp(&b));
+                prop_assert_eq!(full, h);
+            }
+        }
+
+        #[test]
+        fn dist_from_sorted_matches_naive(
+            mut strs in proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'c', 0..10), 1..24),
+        ) {
+            strs.sort();
+            let set = StringSet::from_iter_bytes(strs.iter().map(|s| s.as_slice()));
+            let lcps = lcp_array_naive(&set);
+            let lens = set.lens();
+            prop_assert_eq!(
+                dist_prefixes_from_sorted(&lcps, &lens),
+                dist_prefixes_naive(&set)
+            );
+        }
+    }
+}

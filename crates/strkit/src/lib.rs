@@ -1,0 +1,32 @@
+//! # dss-strkit — sequential string-sorting toolkit
+//!
+//! The sequential machinery underneath the distributed sorters of
+//! Bingmann, Sanders and Schimek (IPDPS 2020):
+//!
+//! * [`arena`] — flat character arenas with cheap string handles. String
+//!   arrays are "arrays of pointers to the beginning of the strings"
+//!   (§II); swapping strings never moves characters.
+//! * [`lcp`] — longest-common-prefix primitives, LCP arrays and
+//!   distinguishing-prefix computations (`DIST`, `D`).
+//! * [`sort`] — the paper's base-case sorter stack (§II-A): MSD string
+//!   radix sort → multikey quicksort → LCP-aware insertion sort, all
+//!   emitting the LCP array as a by-product at no extra cost.
+//! * [`losertree`] — K-way LCP-aware loser tree merging (§II-B) plus the
+//!   plain (atomic) loser tree used by the FKmerge baseline.
+//! * [`checker`] — order/LCP/permutation validators used across the test
+//!   suites.
+//!
+//! Strings are arbitrary byte sequences **not containing the byte 0**,
+//! which acts as the implicit end-of-string sentinel exactly as in the
+//! paper ("a special end-of-string character outside the alphabet").
+
+pub mod arena;
+pub mod checker;
+pub mod lcp;
+pub mod losertree;
+pub mod sort;
+
+pub use arena::{StrRef, StringSet};
+pub use lcp::{lcp, lcp_array_naive};
+pub use losertree::{LcpLoserTree, LoserTree, MergeRun};
+pub use sort::{sort_with_lcp, SortStats};

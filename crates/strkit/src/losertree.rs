@@ -1,0 +1,520 @@
+//! K-way loser-tree merging: plain (atomic) and LCP-aware (§II-B).
+//!
+//! A loser tree (tournament tree) is a binary tree with K leaves, one per
+//! sorted input run; internal nodes remember the *loser* of their
+//! comparison and pass the winner up. Replacing the overall winner and
+//! replaying its leaf-to-root path costs one comparison per level.
+//!
+//! The LCP adaptation (Bingmann, Eberle, Sanders; after Ng & Kakehi)
+//! attaches to every candidate an LCP value. The invariant maintained is:
+//!
+//! * the tree-wide winner and every loser stored on the path from the
+//!   winner's leaf to the root carry their LCP **with the last string
+//!   output** (initially the empty string);
+//! * every other stored loser carries its LCP with the winner of the
+//!   comparison at its node — which is exactly the "last output" rule at
+//!   the moment that subtree's winner gets output.
+//!
+//! A comparison of candidates `(a, hₐ)`, `(b, h_b)` with LCPs relative to
+//! the same reference `R ≤ a, b` needs **no characters** when `hₐ ≠ h_b`
+//! (the larger LCP wins and the loser's stored LCP is already correct);
+//! only equal LCPs inspect characters, and those extend an LCP that never
+//! shrinks. Total character comparisons for merging `m` strings are
+//! bounded by `m·log K + ΔL` (ΔL = total LCP increment), which embeds
+//! into an O(D + n log n) sorter.
+//!
+//! When a run's next string is loaded, its LCP with the just-output
+//! predecessor *from the same run* is read straight from the run's LCP
+//! array — the reason every phase of the distributed sorters carries LCP
+//! arrays along.
+
+use crate::arena::{StrRef, StringSet};
+use crate::lcp::lcp_compare;
+use std::cmp::Ordering;
+
+/// One sorted input run for merging.
+#[derive(Clone, Copy)]
+pub struct MergeRun<'a> {
+    /// Character arena the run's handles point into.
+    pub arena: &'a [u8],
+    /// Sorted string handles.
+    pub refs: &'a [StrRef],
+    /// Run-local LCP array (`lcps[0] = 0`); must match `refs` in length.
+    /// May be empty for the plain tree (it never reads it).
+    pub lcps: &'a [u32],
+}
+
+impl<'a> MergeRun<'a> {
+    fn bytes(&self, i: usize) -> &'a [u8] {
+        let r = self.refs[i];
+        &self.arena[r.begin as usize..r.end() as usize]
+    }
+}
+
+/// Work counters for a merge.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MergeStats {
+    /// String comparisons that inspected at least one character.
+    pub char_comparisons: u64,
+    /// Characters inspected across all comparisons.
+    pub chars_inspected: u64,
+    /// Comparisons decided purely by LCP values (no characters).
+    pub lcp_decided: u64,
+}
+
+/// Result of a merge: strings are appended to the output arena.
+pub struct MergeOutput {
+    /// Output LCP array (exact; `lcps[0] = 0`). `None` for the plain tree.
+    pub lcps: Option<Vec<u32>>,
+    /// `(run, index-within-run)` provenance of every output string.
+    pub sources: Vec<(u32, u32)>,
+    /// Work counters.
+    pub stats: MergeStats,
+}
+
+const NONE_STREAM: u32 = u32::MAX;
+
+/// The LCP-aware K-way loser tree.
+pub struct LcpLoserTree<'a> {
+    runs: Vec<MergeRun<'a>>,
+    /// Number of leaves (power of two ≥ run count, ≥ 1).
+    k: usize,
+    /// Internal nodes 1..k: stream index of the stored loser.
+    loser: Vec<u32>,
+    /// Current overall winner stream.
+    winner: u32,
+    /// Per-stream cursor (index of current candidate within its run).
+    pos: Vec<usize>,
+    /// Per-stream candidate LCP (see module invariant).
+    h: Vec<u32>,
+    stats: MergeStats,
+    total: usize,
+}
+
+impl<'a> LcpLoserTree<'a> {
+    /// Builds the tree over the given runs (each individually sorted, with
+    /// valid run-local LCP arrays).
+    pub fn new(runs: Vec<MergeRun<'a>>) -> Self {
+        for r in &runs {
+            debug_assert_eq!(r.refs.len(), r.lcps.len());
+        }
+        let total = runs.iter().map(|r| r.refs.len()).sum();
+        let k = runs.len().max(1).next_power_of_two();
+        let mut tree = Self {
+            k,
+            loser: vec![NONE_STREAM; k],
+            winner: NONE_STREAM,
+            pos: vec![0; k],
+            h: vec![0; k],
+            runs,
+            stats: MergeStats::default(),
+            total,
+        };
+        tree.winner = tree.build(1);
+        tree
+    }
+
+    fn candidate(&self, s: u32) -> Option<&'a [u8]> {
+        let run = self.runs.get(s as usize)?;
+        let i = self.pos[s as usize];
+        (i < run.refs.len()).then(|| run.bytes(i))
+    }
+
+    /// Bottom-up construction: returns the winner of subtree `v`.
+    fn build(&mut self, v: usize) -> u32 {
+        if v >= self.k {
+            return (v - self.k) as u32;
+        }
+        let l = self.build(2 * v);
+        let r = self.build(2 * v + 1);
+        let (win, lose) = self.play(l, r);
+        self.loser[v] = lose;
+        win
+    }
+
+    /// Plays one comparison, returning `(winner, loser)` and updating the
+    /// loser's stored LCP per the module invariant.
+    fn play(&mut self, a: u32, b: u32) -> (u32, u32) {
+        let (sa, sb) = (self.candidate(a), self.candidate(b));
+        match (sa, sb) {
+            (None, _) => return (b, a),
+            (Some(_), None) => return (a, b),
+            (Some(xa), Some(xb)) => {
+                let (ha, hb) = (self.h[a as usize], self.h[b as usize]);
+                match ha.cmp(&hb) {
+                    Ordering::Greater => {
+                        // a matches the reference longer ⇒ a < b, and
+                        // LCP(a, b) = h_b is already stored at the loser.
+                        self.stats.lcp_decided += 1;
+                        (a, b)
+                    }
+                    Ordering::Less => {
+                        self.stats.lcp_decided += 1;
+                        (b, a)
+                    }
+                    Ordering::Equal => {
+                        let (ord, full) = lcp_compare(xa, xb, ha);
+                        self.stats.char_comparisons += 1;
+                        self.stats.chars_inspected += u64::from(full - ha) + 1;
+                        // Ties broken by stream index → deterministic,
+                        // run-stable output.
+                        let a_wins = match ord {
+                            Ordering::Less => true,
+                            Ordering::Greater => false,
+                            Ordering::Equal => a < b,
+                        };
+                        let (win, lose) = if a_wins { (a, b) } else { (b, a) };
+                        // Loser's LCP becomes its LCP with the winner; the
+                        // winner keeps its LCP with the reference.
+                        self.h[lose as usize] = full;
+                        (win, lose)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops the minimum string: `(bytes, lcp-with-previous-output, run, idx)`.
+    pub fn pop(&mut self) -> Option<(&'a [u8], u32, u32, u32)> {
+        let w = self.winner;
+        let out = self.candidate(w)?;
+        let out_h = self.h[w as usize];
+        let idx = self.pos[w as usize];
+        // Advance the winning stream; the new candidate's LCP with the
+        // string just output comes straight from the run's LCP array.
+        self.pos[w as usize] += 1;
+        let run = &self.runs[w as usize];
+        self.h[w as usize] = if self.pos[w as usize] < run.refs.len() {
+            run.lcps[self.pos[w as usize]]
+        } else {
+            0
+        };
+        // Replay the path from w's leaf to the root.
+        let mut cur = w;
+        let mut v = (self.k + w as usize) / 2;
+        while v >= 1 {
+            let challenger = self.loser[v];
+            let (win, lose) = if challenger == NONE_STREAM {
+                (cur, challenger)
+            } else {
+                self.play(cur, challenger)
+            };
+            self.loser[v] = lose;
+            cur = win;
+            v /= 2;
+        }
+        self.winner = cur;
+        Some((out, out_h, w, idx as u32))
+    }
+
+    /// Drains the tree, appending every string to `out`.
+    pub fn merge_into(mut self, out: &mut StringSet) -> MergeOutput {
+        let mut lcps = Vec::with_capacity(self.total);
+        let mut sources = Vec::with_capacity(self.total);
+        while let Some((s, h, run, idx)) = self.pop() {
+            out.push(s);
+            lcps.push(h);
+            sources.push((run, idx));
+        }
+        if let Some(first) = lcps.first_mut() {
+            *first = 0;
+        }
+        MergeOutput {
+            lcps: Some(lcps),
+            sources,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Plain (atomic) loser tree: identical tournament structure but every
+/// comparison starts from character 0. Used by the FKmerge baseline,
+/// which merges with "an ordinary (not LCP-aware) loser tree" (§II-C).
+pub struct LoserTree<'a> {
+    runs: Vec<MergeRun<'a>>,
+    k: usize,
+    loser: Vec<u32>,
+    winner: u32,
+    pos: Vec<usize>,
+    stats: MergeStats,
+    total: usize,
+}
+
+impl<'a> LoserTree<'a> {
+    /// Builds the tree (run LCP arrays are ignored and may be empty).
+    pub fn new(runs: Vec<MergeRun<'a>>) -> Self {
+        let total = runs.iter().map(|r| r.refs.len()).sum();
+        let k = runs.len().max(1).next_power_of_two();
+        let mut tree = Self {
+            k,
+            loser: vec![NONE_STREAM; k],
+            winner: NONE_STREAM,
+            pos: vec![0; k],
+            runs,
+            stats: MergeStats::default(),
+            total,
+        };
+        tree.winner = tree.build(1);
+        tree
+    }
+
+    fn candidate(&self, s: u32) -> Option<&'a [u8]> {
+        let run = self.runs.get(s as usize)?;
+        let i = self.pos[s as usize];
+        (i < run.refs.len()).then(|| run.bytes(i))
+    }
+
+    fn build(&mut self, v: usize) -> u32 {
+        if v >= self.k {
+            return (v - self.k) as u32;
+        }
+        let l = self.build(2 * v);
+        let r = self.build(2 * v + 1);
+        let (win, lose) = self.play(l, r);
+        self.loser[v] = lose;
+        win
+    }
+
+    fn play(&mut self, a: u32, b: u32) -> (u32, u32) {
+        match (self.candidate(a), self.candidate(b)) {
+            (None, _) => (b, a),
+            (Some(_), None) => (a, b),
+            (Some(xa), Some(xb)) => {
+                let (ord, full) = lcp_compare(xa, xb, 0);
+                self.stats.char_comparisons += 1;
+                self.stats.chars_inspected += u64::from(full) + 1;
+                let a_wins = match ord {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => a < b,
+                };
+                if a_wins {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            }
+        }
+    }
+
+    /// Pops the minimum string: `(bytes, run, idx)`.
+    pub fn pop(&mut self) -> Option<(&'a [u8], u32, u32)> {
+        let w = self.winner;
+        let out = self.candidate(w)?;
+        let idx = self.pos[w as usize];
+        self.pos[w as usize] += 1;
+        let mut cur = w;
+        let mut v = (self.k + w as usize) / 2;
+        while v >= 1 {
+            let challenger = self.loser[v];
+            let (win, lose) = if challenger == NONE_STREAM {
+                (cur, challenger)
+            } else {
+                self.play(cur, challenger)
+            };
+            self.loser[v] = lose;
+            cur = win;
+            v /= 2;
+        }
+        self.winner = cur;
+        Some((out, w, idx as u32))
+    }
+
+    /// Drains the tree, appending every string to `out`.
+    pub fn merge_into(mut self, out: &mut StringSet) -> MergeOutput {
+        let mut sources = Vec::with_capacity(self.total);
+        while let Some((s, run, idx)) = self.pop() {
+            out.push(s);
+            sources.push((run, idx));
+        }
+        MergeOutput {
+            lcps: None,
+            sources,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcp::verify_lcp_array;
+    use crate::sort::sort_with_lcp;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    /// Builds sorted runs out of string groups and merges them.
+    fn merge_groups(groups: Vec<Vec<Vec<u8>>>, lcp_aware: bool) -> (StringSet, MergeOutput) {
+        let mut sets: Vec<StringSet> = Vec::new();
+        let mut lcp_arrays: Vec<Vec<u32>> = Vec::new();
+        for g in groups {
+            let mut set = StringSet::from_iter_bytes(g.iter().map(|s| s.as_slice()));
+            let (lcps, _) = sort_with_lcp(&mut set);
+            sets.push(set);
+            lcp_arrays.push(lcps);
+        }
+        let runs: Vec<MergeRun<'_>> = sets
+            .iter()
+            .zip(&lcp_arrays)
+            .map(|(s, l)| MergeRun {
+                arena: s.arena(),
+                refs: s.refs(),
+                lcps: l,
+            })
+            .collect();
+        let mut out = StringSet::new();
+        let res = if lcp_aware {
+            LcpLoserTree::new(runs).merge_into(&mut out)
+        } else {
+            LoserTree::new(runs).merge_into(&mut out)
+        };
+        (out, res)
+    }
+
+    fn expect_sorted(groups: &[Vec<Vec<u8>>]) -> Vec<Vec<u8>> {
+        let mut all: Vec<Vec<u8>> = groups.iter().flatten().cloned().collect();
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn merges_three_runs_lcp_aware() {
+        let groups: Vec<Vec<Vec<u8>>> = vec![
+            vec![b"algae".to_vec(), b"alpha".to_vec(), b"alps".to_vec(), b"order".to_vec()],
+            vec![b"algo".to_vec(), b"snow".to_vec(), b"sorbet".to_vec(), b"sorter".to_vec()],
+            vec![b"orange".to_vec(), b"organ".to_vec(), b"sorted".to_vec(), b"soul".to_vec()],
+        ];
+        let expect = expect_sorted(&groups);
+        let (out, res) = merge_groups(groups, true);
+        assert_eq!(out.to_vecs(), expect);
+        verify_lcp_array(&out, res.lcps.as_ref().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn merges_plain_tree() {
+        let groups: Vec<Vec<Vec<u8>>> = vec![
+            vec![b"b".to_vec(), b"d".to_vec()],
+            vec![b"a".to_vec(), b"c".to_vec(), b"e".to_vec()],
+        ];
+        let expect = expect_sorted(&groups);
+        let (out, res) = merge_groups(groups, false);
+        assert_eq!(out.to_vecs(), expect);
+        assert!(res.lcps.is_none());
+    }
+
+    #[test]
+    fn empty_and_single_runs() {
+        let (out, _) = merge_groups(vec![], true);
+        assert!(out.is_empty());
+        let (out, res) = merge_groups(vec![vec![]], true);
+        assert!(out.is_empty());
+        assert!(res.sources.is_empty());
+        let (out, res) =
+            merge_groups(vec![vec![b"solo".to_vec()], vec![], vec![]], true);
+        assert_eq!(out.to_vecs(), vec![b"solo".to_vec()]);
+        assert_eq!(res.sources, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn sources_track_provenance() {
+        let groups: Vec<Vec<Vec<u8>>> = vec![
+            vec![b"a".to_vec(), b"c".to_vec()],
+            vec![b"b".to_vec(), b"d".to_vec()],
+        ];
+        let (_, res) = merge_groups(groups, true);
+        assert_eq!(res.sources, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn duplicate_heavy_merge() {
+        let groups: Vec<Vec<Vec<u8>>> = vec![
+            vec![b"dup".to_vec(); 50],
+            vec![b"dup".to_vec(); 70],
+            vec![b"dup".to_vec(); 30],
+        ];
+        let expect = expect_sorted(&groups);
+        let (out, res) = merge_groups(groups, true);
+        assert_eq!(out.to_vecs(), expect);
+        verify_lcp_array(&out, res.lcps.as_ref().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn lcp_tree_inspects_far_fewer_chars_on_shared_prefixes() {
+        // Runs of strings with a 256-char shared prefix: the plain tree
+        // rescans the prefix on every comparison; the LCP tree does not.
+        let prefix = vec![b'p'; 256];
+        let make = |salt: u8| -> Vec<Vec<u8>> {
+            (0..100u8)
+                .map(|i| {
+                    let mut s = prefix.clone();
+                    s.extend_from_slice(&[salt, i + 1, (i ^ salt) + 1]);
+                    s
+                })
+                .collect()
+        };
+        let groups = vec![make(1), make(2), make(3), make(4)];
+        let expect = expect_sorted(&groups);
+        let (out_a, res_a) = merge_groups(groups.clone(), true);
+        let (out_b, res_b) = merge_groups(groups, false);
+        assert_eq!(out_a.to_vecs(), expect);
+        assert_eq!(out_b.to_vecs(), expect);
+        assert!(
+            res_a.stats.chars_inspected * 10 < res_b.stats.chars_inspected,
+            "lcp {} vs plain {}",
+            res_a.stats.chars_inspected,
+            res_b.stats.chars_inspected
+        );
+    }
+
+    #[test]
+    fn char_comparisons_bounded_by_m_logk_plus_delta_l() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let groups: Vec<Vec<Vec<u8>>> = (0..8)
+            .map(|_| {
+                (0..200)
+                    .map(|_| {
+                        let len = rng.gen_range(1..12);
+                        (0..len).map(|_| rng.gen_range(b'a'..=b'd')).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let m: u64 = groups.iter().map(|g| g.len() as u64).sum();
+        let (out, res) = merge_groups(groups, true);
+        // ΔL ≤ total output characters + m; log K = 3. Allow the +1 char
+        // per decided comparison in the accounting.
+        let n_chars: u64 = out.num_chars() as u64;
+        let bound = m * 3 + n_chars + m + res.stats.char_comparisons;
+        assert!(
+            res.stats.chars_inspected <= bound,
+            "{} > {bound}",
+            res.stats.chars_inspected
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn lcp_merge_matches_global_sort(groups in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'c', 0..10), 0..30),
+            0..6)) {
+            let expect = expect_sorted(&groups);
+            let (out, res) = merge_groups(groups, true);
+            prop_assert_eq!(out.to_vecs(), expect);
+            prop_assert!(verify_lcp_array(&out, res.lcps.as_ref().unwrap()).is_ok());
+        }
+
+        #[test]
+        fn plain_merge_matches_global_sort(groups in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(b'x'..=b'z', 0..8), 0..20),
+            0..5)) {
+            let expect = expect_sorted(&groups);
+            let (out, _) = merge_groups(groups, false);
+            prop_assert_eq!(out.to_vecs(), expect);
+        }
+    }
+}

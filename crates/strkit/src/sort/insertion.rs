@@ -1,0 +1,201 @@
+//! LCP-aware insertion sort — the innermost base case (§II-A).
+//!
+//! Classic insertion sort re-compares full strings on every shift; the
+//! LCP-aware variant (Bingmann's thesis, alg. 5.4 family) tracks, for the
+//! string being inserted, its LCP with the element it is currently
+//! compared against, and uses the block's LCP entries to skip character
+//! comparisons entirely whenever the stored LCP differs from the tracked
+//! one. Characters are inspected only to *extend* LCPs, giving the
+//! O(D + n²) bound quoted in the paper.
+
+use super::Ctx;
+use crate::arena::StrRef;
+use std::cmp::Ordering;
+
+/// Sorts `refs[..]` by insertion, writing LCP entries to `lcps[1..]`.
+///
+/// Precondition: all strings share a common prefix of `depth` characters
+/// (comparisons start there). `lcps[0]` is left untouched (owner: caller).
+pub(crate) fn lcp_insertion_sort(
+    ctx: &mut Ctx<'_>,
+    refs: &mut [StrRef],
+    lcps: &mut [u32],
+    depth: u32,
+) {
+    let n = refs.len();
+    debug_assert_eq!(lcps.len(), n);
+    if n < 2 {
+        return;
+    }
+    for j in 1..n {
+        let s = refs[j];
+        // Compare with the rightmost sorted element first.
+        let (ord, mut h) = ctx.lcp_compare(refs[j - 1], s, depth);
+        if ord != Ordering::Greater {
+            // Already in place: record LCP with left neighbour.
+            lcps[j] = h;
+            continue;
+        }
+        // Shift refs[j-1] right; its LCP entry (pair with refs[j-2])
+        // travels with it provisionally and is overwritten if `s` ends up
+        // directly left of it.
+        let mut i = j - 1;
+        refs[i + 1] = refs[i];
+        lcps[i + 1] = lcps[i];
+        // Invariant of the scan: `h = LCP(s, element now at position i+1)`
+        // and `s` is smaller than everything in positions i+1..=j.
+        loop {
+            if i == 0 {
+                // `s` becomes the block's first element.
+                refs[0] = s;
+                lcps[1] = h;
+                break;
+            }
+            let stored = lcps[i]; // LCP(refs[i-1], element just shifted)
+            if stored < h {
+                // refs[i-1] diverges from the shifted element earlier than
+                // `s` does ⇒ refs[i-1] < s, no characters needed.
+                refs[i] = s;
+                lcps[i + 1] = h;
+                lcps[i] = stored;
+                break;
+            } else if stored > h {
+                // refs[i-1] shares more with the shifted element than `s`
+                // ⇒ refs[i-1] > s, shift it too; LCP(s, refs[i-1]) stays h.
+                refs[i] = refs[i - 1];
+                // lcps[i] keeps its provisional role for the next round.
+                lcps[i] = lcps[i - 1];
+                i -= 1;
+            } else {
+                // Equal LCPs: only now inspect characters, starting at h.
+                let (ord2, h2) = ctx.lcp_compare(refs[i - 1], s, h);
+                if ord2 != Ordering::Greater {
+                    refs[i] = s;
+                    lcps[i + 1] = h;
+                    lcps[i] = h2;
+                    break;
+                }
+                refs[i] = refs[i - 1];
+                lcps[i] = lcps[i - 1];
+                h = h2;
+                i -= 1;
+            }
+        }
+    }
+}
+
+/// Standalone entry: sorts the whole slice from scratch (depth 0) and
+/// fills the full LCP array including `lcps[0] = 0`.
+pub fn lcp_insertion_sort_standalone(
+    arena: &[u8],
+    refs: &mut [StrRef],
+    lcps: &mut [u32],
+) -> super::SortStats {
+    assert_eq!(refs.len(), lcps.len());
+    let mut ctx = Ctx::new(arena);
+    lcp_insertion_sort(&mut ctx, refs, lcps, 0);
+    if !lcps.is_empty() {
+        lcps[0] = 0;
+    }
+    ctx.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::StringSet;
+    use crate::lcp::verify_lcp_array;
+    use proptest::prelude::*;
+
+    fn run(strs: &[&str]) -> (StringSet, Vec<u32>) {
+        let mut set = StringSet::from_strs(strs);
+        let mut lcps = vec![0u32; set.len()];
+        let (arena, refs) = set.as_parts_mut();
+        lcp_insertion_sort_standalone(arena, refs, &mut lcps);
+        (set, lcps)
+    }
+
+    #[test]
+    fn sorts_and_reports_lcps() {
+        let (set, lcps) = run(&["alps", "alpha", "algo", "algae"]);
+        assert_eq!(set.to_vecs(), vec![b"algae".to_vec(), b"algo".to_vec(),
+            b"alpha".to_vec(), b"alps".to_vec()]);
+        verify_lcp_array(&set, &lcps).unwrap();
+        assert_eq!(lcps, vec![0, 3, 2, 3]);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let (set, lcps) = run(&["b", "a", "b", "a", "a"]);
+        assert_eq!(
+            set.to_vecs(),
+            vec![b"a".to_vec(), b"a".to_vec(), b"a".to_vec(), b"b".to_vec(), b"b".to_vec()]
+        );
+        verify_lcp_array(&set, &lcps).unwrap();
+    }
+
+    #[test]
+    fn handles_prefix_chains() {
+        let (set, lcps) = run(&["aaa", "a", "aaaa", "", "aa"]);
+        assert_eq!(set.get(0), b"");
+        assert_eq!(set.get(4), b"aaaa");
+        verify_lcp_array(&set, &lcps).unwrap();
+    }
+
+    #[test]
+    fn respects_existing_depth() {
+        // All share "xy"; sorting with depth=2 must not inspect those chars.
+        let mut set = StringSet::from_strs(&["xyc", "xya", "xyb"]);
+        let mut lcps = vec![0u32; 3];
+        let (arena, refs) = set.as_parts_mut();
+        let mut ctx = Ctx::new(arena);
+        lcp_insertion_sort(&mut ctx, refs, &mut lcps, 2);
+        let stats = ctx.stats;
+        lcps[0] = 0;
+        assert_eq!(set.to_vecs(), vec![b"xya".to_vec(), b"xyb".to_vec(), b"xyc".to_vec()]);
+        verify_lcp_array(&set, &lcps).unwrap();
+        // 3 strings, comparisons extend from depth 2 only: strictly fewer
+        // than the 9+ accesses a from-scratch sort would need.
+        assert!(stats.chars_accessed <= 8, "{}", stats.chars_accessed);
+    }
+
+    #[test]
+    fn char_work_is_near_d_for_reverse_sorted() {
+        // Reverse-sorted distinct one-char suffixes over a long shared
+        // prefix: naive insertion would rescan the prefix per shift.
+        let prefix = "p".repeat(200);
+        let strs: Vec<String> = (0..26u8)
+            .rev()
+            .map(|i| format!("{prefix}{}", (b'a' + i) as char))
+            .collect();
+        let refs: Vec<&str> = strs.iter().map(|s| s.as_str()).collect();
+        let mut set = StringSet::from_strs(&refs);
+        let mut lcps = vec![0u32; set.len()];
+        let (arena, handles) = set.as_parts_mut();
+        let stats = lcp_insertion_sort_standalone(arena, handles, &mut lcps);
+        verify_lcp_array(&set, &lcps).unwrap();
+        // D ≈ 26·201; naive insertion sort would inspect ≈ 26²/2·200 ≈ 67k.
+        assert!(
+            stats.chars_accessed < 3 * 26 * 201,
+            "chars {}",
+            stats.chars_accessed
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn matches_std_sort(strs in proptest::collection::vec(
+            proptest::collection::vec(b'a'..=b'c', 0..12), 0..40)) {
+            let mut set = StringSet::from_iter_bytes(strs.iter().map(|s| s.as_slice()));
+            let mut expect = strs.clone();
+            expect.sort();
+            let mut lcps = vec![0u32; set.len()];
+            let (arena, refs) = set.as_parts_mut();
+            lcp_insertion_sort_standalone(arena, refs, &mut lcps);
+            prop_assert_eq!(set.to_vecs(), expect);
+            prop_assert!(verify_lcp_array(&set, &lcps).is_ok());
+        }
+    }
+}

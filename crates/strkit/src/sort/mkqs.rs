@@ -1,0 +1,212 @@
+//! Multikey quicksort (Bentley–Sedgewick) with LCP output.
+//!
+//! The middle layer of the base-case stack (§II-A): a quicksort adapted to
+//! strings that partitions on *single characters* at the current depth.
+//! Strings in the `<`/`>` partitions keep their common prefix `depth`;
+//! the `=` partition descends one character. Expected work O(D + n log n).
+//!
+//! LCP entries fall out of the recursion structure: two adjacent strings
+//! that end up in different partitions of the same task share exactly
+//! `depth` characters (they differ at `depth` by construction), so every
+//! partition boundary writes an LCP of `depth`; base cases fill the rest.
+
+use super::{Ctx, INSERTION_THRESHOLD};
+use crate::arena::StrRef;
+
+/// One pending subproblem: `refs[begin..end]` all share `depth` chars.
+struct Task {
+    begin: usize,
+    end: usize,
+    depth: u32,
+}
+
+/// Sorts `refs`, writing LCP entries into `lcps[1..]` (`lcps[0]` is the
+/// caller's boundary entry). Precondition: common prefix of `depth`.
+pub(crate) fn multikey_quicksort(
+    ctx: &mut Ctx<'_>,
+    refs: &mut [StrRef],
+    lcps: &mut [u32],
+    depth: u32,
+) {
+    debug_assert_eq!(refs.len(), lcps.len());
+    let mut stack = vec![Task {
+        begin: 0,
+        end: refs.len(),
+        depth,
+    }];
+    while let Some(Task { begin, end, depth }) = stack.pop() {
+        let n = end - begin;
+        if n < 2 {
+            continue;
+        }
+        if n <= INSERTION_THRESHOLD {
+            super::insertion::lcp_insertion_sort(
+                ctx,
+                &mut refs[begin..end],
+                &mut lcps[begin..end],
+                depth,
+            );
+            continue;
+        }
+        // Pseudo-median-of-three pivot character at this depth.
+        let c = {
+            let a = ctx.ch(refs[begin], depth);
+            let b = ctx.ch(refs[begin + n / 2], depth);
+            let d = ctx.ch(refs[end - 1], depth);
+            median3(a, b, d)
+        };
+        // Three-way (Dutch national flag) partition on the character.
+        let (mut lt, mut i, mut gt) = (begin, begin, end);
+        while i < gt {
+            let ci = ctx.ch(refs[i], depth);
+            match ci.cmp(&c) {
+                std::cmp::Ordering::Less => {
+                    refs.swap(i, lt);
+                    lt += 1;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    gt -= 1;
+                    refs.swap(i, gt);
+                }
+                std::cmp::Ordering::Equal => i += 1,
+            }
+        }
+        // Partition boundaries: adjacent strings from different groups
+        // differ at `depth` exactly, since their group characters differ.
+        if lt > begin && lt < end {
+            lcps[lt] = depth;
+        }
+        if gt > begin && gt < end && gt != lt {
+            lcps[gt] = depth;
+        }
+        if lt > begin {
+            stack.push(Task {
+                begin,
+                end: lt,
+                depth,
+            });
+        }
+        if gt < end {
+            stack.push(Task {
+                begin: gt,
+                end,
+                depth,
+            });
+        }
+        // `=` group: either all strings ended here (equal strings of
+        // length `depth`) or descend one character.
+        if gt > lt {
+            if c == 0 {
+                for k in lt + 1..gt {
+                    lcps[k] = depth;
+                }
+            } else {
+                stack.push(Task {
+                    begin: lt,
+                    end: gt,
+                    depth: depth + 1,
+                });
+            }
+        }
+    }
+}
+
+#[inline]
+fn median3(a: u8, b: u8, c: u8) -> u8 {
+    a.max(b).min(a.min(b).max(c))
+}
+
+/// Standalone entry: sorts from depth 0 and fills the complete LCP array.
+pub fn multikey_quicksort_standalone(
+    arena: &[u8],
+    refs: &mut [StrRef],
+    lcps: &mut [u32],
+) -> super::SortStats {
+    assert_eq!(refs.len(), lcps.len());
+    let mut ctx = Ctx::new(arena);
+    multikey_quicksort(&mut ctx, refs, lcps, 0);
+    if !lcps.is_empty() {
+        lcps[0] = 0;
+    }
+    ctx.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::StringSet;
+    use crate::lcp::verify_lcp_array;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn check(mut set: StringSet) {
+        let mut expect = set.to_vecs();
+        expect.sort();
+        let mut lcps = vec![0u32; set.len()];
+        let (arena, refs) = set.as_parts_mut();
+        multikey_quicksort_standalone(arena, refs, &mut lcps);
+        assert_eq!(set.to_vecs(), expect);
+        verify_lcp_array(&set, &lcps).unwrap();
+    }
+
+    #[test]
+    fn median3_is_median() {
+        for a in 0..5u8 {
+            for b in 0..5 {
+                for c in 0..5 {
+                    let mut v = [a, b, c];
+                    v.sort_unstable();
+                    assert_eq!(median3(a, b, c), v[1], "{a} {b} {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_above_insertion_threshold() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut set = StringSet::new();
+        for _ in 0..400 {
+            let len = rng.gen_range(0..12);
+            let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'c')).collect();
+            set.push(&s);
+        }
+        check(set);
+    }
+
+    #[test]
+    fn sorts_equal_strings_longer_than_threshold() {
+        check(StringSet::from_strs(&["tie"; 100]));
+    }
+
+    #[test]
+    fn sorts_shared_prefix_block() {
+        let strs: Vec<String> = (0..100).rev().map(|i| format!("commonprefix{i:03}")).collect();
+        let refs: Vec<&str> = strs.iter().map(|s| s.as_str()).collect();
+        check(StringSet::from_strs(&refs));
+    }
+
+    #[test]
+    fn sorts_mixed_lengths_prefix_chain() {
+        let mut strs = Vec::new();
+        for i in 0..60 {
+            strs.push("a".repeat(i));
+        }
+        strs.reverse();
+        let refs: Vec<&str> = strs.iter().map(|s| s.as_str()).collect();
+        check(StringSet::from_strs(&refs));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn matches_std_sort(strs in proptest::collection::vec(
+            proptest::collection::vec(b'a'..=b'c', 0..10), 0..200)) {
+            let set = StringSet::from_iter_bytes(strs.iter().map(|s| s.as_slice()));
+            check(set);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! MSD string radix sort with LCP output — the top of the base-case stack.
+//!
+//! The paper's preferred sequential sorter (§II-A): partition the block by
+//! the character at the current common-prefix depth into σ buckets (one
+//! counting pass + one out-of-place scatter), recurse per bucket, and fall
+//! back to multikey quicksort below a block-size threshold. Strings whose
+//! length equals the depth land in the finished bucket (sentinel 0) and
+//! are all equal. Work is O(D) outside the base cases.
+//!
+//! Bucket keys are gathered once per pass into a scratch array; the
+//! scatter is a stable counting sort through a reusable `StrRef` scratch
+//! buffer (ping-pong would save a copy but complicates LCP bookkeeping
+//! for negligible gain at these block sizes).
+
+use super::{mkqs, Ctx, RADIX_THRESHOLD};
+use crate::arena::StrRef;
+
+struct Task {
+    begin: usize,
+    end: usize,
+    depth: u32,
+}
+
+/// Sorts `refs`, writing LCP entries into `lcps[1..]`. Precondition: all
+/// strings share `depth` prefix characters; `lcps[0]` belongs to the caller.
+pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut [u32], depth: u32) {
+    debug_assert_eq!(refs.len(), lcps.len());
+    let n = refs.len();
+    if ctx.ref_scratch.len() < n {
+        ctx.ref_scratch.resize(n, StrRef::default());
+        ctx.key_scratch.resize(n, 0);
+    }
+    let mut stack = vec![Task {
+        begin: 0,
+        end: n,
+        depth,
+    }];
+    let mut count = [0usize; 256];
+    while let Some(Task { begin, end, depth }) = stack.pop() {
+        let n = end - begin;
+        if n < 2 {
+            continue;
+        }
+        if n <= RADIX_THRESHOLD {
+            mkqs::multikey_quicksort(ctx, &mut refs[begin..end], &mut lcps[begin..end], depth);
+            continue;
+        }
+        // Pass 1: gather keys once, counting bucket sizes.
+        count.fill(0);
+        for i in begin..end {
+            let c = ctx.ch(refs[i], depth);
+            ctx.key_scratch[i] = c;
+            count[c as usize] += 1;
+        }
+        // Exclusive prefix sums → bucket write cursors (block-relative).
+        let mut cursor = [0usize; 256];
+        let mut sum = 0usize;
+        for b in 0..256 {
+            cursor[b] = sum;
+            sum += count[b];
+        }
+        // Pass 2: stable scatter into scratch, copy back.
+        for i in begin..end {
+            let c = ctx.key_scratch[i] as usize;
+            ctx.ref_scratch[begin + cursor[c]] = refs[i];
+            cursor[c] += 1;
+        }
+        refs[begin..end].copy_from_slice(&ctx.ref_scratch[begin..end]);
+        // Emit boundary LCPs and enqueue bucket subtasks.
+        let mut pos = begin;
+        for b in 0..256usize {
+            let sz = count[b];
+            if sz == 0 {
+                continue;
+            }
+            if pos > begin {
+                // First string of this bucket vs last of the previous one:
+                // they differ exactly at `depth`.
+                lcps[pos] = depth;
+            }
+            if sz >= 2 {
+                if b == 0 {
+                    // Finished strings: all equal, of length `depth`.
+                    for k in pos + 1..pos + sz {
+                        lcps[k] = depth;
+                    }
+                } else {
+                    stack.push(Task {
+                        begin: pos,
+                        end: pos + sz,
+                        depth: depth + 1,
+                    });
+                }
+            }
+            pos += sz;
+        }
+    }
+}
+
+/// Standalone entry: sorts from depth 0, filling the complete LCP array.
+pub fn msd_radix_sort_standalone(
+    arena: &[u8],
+    refs: &mut [StrRef],
+    lcps: &mut [u32],
+) -> super::SortStats {
+    assert_eq!(refs.len(), lcps.len());
+    let mut ctx = Ctx::new(arena);
+    msd_radix_sort(&mut ctx, refs, lcps, 0);
+    if !lcps.is_empty() {
+        lcps[0] = 0;
+    }
+    ctx.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::StringSet;
+    use crate::lcp::verify_lcp_array;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn check(mut set: StringSet) -> super::super::SortStats {
+        let mut expect = set.to_vecs();
+        expect.sort();
+        let mut lcps = vec![0u32; set.len()];
+        let (arena, refs) = set.as_parts_mut();
+        let stats = msd_radix_sort_standalone(arena, refs, &mut lcps);
+        assert_eq!(set.to_vecs(), expect);
+        verify_lcp_array(&set, &lcps).unwrap();
+        stats
+    }
+
+    #[test]
+    fn sorts_blocks_larger_than_threshold() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut set = StringSet::new();
+        for _ in 0..2000 {
+            let len = rng.gen_range(0..20);
+            let s: Vec<u8> = (0..len).map(|_| rng.gen_range(1..=255u8)).collect();
+            set.push(&s);
+        }
+        check(set);
+    }
+
+    #[test]
+    fn sorts_full_byte_alphabet() {
+        let mut set = StringSet::new();
+        for b in (1..=255u8).rev() {
+            set.push(&[b, b, b]);
+            set.push(&[b]);
+        }
+        check(set);
+    }
+
+    #[test]
+    fn finished_bucket_duplicates() {
+        // > threshold strings equal to a common prefix of others.
+        let mut strs = vec!["stem".to_string(); 100];
+        for i in 0..100 {
+            strs.push(format!("stem{i}"));
+        }
+        let refs: Vec<&str> = strs.iter().map(|s| s.as_str()).collect();
+        check(StringSet::from_strs(&refs));
+    }
+
+    #[test]
+    fn deep_recursion_on_long_shared_prefixes() {
+        // 300-char shared prefix forces 300 radix levels.
+        let prefix = "q".repeat(300);
+        let strs: Vec<String> = (0..200).map(|i| format!("{prefix}{:03}", 199 - i)).collect();
+        let refs: Vec<&str> = strs.iter().map(|s| s.as_str()).collect();
+        check(StringSet::from_strs(&refs));
+    }
+
+    #[test]
+    fn work_linear_in_dist_prefix_not_total_chars() {
+        // Distinct 4-char prefixes + 400 chars of filler each: accesses
+        // must scale with D ≈ 5n, not N ≈ 404n.
+        let mut set = StringSet::new();
+        let filler = "f".repeat(400);
+        for i in 0..4000u32 {
+            set.push(format!("{:04}{filler}", i % 4000).as_bytes());
+        }
+        let n = set.len() as u64;
+        let total = set.num_chars() as u64;
+        let stats = check(set);
+        assert!(stats.chars_accessed < 12 * n, "{}", stats.chars_accessed);
+        assert!(stats.chars_accessed < total / 20);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn matches_std_sort(strs in proptest::collection::vec(
+            proptest::collection::vec(b'a'..=b'b', 0..8), 0..300)) {
+            let set = StringSet::from_iter_bytes(strs.iter().map(|s| s.as_slice()));
+            check(set);
+        }
+    }
+}

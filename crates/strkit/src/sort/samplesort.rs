@@ -1,0 +1,366 @@
+//! Sequential string sample sort — the alternative base sorter of §II-A.
+//!
+//! "Our study [6] identifies several other efficient sequential string
+//! sorters. … For example, for large alphabets and skewed inputs strings,
+//! sample sort might be better." This is a (scalar) variant of Bingmann &
+//! Sanders' String Sample Sort: draw a random sample, sort it, pick k−1
+//! splitters, classify every string into 2k−1 buckets — *equality buckets*
+//! for strings equal to a splitter (which need no further work and defeat
+//! duplicate-heavy adversaries), open buckets in between — and recurse.
+//!
+//! LCP handling: strings in an open bucket `(tᵢ, tᵢ₊₁]` share at least
+//! `LCP(tᵢ, tᵢ₊₁)` characters (standard sorted-order fact), so the
+//! recursion passes that depth down; equality buckets are filled with
+//! LCP = |t| directly; boundary entries between adjacent non-empty
+//! buckets are computed with one LCP-extending comparison each.
+//!
+//! Classification compares against splitters starting at the common
+//! depth, so like the rest of the stack it inspects distinguishing-prefix
+//! characters (plus O(log k) splitter comparisons per string).
+
+use super::{mkqs, Ctx, SortStats, RADIX_THRESHOLD};
+use crate::arena::StrRef;
+use std::cmp::Ordering;
+
+/// Oversampling factor: sample size = OVERSAMPLE·k.
+const OVERSAMPLE: usize = 4;
+/// Bucket-count bounds per recursion level.
+const MIN_BUCKETS: usize = 4;
+const MAX_BUCKETS: usize = 64;
+/// Below this, hand off to multikey quicksort.
+const SSS_THRESHOLD: usize = 512;
+
+/// Deterministic splitmix64 (local copy; `dss-strkit` stays dependency-free).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        ((self.next() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+struct Task {
+    begin: usize,
+    end: usize,
+    depth: u32,
+}
+
+/// Sorts `refs` with LCP output into `lcps[1..]` (`lcps[0]` is the
+/// caller's). Precondition: common prefix `depth`.
+pub(crate) fn string_sample_sort(
+    ctx: &mut Ctx<'_>,
+    refs: &mut [StrRef],
+    lcps: &mut [u32],
+    depth: u32,
+    rng_seed: u64,
+) {
+    debug_assert_eq!(refs.len(), lcps.len());
+    let mut rng = Rng(rng_seed ^ 0x5a5a_1234);
+    // Bucket-boundary LCP entries depend on the *final* neighbours, which
+    // are only known once the adjacent buckets are internally sorted;
+    // record (position, known common depth) and resolve at the end.
+    let mut boundaries: Vec<(usize, u32)> = Vec::new();
+    let mut stack = vec![Task {
+        begin: 0,
+        end: refs.len(),
+        depth,
+    }];
+    while let Some(Task { begin, end, depth }) = stack.pop() {
+        let n = end - begin;
+        if n < 2 {
+            continue;
+        }
+        if n <= SSS_THRESHOLD {
+            mkqs::multikey_quicksort(ctx, &mut refs[begin..end], &mut lcps[begin..end], depth);
+            continue;
+        }
+        // --- sample and choose splitters -------------------------------
+        let k = (n / 256).next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let sample_size = (OVERSAMPLE * k).min(n);
+        let mut sample: Vec<StrRef> = (0..sample_size)
+            .map(|_| refs[begin + rng.below(n)])
+            .collect();
+        let mut sample_lcps = vec![0u32; sample.len()];
+        mkqs::multikey_quicksort(ctx, &mut sample, &mut sample_lcps, depth);
+        let mut splitters: Vec<StrRef> = (1..k)
+            .map(|j| sample[(j * sample.len()) / k])
+            .collect();
+        // Drop duplicate splitters (their equality buckets would be empty
+        // anyway and binary search wants strictly sorted pivots).
+        splitters.dedup_by(|a, b| ctx.bytes(*a) == ctx.bytes(*b));
+        if splitters.is_empty() {
+            // Degenerate sample: all sampled strings equal. Partition by
+            // "equal to that string" vs rest, then recurse on the rest.
+            let pivot = sample[0];
+            let (mut eq, mut rest): (Vec<StrRef>, Vec<StrRef>) = (Vec::new(), Vec::new());
+            let mut less: Vec<StrRef> = Vec::new();
+            for i in begin..end {
+                let (ord, _) = ctx.lcp_compare(refs[i], pivot, depth);
+                match ord {
+                    Ordering::Less => less.push(refs[i]),
+                    Ordering::Equal => eq.push(refs[i]),
+                    Ordering::Greater => rest.push(refs[i]),
+                }
+            }
+            let (ls, es) = (less.len(), eq.len());
+            refs[begin..begin + ls].copy_from_slice(&less);
+            refs[begin + ls..begin + ls + es].copy_from_slice(&eq);
+            refs[begin + ls + es..end].copy_from_slice(&rest);
+            // Equality run: LCP = |pivot| internally.
+            let plen = pivot.len;
+            for kk in begin + ls + 1..begin + ls + es {
+                lcps[kk] = plen;
+            }
+            if ls > 0 {
+                boundaries.push((begin + ls, depth));
+                stack.push(Task {
+                    begin,
+                    end: begin + ls,
+                    depth,
+                });
+            }
+            if ls + es < n {
+                boundaries.push((begin + ls + es, depth));
+                stack.push(Task {
+                    begin: begin + ls + es,
+                    end,
+                    depth,
+                });
+            }
+            continue;
+        }
+        // --- classify into 2k'−1 buckets --------------------------------
+        // Bucket ids: 2b = open bucket before splitter b; 2b+1 = equality
+        // bucket of splitter b; last open bucket id = 2·k'.
+        let kk = splitters.len();
+        let nbuckets = 2 * kk + 1;
+        let mut bucket_of = vec![0u32; n];
+        let mut counts = vec![0usize; nbuckets];
+        for i in 0..n {
+            let s = refs[begin + i];
+            // Binary search: first splitter ≥ s.
+            let (mut lo, mut hi) = (0usize, kk);
+            let mut equal: Option<usize> = None;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let (ord, _) = ctx.lcp_compare(s, splitters[mid], depth);
+                match ord {
+                    Ordering::Less => hi = mid,
+                    Ordering::Greater => lo = mid + 1,
+                    Ordering::Equal => {
+                        equal = Some(mid);
+                        break;
+                    }
+                }
+            }
+            let b = match equal {
+                Some(m) => 2 * m + 1,
+                None => 2 * lo,
+            };
+            bucket_of[i] = b as u32;
+            counts[b] += 1;
+        }
+        // --- scatter (stable) -------------------------------------------
+        if ctx.ref_scratch.len() < refs.len() {
+            ctx.ref_scratch.resize(refs.len(), StrRef::default());
+        }
+        let mut cursor = vec![0usize; nbuckets];
+        let mut sum = 0usize;
+        for b in 0..nbuckets {
+            cursor[b] = sum;
+            sum += counts[b];
+        }
+        for i in 0..n {
+            let b = bucket_of[i] as usize;
+            ctx.ref_scratch[begin + cursor[b]] = refs[begin + i];
+            cursor[b] += 1;
+        }
+        refs[begin..end].copy_from_slice(&ctx.ref_scratch[begin..end]);
+        // --- boundaries, equality runs, recursion ------------------------
+        let mut pos = begin;
+        for b in 0..nbuckets {
+            let sz = counts[b];
+            if sz == 0 {
+                continue;
+            }
+            if pos > begin {
+                boundaries.push((pos, depth));
+            }
+            if b % 2 == 1 {
+                // Equality bucket of splitter (b−1)/2: all strings equal.
+                let plen = splitters[(b - 1) / 2].len;
+                for kk2 in pos + 1..pos + sz {
+                    lcps[kk2] = plen;
+                }
+            } else if sz >= 2 {
+                // Open bucket: strings share the LCP of its bounding
+                // splitters (or the parent depth at the edges).
+                let left = b.checked_sub(1).map(|_| splitters[b / 2 - 1]);
+                let right = (b / 2 < kk).then(|| splitters[b / 2]);
+                let sub_depth = match (left, right) {
+                    (Some(l), Some(r)) => {
+                        let (_, h) = ctx.lcp_compare(l, r, depth);
+                        h
+                    }
+                    _ => depth,
+                };
+                if sz == n {
+                    // Pathological sample: no progress; fall back.
+                    mkqs::multikey_quicksort(
+                        ctx,
+                        &mut refs[pos..pos + sz],
+                        &mut lcps[pos..pos + sz],
+                        depth,
+                    );
+                } else {
+                    stack.push(Task {
+                        begin: pos,
+                        end: pos + sz,
+                        depth: sub_depth,
+                    });
+                }
+            }
+            pos += sz;
+        }
+    }
+    // Resolve the deferred boundary entries against the final order.
+    for (pos, d) in boundaries {
+        let (_, h) = ctx.lcp_compare(refs[pos - 1], refs[pos], d);
+        lcps[pos] = h;
+    }
+    let _ = RADIX_THRESHOLD; // same module family; silences unused import note
+}
+
+/// Standalone entry: sorts from depth 0, filling the complete LCP array.
+pub fn string_sample_sort_standalone(
+    arena: &[u8],
+    refs: &mut [StrRef],
+    lcps: &mut [u32],
+) -> SortStats {
+    assert_eq!(refs.len(), lcps.len());
+    let mut ctx = Ctx::new(arena);
+    string_sample_sort(&mut ctx, refs, lcps, 0, 0x5eed);
+    if !lcps.is_empty() {
+        lcps[0] = 0;
+    }
+    ctx.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::StringSet;
+    use crate::lcp::verify_lcp_array;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn check(mut set: StringSet) -> SortStats {
+        let mut expect = set.to_vecs();
+        expect.sort();
+        let mut lcps = vec![0u32; set.len()];
+        let (arena, refs) = set.as_parts_mut();
+        let stats = string_sample_sort_standalone(arena, refs, &mut lcps);
+        assert_eq!(set.to_vecs(), expect);
+        verify_lcp_array(&set, &lcps).unwrap();
+        stats
+    }
+
+    #[test]
+    fn sorts_small_input_via_fallback() {
+        check(StringSet::from_strs(&["pear", "apple", "fig", "date"]));
+    }
+
+    #[test]
+    fn sorts_large_random_input() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut set = StringSet::new();
+        for _ in 0..6000 {
+            let len = rng.gen_range(0..24);
+            let s: Vec<u8> = (0..len).map(|_| rng.gen_range(1..=255u8)).collect();
+            set.push(&s);
+        }
+        check(set);
+    }
+
+    #[test]
+    fn equality_buckets_defeat_duplicate_floods() {
+        // 90% of the input is one of three hot strings: the equality
+        // buckets must absorb them without recursion blowup.
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut set = StringSet::new();
+        for _ in 0..8000 {
+            if rng.gen_bool(0.9) {
+                set.push([b"hot_one".as_ref(), b"hot_two", b"hot_three"][rng.gen_range(0..3)]);
+            } else {
+                let len = rng.gen_range(0..10);
+                let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+                set.push(&s);
+            }
+        }
+        check(set);
+    }
+
+    #[test]
+    fn all_equal_large_input() {
+        check(StringSet::from_strs(&["same"; 4000]));
+    }
+
+    #[test]
+    fn skewed_lengths_and_shared_prefixes() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut set = StringSet::new();
+        let prefix = "sharedprefix".repeat(4);
+        for i in 0..3000u32 {
+            if rng.gen_bool(0.3) {
+                set.push(format!("{prefix}{:05}", i % 500).as_bytes());
+            } else {
+                set.push(format!("{:03}", i % 800).as_bytes());
+            }
+        }
+        check(set);
+    }
+
+    #[test]
+    fn agrees_with_radix_sort() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut a = StringSet::new();
+        for _ in 0..4000 {
+            let len = rng.gen_range(0..16);
+            let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'0'..=b'z')).collect();
+            a.push(&s);
+        }
+        let mut b = a.clone();
+        let mut la = vec![0u32; a.len()];
+        let mut lb = vec![0u32; b.len()];
+        {
+            let (arena, refs) = a.as_parts_mut();
+            string_sample_sort_standalone(arena, refs, &mut la);
+        }
+        {
+            let (arena, refs) = b.as_parts_mut();
+            super::super::msd_radix_sort_standalone(arena, refs, &mut lb);
+        }
+        assert_eq!(a.to_vecs(), b.to_vecs());
+        assert_eq!(la, lb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn matches_std_sort(strs in proptest::collection::vec(
+            proptest::collection::vec(b'a'..=b'd', 0..10), 0..1500)) {
+            let set = StringSet::from_iter_bytes(strs.iter().map(|s| s.as_slice()));
+            check(set);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Walks through Figures 2 and 3 of the paper on its own 12 example
+//! strings, printing (and asserting) every intermediate state:
+//!
+//! * Fig. 2 — Algorithm MS: local sort with LCP arrays, regular sampling
+//!   {alpha, snow, organ}, splitters {alpha, organ}, LCP-compressed
+//!   exchange ("- - p h a" characters omitted), loser-tree merge.
+//! * Fig. 3 — Algorithm PDMS: prefix doubling at depths 1, 2, 4, 8
+//!   (snow's prefix becomes unique at depth 2; sorter/sorted only cap at
+//!   their full length), truncated sampling {alph, sn, orga}, prefix-only
+//!   exchange.
+//!
+//! One honest deviation is flagged inline: the hand-drawn split lines of
+//! Fig. 2 place "alps" in the first bucket although "alps" > the splitter
+//! "alpha"; the algorithm as *defined* in §V (bucket bᵢ = {s | fᵢ < s ≤
+//! fᵢ₊₁}) sends it to PE 2, which is what this implementation does.
+//!
+//! Run with: `cargo run --release --example paper_walkthrough`
+
+use distributed_string_sorting::dedup::prefix_doubling::{
+    approx_dist_prefixes, PrefixDoublingConfig,
+};
+use distributed_string_sorting::prelude::*;
+
+const PE_INPUTS: [[&str; 4]; 3] = [
+    ["alpha", "order", "alps", "algae"],
+    ["sorter", "snow", "algo", "sorbet"],
+    ["sorted", "orange", "soul", "organ"],
+];
+
+fn show(title: &str, pe: usize, set: &StringSet, lcps: Option<&[u32]>) {
+    print!("  PE{} {title:<18}", pe + 1);
+    for (i, s) in set.iter().enumerate() {
+        match lcps {
+            Some(l) if i > 0 => print!(" {}({})", String::from_utf8_lossy(s), l[i]),
+            _ => print!(" {}", String::from_utf8_lossy(s)),
+        }
+    }
+    println!();
+}
+
+fn figure2() {
+    println!("=== Fig. 2 — Algorithm MS on the example strings ===\n");
+    let result = run_spmd(3, RunConfig::default(), |comm| {
+        let mut set = StringSet::from_strs(&PE_INPUTS[comm.rank()]);
+        let (lcps, _) = sort_with_lcp(&mut set);
+        // Step 2+3+4 all happen inside MS; run it for the final state.
+        let out = Ms::default().sort(comm, StringSet::from_strs(&PE_INPUTS[comm.rank()]));
+        (
+            set.to_vecs(),
+            lcps,
+            out.set.to_vecs(),
+            out.lcps.expect("MS emits LCPs"),
+        )
+    });
+
+    println!("Step 1: sort locally with LCP array output");
+    let expected_lcps: [&[u32]; 3] = [&[0, 2, 3, 0], &[0, 0, 1, 3], &[0, 2, 0, 2]];
+    for (pe, (sorted, lcps, _, _)) in result.values.iter().enumerate() {
+        let set = StringSet::from_iter_bytes(sorted.iter().map(|s| s.as_slice()));
+        show("after local sort:", pe, &set, Some(lcps));
+        assert_eq!(lcps.as_slice(), expected_lcps[pe], "paper's LCP values");
+    }
+
+    println!("\nStep 2: sample regularly {{alpha, snow, organ}}, splitters {{alpha, organ}}");
+    println!("  (asserted inside the partitioner; v = 1 sample per PE)");
+
+    println!("\nSteps 3+4: exchange with LCP compression, merge with LCP loser tree");
+    let expected_out: [&[&str]; 3] = [
+        &["algae", "algo", "alpha"],
+        &["alps", "orange", "order", "organ"],
+        &["snow", "sorbet", "sorted", "sorter", "soul"],
+    ];
+    for (pe, (_, _, out, out_lcps)) in result.values.iter().enumerate() {
+        let set = StringSet::from_iter_bytes(out.iter().map(|s| s.as_slice()));
+        show("final output:", pe, &set, Some(out_lcps));
+        let got: Vec<&str> = out
+            .iter()
+            .map(|s| std::str::from_utf8(s).expect("ascii"))
+            .collect();
+        assert_eq!(got, expected_out[pe]);
+    }
+    println!(
+        "\n  note: the figure's hand-drawn split keeps \"alps\" on PE 1, but by the\n  \
+         paper's own bucket rule (f1 = \"alpha\" < \"alps\") it belongs to PE 2."
+    );
+
+    // The union is the paper's final sorted sequence.
+    let all: Vec<String> = result
+        .values
+        .iter()
+        .flat_map(|(_, _, out, _)| out.iter().map(|s| String::from_utf8_lossy(s).into_owned()))
+        .collect();
+    assert_eq!(
+        all,
+        [
+            "algae", "algo", "alpha", "alps", "orange", "order", "organ", "snow", "sorbet",
+            "sorted", "sorter", "soul"
+        ]
+    );
+}
+
+fn figure3() {
+    println!("\n=== Fig. 3 — Algorithm PDMS: Step 1+ε prefix doubling ===\n");
+    let cfg = PrefixDoublingConfig {
+        initial: 1, // the figure starts at depth 1
+        ..PrefixDoublingConfig::default()
+    };
+    let result = run_spmd(3, RunConfig::default(), move |comm| {
+        let mut set = StringSet::from_strs(&PE_INPUTS[comm.rank()]);
+        let (lcps, _) = sort_with_lcp(&mut set);
+        let (approx, stats) = approx_dist_prefixes(comm, &set, &lcps, &cfg);
+        let pdms = Pdms::with_config(PdmsConfig {
+            pd: cfg,
+            ..PdmsConfig::default()
+        });
+        let out = pdms.sort(comm, StringSet::from_strs(&PE_INPUTS[comm.rank()]));
+        (set.to_vecs(), approx, stats.iterations, out.set.to_vecs())
+    });
+
+    println!("Step 1+ε: approximate distinguishing prefixes (depths 1, 2, 4, 8):");
+    let mut approx_of = std::collections::HashMap::new();
+    for (pe, (strs, approx, iters, _)) in result.values.iter().enumerate() {
+        print!("  PE{}:", pe + 1);
+        for (s, &a) in strs.iter().zip(approx) {
+            let s = String::from_utf8_lossy(s).into_owned();
+            print!(" {s}→{a}");
+            approx_of.insert(s, a);
+        }
+        println!("   ({iters} doubling rounds)");
+        assert_eq!(*iters, 4, "depths 1,2,4,8 as in the figure");
+    }
+    // The figure's verdicts: snow unique at depth 2; the al*/or*/sor* group
+    // resolves at depth 4; sorter/sorted only at their full length.
+    assert_eq!(approx_of["snow"], 2);
+    for s in ["algae", "algo", "alpha", "alps", "order", "orange", "organ", "sorbet", "soul"] {
+        assert_eq!(approx_of[s], 4, "{s} resolves at depth 4");
+    }
+    for s in ["sorter", "sorted"] {
+        assert_eq!(approx_of[s], 7, "{s} caps at len+1 (share a 6-prefix)");
+    }
+
+    println!("\nSteps 2–4: truncated sampling {{alph, sn, orga}}, prefix-only exchange, merge:");
+    for (pe, (_, _, _, out)) in result.values.iter().enumerate() {
+        let set = StringSet::from_iter_bytes(out.iter().map(|s| s.as_slice()));
+        show("sorted prefixes:", pe, &set, None);
+    }
+    let all: Vec<String> = result
+        .values
+        .iter()
+        .flat_map(|(_, _, _, out)| out.iter().map(|s| String::from_utf8_lossy(s).into_owned()))
+        .collect();
+    // Only distinguishing prefixes travel; "sorte*" keeps 6 chars + cap.
+    assert_eq!(
+        all,
+        [
+            "alga", "algo", "alph", "alps", "oran", "orde", "orga", "sn", "sorb", "sorted",
+            "sorter", "soul"
+        ]
+    );
+    println!("\n  every string travelled as its distinguishing prefix only — the");
+    println!("  omitted gray characters of the figure never crossed the simulated wire.");
+}
+
+fn main() {
+    figure2();
+    figure3();
+    println!("\nAll intermediate states match the paper's figures (see notes above).");
+}

@@ -1,0 +1,172 @@
+//! End-to-end matrix: every algorithm × every workload family × several
+//! PE counts, validated two ways — the communication-efficient
+//! distributed checker *and* a central oracle (gather everything, compare
+//! against a sequential sort; PDMS outputs are resolved through their
+//! origin tags first).
+
+use distributed_string_sorting::prelude::*;
+use distributed_string_sorting::sort::output::origin_parts;
+
+fn oracle_check(alg: Algorithm, workload: &Workload, p: usize, seed: u64) {
+    // Expected: sequential sort of all shards.
+    let mut expect: Vec<Vec<u8>> = (0..p)
+        .flat_map(|r| workload.generate(r, p, seed).to_vecs())
+        .collect();
+    expect.sort();
+
+    let result = run_spmd(p, RunConfig::default(), move |comm| {
+        let shard = workload.generate(comm.rank(), comm.size(), seed);
+        let input = shard.clone();
+        let out = alg.instance().sort(comm, shard);
+        check_distributed_sort(comm, &input, &out)
+            .unwrap_or_else(|e| panic!("{} checker: {e}", alg.label()));
+        (
+            out.set.to_vecs(),
+            out.origins,
+            out.local_store.map(|s| s.to_vecs()),
+        )
+    });
+
+    let got: Vec<Vec<u8>> = match result.values[0].1 {
+        None => result.values.iter().flat_map(|(s, _, _)| s.clone()).collect(),
+        Some(_) => {
+            // PDMS: map origins back to full strings.
+            let stores: Vec<&Vec<Vec<u8>>> = result
+                .values
+                .iter()
+                .map(|(_, _, st)| st.as_ref().expect("pdms keeps store"))
+                .collect();
+            result
+                .values
+                .iter()
+                .flat_map(|(prefixes, origins, _)| {
+                    let origins = origins.as_ref().expect("pdms origins");
+                    prefixes.iter().zip(origins).map(|(pref, &tag)| {
+                        let (pe, idx) = origin_parts(tag);
+                        let full = stores[pe][idx].clone();
+                        assert!(
+                            full.starts_with(pref),
+                            "{}: prefix/origin mismatch",
+                            alg.label()
+                        );
+                        full
+                    })
+                })
+                .collect()
+        }
+    };
+    assert_eq!(
+        got,
+        expect,
+        "{} on {} with p={p} does not sort",
+        alg.label(),
+        workload.label()
+    );
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::DnRatio {
+            n_per_pe: 80,
+            len: 60,
+            r: 0.5,
+            sigma: 8,
+        },
+        Workload::Web { n_per_pe: 70 },
+        Workload::Dna { n_per_pe: 70 },
+        Workload::Suffix {
+            text_len: 240,
+            cap: 60,
+        },
+    ]
+}
+
+#[test]
+fn all_algorithms_sort_all_workloads_p4() {
+    for alg in Algorithm::all_paper() {
+        for w in workloads() {
+            oracle_check(alg, &w, 4, 1);
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_sort_on_odd_pe_counts() {
+    for alg in Algorithm::all_paper() {
+        oracle_check(
+            alg,
+            &Workload::Web { n_per_pe: 50 },
+            3,
+            2,
+        );
+        oracle_check(
+            alg,
+            &Workload::DnRatio {
+                n_per_pe: 40,
+                len: 40,
+                r: 0.25,
+                sigma: 8,
+            },
+            5,
+            3,
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_sort_on_single_pe() {
+    for alg in Algorithm::all_paper() {
+        oracle_check(alg, &Workload::Dna { n_per_pe: 60 }, 1, 4);
+    }
+}
+
+#[test]
+fn skewed_instances_sort() {
+    let w = Workload::SkewedDnRatio {
+        n_per_pe: 60,
+        len: 80,
+        r: 0.5,
+        sigma: 8,
+    };
+    for alg in Algorithm::all_paper() {
+        oracle_check(alg, &w, 4, 5);
+    }
+}
+
+#[test]
+fn degenerate_duplicate_only_input() {
+    // Every string identical across all PEs — the FKmerge-crash trigger.
+    #[derive(Clone)]
+    struct AllDup;
+    let result = run_spmd(4, RunConfig::default(), |comm| {
+        let _ = AllDup;
+        let shard = StringSet::from_strs(&["boiler"; 100]);
+        let input = shard.clone();
+        for alg in Algorithm::all_paper() {
+            let out = alg.instance().sort(comm, shard.clone());
+            check_distributed_sort(comm, &input, &out)
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.label()));
+        }
+    });
+    assert_eq!(result.values.len(), 4);
+}
+
+#[test]
+fn empty_and_near_empty_inputs() {
+    for alg in Algorithm::all_paper() {
+        let result = run_spmd(3, RunConfig::default(), move |comm| {
+            // PE1 holds everything; others are empty.
+            let shard = if comm.rank() == 1 {
+                StringSet::from_strs(&["x", "a", "m", "q", "b"])
+            } else {
+                StringSet::new()
+            };
+            let input = shard.clone();
+            let out = alg.instance().sort(comm, shard);
+            check_distributed_sort(comm, &input, &out)
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.label()));
+            out.set.len()
+        });
+        assert_eq!(result.values.iter().sum::<usize>(), 5, "{}", alg.label());
+    }
+}
