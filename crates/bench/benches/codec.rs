@@ -11,7 +11,9 @@ use dss_strkit::sort::sort_with_lcp;
 fn bench_golomb(c: &mut Criterion) {
     let mut group = c.benchmark_group("golomb");
     let values: Vec<u64> = {
-        let mut v: Vec<u64> = (0..20_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 24).collect();
+        let mut v: Vec<u64> = (0..20_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 24)
+            .collect();
         v.sort_unstable();
         v
     };
@@ -52,13 +54,17 @@ fn bench_wire(c: &mut Criterion) {
     group.bench_function("decode_plain", |b| {
         b.iter(|| {
             let mut pos = 0;
-            wire::decode_plain(&plain, &mut pos).expect("roundtrip").len()
+            wire::decode_plain(&plain, &mut pos)
+                .expect("roundtrip")
+                .len()
         })
     });
     group.bench_function("decode_lcp", |b| {
         b.iter(|| {
             let mut pos = 0;
-            wire::decode_lcp(&compressed, &mut pos).expect("roundtrip").len()
+            wire::decode_lcp(&compressed, &mut pos)
+                .expect("roundtrip")
+                .len()
         })
     });
     group.finish();

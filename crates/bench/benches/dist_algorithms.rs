@@ -26,19 +26,15 @@ fn bench_algorithms(c: &mut Criterion) {
         let n_total = (0..p).map(|r| w.generate(r, p, 1).len()).sum::<usize>() as u64;
         group.throughput(Throughput::Elements(n_total));
         for alg in Algorithm::all_paper() {
-            group.bench_with_input(
-                BenchmarkId::new(alg.label(), wname),
-                &w,
-                |b, w| {
-                    b.iter(|| {
-                        let res = run_spmd(p, RunConfig::default(), |comm| {
-                            let shard = w.generate(comm.rank(), comm.size(), 1);
-                            alg.instance().sort(comm, shard).set.len()
-                        });
-                        res.values.iter().sum::<usize>()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.label(), wname), &w, |b, w| {
+                b.iter(|| {
+                    let res = run_spmd(p, RunConfig::default(), |comm| {
+                        let shard = w.generate(comm.rank(), comm.size(), 1);
+                        alg.instance().sort(comm, shard).set.len()
+                    });
+                    res.values.iter().sum::<usize>()
+                })
+            });
         }
     }
     group.finish();

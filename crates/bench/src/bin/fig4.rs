@@ -12,10 +12,10 @@
 
 use dss_bench::cli::Args;
 use dss_bench::harness::run_repeated_with_model;
-use dss_bench::{print_table, write_csv};
-use dss_net::CostModel;
 use dss_bench::table::speedup_at;
+use dss_bench::{print_table, write_csv};
 use dss_gen::Workload;
+use dss_net::CostModel;
 use dss_sort::Algorithm;
 use std::path::PathBuf;
 
@@ -46,7 +46,16 @@ fn main() {
         };
         for &p in &pes {
             for alg in Algorithm::all_paper() {
-                let res = run_repeated_with_model(alg.label(), &*alg.instance(), &w, p, seed, check, reps, &model);
+                let res = run_repeated_with_model(
+                    alg.label(),
+                    &*alg.instance(),
+                    &w,
+                    p,
+                    seed,
+                    check,
+                    reps,
+                    &model,
+                );
                 eprintln!(
                     "r={r:<4} p={p:<3} {:<12} modeled={:>9.2}ms bytes/str={:>8.1} {}",
                     res.algorithm,

@@ -10,11 +10,11 @@
 //!       [--pes 4,8,16,32] [--n-total 24000] [--no-check]
 
 use dss_bench::cli::Args;
-use dss_bench::table::speedup_at;
 use dss_bench::harness::run_repeated_with_model;
+use dss_bench::table::speedup_at;
 use dss_bench::{print_table, write_csv};
-use dss_net::CostModel;
 use dss_gen::Workload;
+use dss_net::CostModel;
 use dss_sort::Algorithm;
 use std::path::PathBuf;
 
@@ -45,7 +45,16 @@ fn main() {
                 },
             };
             for alg in Algorithm::all_paper() {
-                let res = run_repeated_with_model(alg.label(), &*alg.instance(), &w, p, seed, check, reps, &model);
+                let res = run_repeated_with_model(
+                    alg.label(),
+                    &*alg.instance(),
+                    &w,
+                    p,
+                    seed,
+                    check,
+                    reps,
+                    &model,
+                );
                 eprintln!(
                     "{:<12} p={p:<3} {:<12} modeled={:>9.2}ms bytes/str={:>8.1} {}",
                     res.workload,
@@ -87,7 +96,13 @@ fn main() {
         if let Some(s) = speedup_at(&results, p_max, w, "hQuick", &["MS"]) {
             println!("  MS vs hQuick        {s:.1}x   (paper CC: 4.5-4.6x)");
         }
-        if let Some(s) = speedup_at(&results, p_max, w, "MS-simple", &["MS", "PDMS", "PDMS-Golomb"]) {
+        if let Some(s) = speedup_at(
+            &results,
+            p_max,
+            w,
+            "MS-simple",
+            &["MS", "PDMS", "PDMS-Golomb"],
+        ) {
             println!("  LCP-algs vs MS-simple {s:.1}x (paper CC: 2.6-3.5x)");
         }
     }

@@ -17,17 +17,33 @@
 use dss_bench::cli::Args;
 use dss_bench::harness::run_repeated_with_model;
 use dss_bench::{print_table, write_csv, ExperimentResult};
-use dss_net::CostModel;
 use dss_gen::Workload;
+use dss_net::CostModel;
 use dss_sort::partition::{PartitionConfig, SamplingPolicy};
 use dss_sort::{Algorithm, Ms, MsConfig, Pdms, PdmsConfig};
 use std::path::PathBuf;
 
-fn paper_algorithms(w: &Workload, pes: &[usize], seed: u64, check: bool, reps: usize, model: &CostModel) -> Vec<ExperimentResult> {
+fn paper_algorithms(
+    w: &Workload,
+    pes: &[usize],
+    seed: u64,
+    check: bool,
+    reps: usize,
+    model: &CostModel,
+) -> Vec<ExperimentResult> {
     let mut out = Vec::new();
     for &p in pes {
         for alg in Algorithm::all_paper() {
-            let res = run_repeated_with_model(alg.label(), &*alg.instance(), w, p, seed, check, reps, model);
+            let res = run_repeated_with_model(
+                alg.label(),
+                &*alg.instance(),
+                w,
+                p,
+                seed,
+                check,
+                reps,
+                model,
+            );
             eprintln!(
                 "{:<14} p={p:<3} {:<12} modeled={:>9.2}ms bytes/str={:>8.1} {}",
                 res.workload,
@@ -42,7 +58,13 @@ fn paper_algorithms(w: &Workload, pes: &[usize], seed: u64, check: bool, reps: u
     out
 }
 
-fn exp_suffix(pes: &[usize], seed: u64, check: bool, reps: usize, model: &CostModel) -> Vec<ExperimentResult> {
+fn exp_suffix(
+    pes: &[usize],
+    seed: u64,
+    check: bool,
+    reps: usize,
+    model: &CostModel,
+) -> Vec<ExperimentResult> {
     let w = Workload::Suffix {
         text_len: 6000,
         cap: 500,
@@ -66,7 +88,13 @@ fn exp_suffix(pes: &[usize], seed: u64, check: bool, reps: usize, model: &CostMo
     results
 }
 
-fn exp_skewed(pes: &[usize], seed: u64, check: bool, reps: usize, model: &CostModel) -> Vec<ExperimentResult> {
+fn exp_skewed(
+    pes: &[usize],
+    seed: u64,
+    check: bool,
+    reps: usize,
+    model: &CostModel,
+) -> Vec<ExperimentResult> {
     let w = Workload::SkewedDnRatio {
         n_per_pe: 800,
         len: 100,
@@ -76,7 +104,13 @@ fn exp_skewed(pes: &[usize], seed: u64, check: bool, reps: usize, model: &CostMo
     paper_algorithms(&w, pes, seed, check, reps, model)
 }
 
-fn exp_sampling(pes: &[usize], seed: u64, check: bool, reps: usize, model: &CostModel) -> Vec<ExperimentResult> {
+fn exp_sampling(
+    pes: &[usize],
+    seed: u64,
+    check: bool,
+    reps: usize,
+    model: &CostModel,
+) -> Vec<ExperimentResult> {
     // MS with string- vs character-based sampling on uniform and skewed
     // inputs; PDMS additionally with dist-prefix-based sampling.
     let uniform = Workload::DnRatio {
@@ -109,9 +143,36 @@ fn exp_sampling(pes: &[usize], seed: u64, check: bool, reps: usize, model: &Cost
     let mut out = Vec::new();
     for w in [&uniform, &skewed] {
         for &p in pes {
-            out.push(run_repeated_with_model("MS/str-sample", &ms_strings, w, p, seed, check, reps, model));
-            out.push(run_repeated_with_model("MS/char-sample", &ms_chars, w, p, seed, check, reps, model));
-            out.push(run_repeated_with_model("PDMS/dist-sample", &pdms_dist, w, p, seed, check, reps, model));
+            out.push(run_repeated_with_model(
+                "MS/str-sample",
+                &ms_strings,
+                w,
+                p,
+                seed,
+                check,
+                reps,
+                model,
+            ));
+            out.push(run_repeated_with_model(
+                "MS/char-sample",
+                &ms_chars,
+                w,
+                p,
+                seed,
+                check,
+                reps,
+                model,
+            ));
+            out.push(run_repeated_with_model(
+                "PDMS/dist-sample",
+                &pdms_dist,
+                w,
+                p,
+                seed,
+                check,
+                reps,
+                model,
+            ));
         }
     }
     for r in &out {
@@ -126,12 +187,24 @@ fn exp_sampling(pes: &[usize], seed: u64, check: bool, reps: usize, model: &Cost
     out
 }
 
-fn exp_wiki(pes: &[usize], seed: u64, check: bool, reps: usize, model: &CostModel) -> Vec<ExperimentResult> {
+fn exp_wiki(
+    pes: &[usize],
+    seed: u64,
+    check: bool,
+    reps: usize,
+    model: &CostModel,
+) -> Vec<ExperimentResult> {
     let w = Workload::TextLines { n_per_pe: 800 };
     paper_algorithms(&w, pes, seed, check, reps, model)
 }
 
-fn exp_ablation(pes: &[usize], seed: u64, check: bool, reps: usize, model: &CostModel) -> Vec<ExperimentResult> {
+fn exp_ablation(
+    pes: &[usize],
+    seed: u64,
+    check: bool,
+    reps: usize,
+    model: &CostModel,
+) -> Vec<ExperimentResult> {
     // Extension knobs on a low-D/N input where they matter most.
     let w = Workload::DnRatio {
         n_per_pe: 800,
@@ -164,13 +237,76 @@ fn exp_ablation(pes: &[usize], seed: u64, check: bool, reps: usize, model: &Cost
     });
     let mut out = Vec::new();
     for &p in pes {
-        out.push(run_repeated_with_model("MS", &Ms::default(), &w, p, seed, check, reps, model));
-        out.push(run_repeated_with_model("MS/delta-lcp", &ms_delta, &w, p, seed, check, reps, model));
-        out.push(run_repeated_with_model("PDMS", &Pdms::default(), &w, p, seed, check, reps, model));
-        out.push(run_repeated_with_model("PDMS-Golomb", &Pdms::golomb(), &w, p, seed, check, reps, model));
-        out.push(run_repeated_with_model("PDMS/hypercube", &pdms_hypercube, &w, p, seed, check, reps, model));
-        out.push(run_repeated_with_model("PDMS/eps=0.5", &pdms_slow_growth, &w, p, seed, check, reps, model));
-        out.push(run_repeated_with_model("PDMS/delta-lcp", &pdms_delta, &w, p, seed, check, reps, model));
+        out.push(run_repeated_with_model(
+            "MS",
+            &Ms::default(),
+            &w,
+            p,
+            seed,
+            check,
+            reps,
+            model,
+        ));
+        out.push(run_repeated_with_model(
+            "MS/delta-lcp",
+            &ms_delta,
+            &w,
+            p,
+            seed,
+            check,
+            reps,
+            model,
+        ));
+        out.push(run_repeated_with_model(
+            "PDMS",
+            &Pdms::default(),
+            &w,
+            p,
+            seed,
+            check,
+            reps,
+            model,
+        ));
+        out.push(run_repeated_with_model(
+            "PDMS-Golomb",
+            &Pdms::golomb(),
+            &w,
+            p,
+            seed,
+            check,
+            reps,
+            model,
+        ));
+        out.push(run_repeated_with_model(
+            "PDMS/hypercube",
+            &pdms_hypercube,
+            &w,
+            p,
+            seed,
+            check,
+            reps,
+            model,
+        ));
+        out.push(run_repeated_with_model(
+            "PDMS/eps=0.5",
+            &pdms_slow_growth,
+            &w,
+            p,
+            seed,
+            check,
+            reps,
+            model,
+        ));
+        out.push(run_repeated_with_model(
+            "PDMS/delta-lcp",
+            &pdms_delta,
+            &w,
+            p,
+            seed,
+            check,
+            reps,
+            model,
+        ));
     }
     for r in &out {
         eprintln!(
@@ -213,7 +349,10 @@ fn main() {
     if exp == "ablation" || exp == "all" {
         results.extend(exp_ablation(&pes, seed, check, reps, &model));
     }
-    println!("{}", print_table(&format!("§VII-E further experiments ({exp})"), &results));
+    println!(
+        "{}",
+        print_table(&format!("§VII-E further experiments ({exp})"), &results)
+    );
     if let Err(e) = write_csv(&out, &results) {
         eprintln!("failed to write {}: {e}", out.display());
     } else {

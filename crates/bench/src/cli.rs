@@ -13,11 +13,11 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args`.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses any iterator of arguments (testable).
-    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Self {
+    pub fn parse_from(iter: impl IntoIterator<Item = String>) -> Self {
         let mut out = Args::default();
         let mut it = iter.into_iter().peekable();
         while let Some(a) = it.next() {
@@ -44,7 +44,10 @@ impl Args {
 
     /// String lookup with default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.vals.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.vals
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Whether a bare switch was passed.
@@ -55,10 +58,7 @@ impl Args {
     /// Comma-separated list of usizes (e.g. `--pes 2,4,8`).
     pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
         match self.vals.get(key) {
-            Some(v) => v
-                .split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect(),
+            Some(v) => v.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
             None => default.to_vec(),
         }
     }
@@ -69,7 +69,7 @@ mod tests {
     use super::*;
 
     fn args(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(|x| x.to_string()))
+        Args::parse_from(s.split_whitespace().map(|x| x.to_string()))
     }
 
     #[test]

@@ -47,7 +47,16 @@ pub fn run_repeated(
     check: bool,
     reps: usize,
 ) -> ExperimentResult {
-    run_repeated_with_model(label, sorter, workload, p, seed, check, reps, &CostModel::default())
+    run_repeated_with_model(
+        label,
+        sorter,
+        workload,
+        p,
+        seed,
+        check,
+        reps,
+        &CostModel::default(),
+    )
 }
 
 /// [`run_repeated`] with an explicit α–β cost model (the figure binaries
@@ -108,7 +117,15 @@ pub fn run_custom(
     seed: u64,
     check: bool,
 ) -> ExperimentResult {
-    run_custom_with_model(label, sorter, workload, p, seed, check, &CostModel::default())
+    run_custom_with_model(
+        label,
+        sorter,
+        workload,
+        p,
+        seed,
+        check,
+        &CostModel::default(),
+    )
 }
 
 /// [`run_custom`] with an explicit α–β cost model.

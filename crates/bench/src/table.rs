@@ -17,7 +17,14 @@ pub fn print_table(title: &str, results: &[ExperimentResult]) -> String {
         let _ = writeln!(
             out,
             "{:>6} {:<16} {:>12} {:>10} {:>10} {:>10} {:>14} {:>7}",
-            "p", "algorithm", "modeled(ms)", "comp(ms)", "comm(ms)", "wall(ms)", "bytes/string", "check"
+            "p",
+            "algorithm",
+            "modeled(ms)",
+            "comp(ms)",
+            "comm(ms)",
+            "wall(ms)",
+            "bytes/string",
+            "check"
         );
         for r in results.iter().filter(|r| r.workload == w) {
             let _ = writeln!(
@@ -76,7 +83,13 @@ pub fn write_csv(path: &Path, results: &[ExperimentResult]) -> std::io::Result<(
 
 /// Ratio helper for the paper's headline claims ("X times faster than Y
 /// at the largest configuration").
-pub fn speedup_at(results: &[ExperimentResult], p: usize, workload: &str, base: &str, best_of: &[&str]) -> Option<f64> {
+pub fn speedup_at(
+    results: &[ExperimentResult],
+    p: usize,
+    workload: &str,
+    base: &str,
+    best_of: &[&str],
+) -> Option<f64> {
     let base_t = results
         .iter()
         .find(|r| r.p == p && r.workload == workload && r.algorithm == base)?
@@ -122,7 +135,11 @@ mod tests {
 
     #[test]
     fn speedup_computes_ratio() {
-        let rows = vec![dummy("slow", 4, 100), dummy("fast", 4, 20), dummy("faster", 4, 10)];
+        let rows = vec![
+            dummy("slow", 4, 100),
+            dummy("fast", 4, 20),
+            dummy("faster", 4, 10),
+        ];
         let s = speedup_at(&rows, 4, "W", "slow", &["fast", "faster"]).unwrap();
         assert!((s - 10.0).abs() < 1e-9);
         assert!(speedup_at(&rows, 8, "W", "slow", &["fast"]).is_none());

@@ -88,7 +88,7 @@ impl BitWriter {
             rest -= 32;
         }
         // `rest` one-bits, then the terminating zero.
-        self.write_bits(((1u64 << rest) - 1) << 0, rest as u32);
+        self.write_bits((1u64 << rest) - 1, rest as u32);
         self.write_bit(false);
     }
 

@@ -51,7 +51,7 @@ pub fn golomb_encode_sorted(values: &[u64], log_m: u32) -> (Vec<u8>, usize) {
         let delta = if i == 0 { v } else { v - prev };
         prev = v;
         let q = delta >> log_m;
-        let r = delta & ((1u64 << log_m) - 1).min(u64::MAX);
+        let r = delta & ((1u64 << log_m) - 1);
         w.write_unary(q);
         if log_m > 0 {
             w.write_bits(r, log_m);

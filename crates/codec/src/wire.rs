@@ -61,7 +61,9 @@ impl DecodedRun {
 
     /// Iterate over all strings in order.
     pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
-        self.bounds.iter().map(|&(off, len)| &self.data[off..off + len])
+        self.bounds
+            .iter()
+            .map(|&(off, len)| &self.data[off..off + len])
     }
 }
 
@@ -401,14 +403,12 @@ mod tests {
     }
 
     fn sorted_string_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
-        proptest::collection::vec(
-            proptest::collection::vec(b'a'..=b'f', 0..12),
-            0..40,
+        proptest::collection::vec(proptest::collection::vec(b'a'..=b'f', 0..12), 0..40).prop_map(
+            |mut v| {
+                v.sort();
+                v
+            },
         )
-        .prop_map(|mut v| {
-            v.sort();
-            v
-        })
     }
 
     proptest! {

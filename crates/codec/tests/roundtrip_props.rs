@@ -1,0 +1,203 @@
+//! Randomized roundtrip properties for the codec crate, plus bit-boundary
+//! edge cases for `bitio`.
+//!
+//! These complement the in-module proptest suites with seed-driven trials
+//! whose distributions are shaped like the wire traffic: varints skew
+//! small (string lengths, LCPs), Golomb streams are sorted fingerprint
+//! sets of every density.
+
+use dss_codec::golomb::{
+    golomb_decode_auto, golomb_decode_sorted, golomb_encode_auto, golomb_encode_sorted,
+};
+use dss_codec::varint::{decode_u64, encode_u64, encoded_len_u64};
+use dss_codec::{BitReader, BitWriter};
+use rand::prelude::*;
+
+/// Magnitude-stratified random u64: uniform over bit widths, not values,
+/// so small varints and 10-byte varints are equally likely.
+fn random_width_u64(rng: &mut StdRng) -> u64 {
+    let width = rng.gen_range(0..=64u32);
+    if width == 0 {
+        0
+    } else {
+        rng.gen_range(0..=u64::MAX) >> (64 - width)
+    }
+}
+
+#[test]
+fn varint_roundtrips_over_randomized_seeds() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DEC ^ seed);
+        let values: Vec<u64> = (0..500).map(|_| random_width_u64(&mut rng)).collect();
+        let mut buf = Vec::new();
+        let mut lens = Vec::new();
+        for &v in &values {
+            lens.push(encode_u64(v, &mut buf));
+        }
+        let mut pos = 0;
+        for (i, &v) in values.iter().enumerate() {
+            let before = pos;
+            assert_eq!(decode_u64(&buf, &mut pos), Some(v), "seed {seed} idx {i}");
+            assert_eq!(pos - before, lens[i], "length accounting, seed {seed}");
+            assert_eq!(lens[i], encoded_len_u64(v), "encoded_len_u64, seed {seed}");
+        }
+        assert_eq!(pos, buf.len(), "no trailing bytes, seed {seed}");
+    }
+}
+
+#[test]
+fn varint_decode_rejects_truncation() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..200 {
+        let v = random_width_u64(&mut rng) | (1 << 40); // ≥ 6 encoded bytes
+        let mut buf = Vec::new();
+        encode_u64(v, &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(decode_u64(&buf[..cut], &mut pos), None, "cut {cut}");
+        }
+    }
+}
+
+#[test]
+fn golomb_roundtrips_over_randomized_seeds() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(0x60_10_3B ^ seed);
+        let n = rng.gen_range(0..400usize);
+        let log_m = rng.gen_range(0..50u32);
+        // Couple value magnitude to the Rice parameter: a delta of width
+        // w costs ~2^(w - log_m) unary bits, so keep w ≤ log_m + 20 or the
+        // encoding (correctly) explodes to gigabits.
+        let max_width = (log_m + 20).min(64);
+        let mut values: Vec<u64> = (0..n)
+            .map(|_| {
+                let width = rng.gen_range(0..=max_width);
+                if width == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=u64::MAX) >> (64 - width)
+                }
+            })
+            .collect();
+        values.sort_unstable();
+        let (bytes, bits) = golomb_encode_sorted(&values, log_m);
+        assert_eq!(
+            golomb_decode_sorted(&bytes, bits, values.len(), log_m),
+            Some(values.clone()),
+            "seed {seed} n {n} log_m {log_m}"
+        );
+        let auto = golomb_encode_auto(&values, values.last().copied().unwrap_or(0).max(1));
+        assert_eq!(golomb_decode_auto(&auto), Some(values), "auto, seed {seed}");
+    }
+}
+
+#[test]
+fn golomb_dense_duplicate_streams_roundtrip() {
+    // Fingerprint streams of the duplicate detection are exactly this
+    // shape: long runs of equal values among near-equal neighbours.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut values = Vec::new();
+    let mut v = 0u64;
+    for _ in 0..2000 {
+        if rng.gen_bool(0.7) {
+            values.push(v); // duplicate
+        } else {
+            v += rng.gen_range(1..50u64);
+            values.push(v);
+        }
+    }
+    for log_m in [0u32, 1, 4, 13] {
+        let (bytes, bits) = golomb_encode_sorted(&values, log_m);
+        assert_eq!(
+            golomb_decode_sorted(&bytes, bits, values.len(), log_m),
+            Some(values.clone()),
+            "log_m {log_m}"
+        );
+    }
+}
+
+#[test]
+fn bitio_empty_input() {
+    let w = BitWriter::new();
+    assert!(w.is_empty());
+    assert_eq!(w.len_bits(), 0);
+    let (bytes, bits) = w.finish();
+    assert!(bytes.is_empty());
+    assert_eq!(bits, 0);
+
+    let mut r = BitReader::new(&[]);
+    assert_eq!(r.remaining(), 0);
+    assert_eq!(r.read_bit(), None);
+    assert_eq!(r.read_bits(1), None);
+    assert_eq!(r.read_unary(), None);
+    // Zero-width reads succeed even on an empty stream.
+    assert_eq!(r.read_bits(0), Some(0));
+}
+
+#[test]
+fn bitio_payloads_straddling_byte_boundaries() {
+    // 7-, 8- and 9-bit payloads: one bit short of a byte, exactly a byte,
+    // one bit past a byte — written back to back so every alignment occurs.
+    for &width in &[7u32, 8, 9] {
+        let values: Vec<u64> = (0..32)
+            .map(|i| (i * 0x35) as u64 & ((1 << width) - 1))
+            .collect();
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_bits(v, width);
+        }
+        assert_eq!(w.len_bits(), values.len() * width as usize);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bytes.len(), bits.div_ceil(8));
+        let mut r = BitReader::with_len(&bytes, bits);
+        for &v in &values {
+            assert_eq!(r.read_bits(width), Some(v), "width {width}");
+        }
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_bit(), None);
+    }
+}
+
+#[test]
+fn bitio_mixed_width_random_roundtrip() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0xB17 ^ seed);
+        let items: Vec<(u64, u32)> = (0..300)
+            .map(|_| {
+                let width = rng.gen_range(0..=64u32);
+                let v = if width == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=u64::MAX) >> (64 - width)
+                };
+                (v, width)
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for &(v, width) in &items {
+            w.write_bits(v, width);
+        }
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_len(&bytes, bits);
+        for &(v, width) in &items {
+            assert_eq!(r.read_bits(width), Some(v), "seed {seed} width {width}");
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+}
+
+#[test]
+fn bitio_unary_across_boundaries() {
+    // Unary runs of length 6..=10 cross the byte boundary in every phase.
+    let values: Vec<u64> = (0..40).map(|i| (i % 5) + 6).collect();
+    let mut w = BitWriter::new();
+    for &v in &values {
+        w.write_unary(v);
+    }
+    let (bytes, bits) = w.finish();
+    let mut r = BitReader::with_len(&bytes, bits);
+    for &v in &values {
+        assert_eq!(r.read_unary(), Some(v));
+    }
+    assert_eq!(r.remaining(), 0);
+}

@@ -18,8 +18,8 @@
 //! false positives with probability ≈ k²/2^fp_bits for k global
 //! fingerprints (one-sided error, the safe side for PDMS).
 
-use dss_codec::golomb;
 use dss_codec::bitio::{BitReader, BitWriter};
+use dss_codec::golomb;
 use dss_net::Comm;
 
 /// Configuration of one duplicate-detection round.
@@ -107,11 +107,7 @@ fn exchange(comm: &Comm, msgs: Vec<Vec<u8>>, cfg: &DedupConfig) -> Vec<Vec<u8>> 
 /// Returns `unique[i]` for each input fingerprint: `true` means the value
 /// `fps[i] & mask(fp_bits)` occurs exactly once globally (exact); `false`
 /// means it occurs more than once *or* collided (one-sided error).
-pub fn global_uniqueness(
-    comm: &Comm,
-    fps: &[u64],
-    cfg: &DedupConfig,
-) -> (Vec<bool>, DedupStats) {
+pub fn global_uniqueness(comm: &Comm, fps: &[u64], cfg: &DedupConfig) -> (Vec<bool>, DedupStats) {
     let p = comm.size();
     let m = mask(cfg.fp_bits);
     let mut stats = DedupStats {
@@ -130,8 +126,7 @@ pub fn global_uniqueness(
     // Serialize one sorted run per destination.
     let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
     let mut cursor = 0usize;
-    for dest in 0..p {
-        let k = per_dest_counts[dest];
+    for (dest, &k) in per_dest_counts.iter().enumerate().take(p) {
         let vals: Vec<u64> = order[cursor..cursor + k]
             .iter()
             .map(|&i| fps[i as usize] & m)
@@ -140,9 +135,7 @@ pub fn global_uniqueness(
         let payload = if cfg.golomb {
             let base = range_base(dest, p, cfg.fp_bits);
             let normalized: Vec<u64> = vals.iter().map(|v| v - base).collect();
-            let span = (range_base(dest + 1, p, cfg.fp_bits)
-                .wrapping_sub(base))
-            .max(1);
+            let span = (range_base(dest + 1, p, cfg.fp_bits).wrapping_sub(base)).max(1);
             golomb::golomb_encode_auto(&normalized, span)
         } else {
             let mut buf = Vec::with_capacity(8 + vals.len() * 8);
@@ -160,8 +153,7 @@ pub fn global_uniqueness(
     let received = exchange(comm, msgs, cfg);
     let decoded: Vec<Vec<u64>> = received
         .iter()
-        .enumerate()
-        .map(|(_src, buf)| {
+        .map(|buf| {
             if cfg.golomb {
                 let base = range_base(comm.rank(), p, cfg.fp_bits);
                 let vals = golomb::golomb_decode_auto(buf).expect("well-formed golomb stream");
@@ -283,17 +275,21 @@ mod tests {
 
     #[test]
     fn detects_local_duplicates() {
-        check(
-            2,
-            vec![vec![7, 7, 8], vec![9]],
-            DedupConfig::default(),
-        );
+        check(2, vec![vec![7, 7, 8], vec![9]], DedupConfig::default());
     }
 
     #[test]
     fn all_unique_and_all_duplicate() {
-        check(4, (0..4).map(|r| vec![r as u64 * 100]).collect(), DedupConfig::default());
-        check(4, (0..4).map(|_| vec![42u64]).collect(), DedupConfig::default());
+        check(
+            4,
+            (0..4).map(|r| vec![r as u64 * 100]).collect(),
+            DedupConfig::default(),
+        );
+        check(
+            4,
+            (0..4).map(|_| vec![42u64]).collect(),
+            DedupConfig::default(),
+        );
     }
 
     #[test]

@@ -48,11 +48,7 @@ pub struct DnEstimate {
 /// Gossip estimator: each PE contributes `sample_per_pe` random strings;
 /// the union is broadcast to everyone (O(β·s·p·ℓ̂) volume, one gossip),
 /// and DIST statistics are computed locally within the sample.
-pub fn estimate_dist_by_gossip(
-    comm: &Comm,
-    set: &StringSet,
-    sample_per_pe: usize,
-) -> DnEstimate {
+pub fn estimate_dist_by_gossip(comm: &Comm, set: &StringSet, sample_per_pe: usize) -> DnEstimate {
     let mut rng = comm.rng();
     let n = set.len();
     let take = sample_per_pe.min(n);

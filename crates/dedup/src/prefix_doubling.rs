@@ -141,8 +141,8 @@ pub fn approx_dist_prefixes(
         // a solo string with the same prefix that would otherwise be
         // declared unique.
         struct Group {
-            first: usize,           // index in `active` of the first member
-            members: usize,         // number of active members
+            first: usize,   // index in `active` of the first member
+            members: usize, // number of active members
         }
         let mut groups: Vec<Group> = Vec::new();
         let mut rep: Option<(usize, usize)> = None; // (string idx, plen)
@@ -153,8 +153,8 @@ pub fn approx_dist_prefixes(
             let plen = (ell as usize).min(set.get(i).len());
             let same_group = match rep {
                 Some((_, rep_plen)) => {
-                    for k in prev_scanned + 1..=i {
-                        run_min_lcp = run_min_lcp.min(lcps[k]);
+                    for &l in &lcps[prev_scanned + 1..=i] {
+                        run_min_lcp = run_min_lcp.min(l);
                     }
                     rep_plen == plen && run_min_lcp as usize >= plen
                 }
@@ -336,7 +336,11 @@ mod tests {
         });
         for (strs, approx) in &res.values {
             for (s, &a) in strs.iter().zip(approx) {
-                assert!(a >= 6, "approx {a} too small for {:?}", String::from_utf8_lossy(s));
+                assert!(
+                    a >= 6,
+                    "approx {a} too small for {:?}",
+                    String::from_utf8_lossy(s)
+                );
             }
         }
     }
@@ -353,8 +357,16 @@ mod tests {
     #[test]
     fn empty_and_single_pe_inputs() {
         check(2, vec![vec![], vec![]], PrefixDoublingConfig::default());
-        check(2, vec![vec!["only"], vec![]], PrefixDoublingConfig::default());
-        check(1, vec![vec!["a", "b", "c"]], PrefixDoublingConfig::default());
+        check(
+            2,
+            vec![vec!["only"], vec![]],
+            PrefixDoublingConfig::default(),
+        );
+        check(
+            1,
+            vec![vec!["a", "b", "c"]],
+            PrefixDoublingConfig::default(),
+        );
     }
 
     #[test]
@@ -402,7 +414,8 @@ mod tests {
                 },
             )
             .0;
-            let doubled = approx_dist_prefixes(comm, &set, &lcps, &PrefixDoublingConfig::default()).0;
+            let doubled =
+                approx_dist_prefixes(comm, &set, &lcps, &PrefixDoublingConfig::default()).0;
             let t: u64 = tight.iter().map(|&v| v as u64).sum();
             let d: u64 = doubled.iter().map(|&v| v as u64).sum();
             (t, d)

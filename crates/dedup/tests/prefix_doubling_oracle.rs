@@ -27,7 +27,9 @@ fn random_shards(p: usize, n: usize, max_len: usize, sigma: u8, seed: u64) -> Ve
             (0..n)
                 .map(|_| {
                     let len = rng.gen_range(0..=max_len);
-                    (0..len).map(|_| rng.gen_range(b'a'..b'a' + sigma)).collect()
+                    (0..len)
+                        .map(|_| rng.gen_range(b'a'..b'a' + sigma))
+                        .collect()
                 })
                 .collect()
         })

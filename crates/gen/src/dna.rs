@@ -29,7 +29,7 @@ pub fn generate(n_per_pe: usize, rank: usize, seed: u64) -> StringSet {
     let genome_len = (GENOME_PER_KREAD * n_per_pe.max(1000) / 1000).max(4 * READ_LEN);
     let mut genome_rng = StdRng::seed_from_u64(seed ^ 0xD7A);
     let genome: Vec<u8> = (0..genome_len)
-        .map(|_| BASES[genome_rng.gen_range(0..4)])
+        .map(|_| BASES[genome_rng.gen_range(0..4usize)])
         .collect();
     // Start-position pool: fewer distinct starts than reads ⇒ duplicates.
     let pool_size = (n_per_pe / 3).max(1);
@@ -51,7 +51,7 @@ pub fn generate(n_per_pe: usize, rank: usize, seed: u64) -> StringSet {
         // 1 % per-base sequencing "errors".
         for b in read.iter_mut() {
             if rng.gen_bool(0.01) {
-                *b = BASES[rng.gen_range(0..4)];
+                *b = BASES[rng.gen_range(0..4usize)];
             }
         }
         set.push(&read);

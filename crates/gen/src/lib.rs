@@ -78,7 +78,9 @@ impl Workload {
             Workload::Web { n_per_pe } => web::generate(n_per_pe, rank, seed),
             Workload::Dna { n_per_pe } => dna::generate(n_per_pe, rank, seed),
             Workload::TextLines { n_per_pe } => text::generate_lines(n_per_pe, rank, seed),
-            Workload::Suffix { text_len, cap } => text::generate_suffixes(text_len, cap, rank, p, seed),
+            Workload::Suffix { text_len, cap } => {
+                text::generate_suffixes(text_len, cap, rank, p, seed)
+            }
         }
     }
 

@@ -52,8 +52,8 @@ pub fn instance_stats(shards: &[StringSet]) -> InstanceStats {
     let d = total_dist_prefix(&lcps, &lens);
     let sum_lcp: u64 = lcps.iter().map(|&h| h as u64).sum();
     let mut dups = 0usize;
-    for i in 1..n {
-        if lcps[i] as usize == all.get(i).len() && all.get(i - 1).len() == all.get(i).len() {
+    for (i, &l) in lcps.iter().enumerate().skip(1) {
+        if l as usize == all.get(i).len() && all.get(i - 1).len() == all.get(i).len() {
             dups += 1;
         }
     }
@@ -80,7 +80,11 @@ mod tests {
     #[test]
     fn web_instance_matches_paper_statistics() {
         let s = instance_stats(&shards_of(&Workload::Web { n_per_pe: 1500 }, 4));
-        assert!(s.avg_len > 30.0 && s.avg_len < 60.0, "avg_len {}", s.avg_len);
+        assert!(
+            s.avg_len > 30.0 && s.avg_len < 60.0,
+            "avg_len {}",
+            s.avg_len
+        );
         assert!(
             s.dn_ratio > 0.5 && s.dn_ratio < 0.85,
             "D/N {} (paper: 0.68)",
@@ -91,7 +95,10 @@ mod tests {
             "avg LCP fraction {} (paper: 0.60)",
             s.avg_lcp / s.avg_len
         );
-        assert!(s.dup_fraction > 0.1, "needs repeated strings (FKmerge trigger)");
+        assert!(
+            s.dup_fraction > 0.1,
+            "needs repeated strings (FKmerge trigger)"
+        );
     }
 
     #[test]

@@ -21,9 +21,7 @@ use dss_strkit::StringSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const WIKI_TOKENS: [&[u8]; 8] = [
-    b"[[", b"]]", b"==", b"{{", b"}}", b"''", b"<ref>", b"|",
-];
+const WIKI_TOKENS: [&[u8]; 8] = [b"[[", b"]]", b"==", b"{{", b"}}", b"''", b"<ref>", b"|"];
 
 fn push_word(out: &mut Vec<u8>, rng: &mut StdRng) {
     if rng.gen_bool(0.08) {
@@ -101,7 +99,13 @@ pub fn generate_lines(n_per_pe: usize, rank: usize, seed: u64) -> StringSet {
 
 /// Generates PE `rank`'s shard of the suffix instance: suffixes starting
 /// at positions ≡ rank (mod p), truncated to `cap` characters.
-pub fn generate_suffixes(text_len: usize, cap: usize, rank: usize, p: usize, seed: u64) -> StringSet {
+pub fn generate_suffixes(
+    text_len: usize,
+    cap: usize,
+    rank: usize,
+    p: usize,
+    seed: u64,
+) -> StringSet {
     let text = generate_text(text_len, seed);
     let count = (text_len - rank).div_ceil(p).min(text_len);
     let mut set = StringSet::with_capacity(count, count * cap.min(text_len));

@@ -28,14 +28,14 @@ const TARGET_LEN: usize = 40;
 /// Deterministic pseudo-word for vocabulary rank `r` (2–12 chars,
 /// letters + occasional punctuation/digits to widen the alphabet).
 fn word(r: usize, rng: &mut StdRng) -> Vec<u8> {
-    let len = 2 + rng.gen_range(0..11);
+    let len = 2 + rng.gen_range(0..11usize);
     let mut w = Vec::with_capacity(len);
     for k in 0..len {
-        let c = if k == 0 && r % 17 == 0 {
+        let c = if k == 0 && r.is_multiple_of(17) {
             rng.gen_range(b'A'..=b'Z')
-        } else if r % 31 == 0 && k == len - 1 {
+        } else if r.is_multiple_of(31) && k == len - 1 {
             *[b'.', b',', b';', b':', b'!', b'-', b'/', b'0', b'7']
-                .get(rng.gen_range(0..9))
+                .get(rng.gen_range(0..9usize))
                 .expect("in range")
         } else {
             rng.gen_range(b'a'..=b'z')
@@ -70,7 +70,9 @@ pub fn generate(n_per_pe: usize, rank: usize, seed: u64) -> StringSet {
     // Vocabulary and hot pool are global (same seed on every PE).
     let mut global_rng = StdRng::seed_from_u64(seed ^ 0x0857_0CC5);
     let vocab: Vec<Vec<u8>> = (0..VOCAB_SIZE).map(|r| word(r, &mut global_rng)).collect();
-    let hot: Vec<Vec<u8>> = (0..HOT_POOL).map(|_| make_line(&vocab, &mut global_rng)).collect();
+    let hot: Vec<Vec<u8>> = (0..HOT_POOL)
+        .map(|_| make_line(&vocab, &mut global_rng))
+        .collect();
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0x3B ^ (rank as u64) << 24);
     let mut set = StringSet::with_capacity(n_per_pe, n_per_pe * (TARGET_LEN + 8));

@@ -158,11 +158,7 @@ impl Comm {
     }
 
     /// Reduce + broadcast: every PE returns the combined value.
-    pub fn allreduce(
-        &self,
-        data: Vec<u8>,
-        op: impl FnMut(Vec<u8>, Vec<u8>) -> Vec<u8>,
-    ) -> Vec<u8> {
+    pub fn allreduce(&self, data: Vec<u8>, op: impl FnMut(Vec<u8>, Vec<u8>) -> Vec<u8>) -> Vec<u8> {
         let v = self.reduce(0, data, op).unwrap_or_default();
         self.broadcast(0, v)
     }
@@ -178,9 +174,9 @@ impl Comm {
         let result = if r == root {
             let mut out: Vec<Vec<u8>> = (0..p).map(|_| Vec::new()).collect();
             out[root] = data;
-            for src in 0..p {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = self.raw_recv(src, tag, true);
+                    *slot = self.raw_recv(src, tag, true);
                 }
             }
             self.add_rounds(p as u64 - 1);

@@ -101,7 +101,8 @@ impl PeMetrics {
         if let Some(i) = self.phases.iter().position(|(n, _)| n == name) {
             self.cur = i;
         } else {
-            self.phases.push((name.to_string(), PhaseCounters::default()));
+            self.phases
+                .push((name.to_string(), PhaseCounters::default()));
             self.cur = self.phases.len() - 1;
         }
     }

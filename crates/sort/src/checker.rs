@@ -215,6 +215,121 @@ mod tests {
         assert!(res.values.iter().all(|&v| v));
     }
 
+    /// A deterministic 4-PE input and its genuine MS output, for the
+    /// corrupted-real-output tests below.
+    fn sorted_by_ms(comm: &mut dss_net::Comm) -> (StringSet, SortedRun) {
+        let mut set = StringSet::new();
+        for i in 0..50u32 {
+            set.push(format!("w{:03}", (i * 7 + comm.rank() as u32 * 13) % 97).as_bytes());
+        }
+        let input = set.clone();
+        let out = Algorithm::Ms.instance().sort(comm, set);
+        (input, out)
+    }
+
+    #[test]
+    fn rejects_swapped_strings_in_real_output() {
+        // Swap the first adjacent distinct pair of a genuine MS result.
+        // Every PE corrupts its own shard (symmetric, so no PE is left
+        // waiting in a collective after the early local-order rejection).
+        let res = run_spmd(4, cfg_run(), |comm| {
+            let (input, out) = sorted_by_ms(comm);
+            let mut strings = out.set.to_vecs();
+            let i = strings
+                .windows(2)
+                .position(|w| w[0] != w[1])
+                .expect("output has distinct neighbours");
+            strings.swap(i, i + 1);
+            let corrupted = SortedRun::plain(StringSet::from_iter_bytes(
+                strings.iter().map(|s| s.as_slice()),
+            ));
+            check_distributed_sort(comm, &input, &corrupted).is_err()
+        });
+        assert!(res.values.iter().all(|&v| v), "every PE detects its swap");
+    }
+
+    #[test]
+    fn rejects_dropped_string_from_real_output() {
+        // Every PE silently loses its last output string: local and global
+        // order still hold, so only the multiset fingerprint can object —
+        // and it must, on every PE.
+        let res = run_spmd(4, cfg_run(), |comm| {
+            let (input, out) = sorted_by_ms(comm);
+            let mut strings = out.set.to_vecs();
+            strings.pop().expect("non-empty shard");
+            let corrupted = SortedRun::plain(StringSet::from_iter_bytes(
+                strings.iter().map(|s| s.as_slice()),
+            ));
+            check_distributed_sort(comm, &input, &corrupted).is_err()
+        });
+        assert!(res.values.iter().all(|&v| v), "all PEs see the mismatch");
+    }
+
+    #[test]
+    fn rejects_shifted_shard_boundary() {
+        // Move PE 1's largest string onto the tail of PE 0: both shards
+        // stay locally sorted and the global multiset is intact, but the
+        // PE 0 → PE 1 boundary now runs backwards.
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let (input, out) = sorted_by_ms(comm);
+            let mut strings = out.set.to_vecs();
+            let tag = dss_net::Tag::user(701);
+            if comm.rank() == 1 {
+                let stolen = strings.pop().expect("non-empty shard");
+                comm.send(0, tag, stolen);
+            } else {
+                strings.push(comm.recv(1, tag));
+            }
+            let corrupted = SortedRun::plain(StringSet::from_iter_bytes(
+                strings.iter().map(|s| s.as_slice()),
+            ));
+            check_distributed_sort(comm, &input, &corrupted).is_err()
+        });
+        assert!(
+            res.values.iter().all(|&v| v),
+            "boundary violation rejected on all PEs"
+        );
+    }
+
+    #[test]
+    fn rejects_rewritten_string_with_same_count() {
+        // Overwrite one string with a copy of its successor: counts and
+        // order are untouched, so this isolates the content fingerprint.
+        let res = run_spmd(4, cfg_run(), |comm| {
+            let (input, out) = sorted_by_ms(comm);
+            let mut strings = out.set.to_vecs();
+            if comm.rank() == 0 {
+                let i = strings
+                    .windows(2)
+                    .position(|w| w[0] != w[1])
+                    .expect("output has distinct neighbours");
+                strings[i] = strings[i + 1].clone();
+            }
+            let corrupted = SortedRun::plain(StringSet::from_iter_bytes(
+                strings.iter().map(|s| s.as_slice()),
+            ));
+            check_distributed_sort(comm, &input, &corrupted).is_err()
+        });
+        assert!(
+            res.values.iter().all(|&v| v),
+            "fingerprint mismatch everywhere"
+        );
+    }
+
+    #[test]
+    fn rejects_corrupted_lcp_array() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let (input, out) = sorted_by_ms(comm);
+            let mut corrupted = SortedRun::plain(out.set.clone());
+            let mut lcps = out.lcps.clone().expect("MS reports LCPs");
+            let last = lcps.len() - 1;
+            lcps[last] = lcps[last].wrapping_add(7);
+            corrupted.lcps = Some(lcps);
+            check_distributed_sort(comm, &input, &corrupted).is_err()
+        });
+        assert!(res.values.iter().all(|&v| v));
+    }
+
     #[test]
     fn rejects_broken_origin_permutation() {
         let res = run_spmd(2, cfg_run(), |comm| {

@@ -273,7 +273,10 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(
             all,
-            expect.iter().map(|s| s.as_bytes().to_vec()).collect::<Vec<_>>()
+            expect
+                .iter()
+                .map(|s| s.as_bytes().to_vec())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -300,9 +303,7 @@ mod tests {
                 // destined for the *other* PE so the data actually travels.
                 let mut set = StringSet::new();
                 for i in 0..200u32 {
-                    set.push(
-                        format!("shared_prefix_{:02}_{:03}", 1 - comm.rank(), i).as_bytes(),
-                    );
+                    set.push(format!("shared_prefix_{:02}_{:03}", 1 - comm.rank(), i).as_bytes());
                 }
                 let lcps = sort_with_lcp(&mut set).0;
                 let splitters = StringSet::from_strs(&["shared_prefix_00_z"]);
@@ -341,7 +342,13 @@ mod tests {
         let res = run_spmd(2, cfg_run(), |comm| {
             let mut set = StringSet::new();
             for i in 0..50u32 {
-                set.push(format!("{:02}_plus_long_tail_that_should_not_travel", i + 50 * comm.rank() as u32).as_bytes());
+                set.push(
+                    format!(
+                        "{:02}_plus_long_tail_that_should_not_travel",
+                        i + 50 * comm.rank() as u32
+                    )
+                    .as_bytes(),
+                );
             }
             let lcps = sort_with_lcp(&mut set).0;
             let trunc: Vec<u32> = vec![3; set.len()];
@@ -361,7 +368,10 @@ mod tests {
             );
             let merged = merge_received_lcp(&runs);
             assert!(merged.set.iter().all(|s| s.len() == 3));
-            assert_eq!(merged.origins.as_ref().map(Vec::len), Some(merged.set.len()));
+            assert_eq!(
+                merged.origins.as_ref().map(Vec::len),
+                Some(merged.set.len())
+            );
             merged.set.len()
         });
         assert_eq!(res.values.iter().sum::<usize>(), 100);

@@ -101,8 +101,9 @@ fn hquick_sort(comm: &Comm, input: StringSet, set_phases: bool) -> (StringSet, V
             set.push(s);
         }
     }
-    let mut ids: Vec<u64> =
-        (0..set.len() as u64).map(|i| ((comm.rank() as u64) << 40) | i).collect();
+    let mut ids: Vec<u64> = (0..set.len() as u64)
+        .map(|i| ((comm.rank() as u64) << 40) | i)
+        .collect();
 
     // PEs outside the hypercube are done (they hold no data).
     let in_cube = comm.rank() < q;
@@ -126,8 +127,7 @@ fn hquick_sort(comm: &Comm, input: StringSet, set_phases: bool) -> (StringSet, V
         let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
         match &pivot {
             Some((ps, pid)) => {
-                for i in 0..set.len() {
-                    let s = set.get(i);
+                for (i, s) in set.iter().enumerate() {
                     let le = match s.cmp(ps.as_slice()) {
                         std::cmp::Ordering::Less => true,
                         std::cmp::Ordering::Greater => false,

@@ -97,8 +97,8 @@ impl Algorithm {
     /// Instantiates the sorter with its paper-default configuration.
     pub fn instance(&self) -> Box<dyn DistSorter> {
         match self {
-            Algorithm::FkMerge => Box::new(FkMerge::default()),
-            Algorithm::HQuick => Box::new(HQuick::default()),
+            Algorithm::FkMerge => Box::new(FkMerge),
+            Algorithm::HQuick => Box::new(HQuick),
             Algorithm::MsSimple => Box::new(Ms::simple()),
             Algorithm::Ms => Box::new(Ms::default()),
             Algorithm::PdmsGolomb => Box::new(Pdms::golomb()),

@@ -338,7 +338,6 @@ mod tests {
     use dss_strkit::sort::sort_with_lcp;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
     use std::time::Duration;
 
     fn cfg_run() -> RunConfig {
@@ -376,10 +375,10 @@ mod tests {
         // One huge string among tiny ones: character sampling must sample
         // inside/after the heavy region repeatedly.
         let mut set = StringSet::new();
-        set.push(&vec![b'a'; 5]);
+        set.push(&[b'a'; 5]);
         set.push(&vec![b'b'; 1000]);
-        set.push(&vec![b'c'; 5]);
-        set.push(&vec![b'd'; 5]);
+        set.push(&[b'c'; 5]);
+        set.push(&[b'd'; 5]);
         let sample = draw_sample(&set, 3, SamplingPolicy::Chars, None, None, None);
         assert_eq!(sample.len(), 3);
         // All three char-rank targets fall within the heavy string's mass,
@@ -409,7 +408,10 @@ mod tests {
     #[test]
     fn bounds_with_empty_set_and_empty_splitters() {
         let empty = StringSet::new();
-        assert_eq!(bucket_bounds(&empty, &StringSet::from_strs(&["x"])), vec![0, 0, 0]);
+        assert_eq!(
+            bucket_bounds(&empty, &StringSet::from_strs(&["x"])),
+            vec![0, 0, 0]
+        );
         let set = StringSet::from_strs(&["a", "b"]);
         assert_eq!(bucket_bounds(&set, &StringSet::new()), vec![0, 2]);
     }

@@ -27,7 +27,7 @@ use dss_strkit::sort::sort_with_lcp;
 use dss_strkit::StringSet;
 
 /// Configuration of PDMS.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PdmsConfig {
     /// Step 1+ε parameters (growth factor 1+ε, initial guess, fingerprint
     /// width, Golomb coding).
@@ -39,16 +39,6 @@ pub struct PdmsConfig {
     pub partition: PartitionConfig,
     /// Difference-code LCPs on the wire (§VI-B extension).
     pub delta_lcps: bool,
-}
-
-impl Default for PdmsConfig {
-    fn default() -> Self {
-        Self {
-            pd: PrefixDoublingConfig::default(),
-            partition: PartitionConfig::default(),
-            delta_lcps: false,
-        }
-    }
 }
 
 /// Distributed Prefix-Doubling String Merge Sort.
@@ -270,7 +260,7 @@ mod tests {
                     (0..100)
                         .map(|i| {
                             let mut s = format!("{:03}", r * 100 + i).into_bytes();
-                            s.extend(std::iter::repeat(b'x').take(300));
+                            s.extend(std::iter::repeat_n(b'x', 300));
                             s
                         })
                         .collect()

@@ -42,7 +42,10 @@ pub fn lcp(a: &[u8], b: &[u8]) -> u32 {
 #[inline]
 pub fn lcp_compare(a: &[u8], b: &[u8], h: u32) -> (std::cmp::Ordering, u32) {
     debug_assert!(lcp(a, b) >= h.min(a.len() as u32).min(b.len() as u32));
-    let ext = lcp(&a[(h as usize).min(a.len())..], &b[(h as usize).min(b.len())..]);
+    let ext = lcp(
+        &a[(h as usize).min(a.len())..],
+        &b[(h as usize).min(b.len())..],
+    );
     let full = h.min(a.len() as u32).min(b.len() as u32) + ext;
     let fa = a.get(full as usize).copied();
     let fb = b.get(full as usize).copied();
@@ -73,12 +76,12 @@ pub fn verify_lcp_array(set: &StringSet, lcps: &[u32]) -> Result<(), String> {
             set.len()
         ));
     }
-    for i in 1..set.len() {
+    for (i, &l) in lcps.iter().enumerate().skip(1) {
         let expect = lcp(set.get(i - 1), set.get(i));
-        if lcps[i] != expect {
+        if l != expect {
             return Err(format!(
                 "lcp[{i}] = {} but LCP({:?}, {:?}) = {expect}",
-                lcps[i],
+                l,
                 String::from_utf8_lossy(set.get(i - 1)),
                 String::from_utf8_lossy(set.get(i)),
             ));

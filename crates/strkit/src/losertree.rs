@@ -137,8 +137,8 @@ impl<'a> LcpLoserTree<'a> {
     fn play(&mut self, a: u32, b: u32) -> (u32, u32) {
         let (sa, sb) = (self.candidate(a), self.candidate(b));
         match (sa, sb) {
-            (None, _) => return (b, a),
-            (Some(_), None) => return (a, b),
+            (None, _) => (b, a),
+            (Some(_), None) => (a, b),
             (Some(xa), Some(xb)) => {
                 let (ha, hb) = (self.h[a as usize], self.h[b as usize]);
                 match ha.cmp(&hb) {
@@ -342,7 +342,6 @@ mod tests {
     use crate::sort::sort_with_lcp;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     /// Builds sorted runs out of string groups and merges them.
     fn merge_groups(groups: Vec<Vec<Vec<u8>>>, lcp_aware: bool) -> (StringSet, MergeOutput) {
@@ -381,9 +380,24 @@ mod tests {
     #[test]
     fn merges_three_runs_lcp_aware() {
         let groups: Vec<Vec<Vec<u8>>> = vec![
-            vec![b"algae".to_vec(), b"alpha".to_vec(), b"alps".to_vec(), b"order".to_vec()],
-            vec![b"algo".to_vec(), b"snow".to_vec(), b"sorbet".to_vec(), b"sorter".to_vec()],
-            vec![b"orange".to_vec(), b"organ".to_vec(), b"sorted".to_vec(), b"soul".to_vec()],
+            vec![
+                b"algae".to_vec(),
+                b"alpha".to_vec(),
+                b"alps".to_vec(),
+                b"order".to_vec(),
+            ],
+            vec![
+                b"algo".to_vec(),
+                b"snow".to_vec(),
+                b"sorbet".to_vec(),
+                b"sorter".to_vec(),
+            ],
+            vec![
+                b"orange".to_vec(),
+                b"organ".to_vec(),
+                b"sorted".to_vec(),
+                b"soul".to_vec(),
+            ],
         ];
         let expect = expect_sorted(&groups);
         let (out, res) = merge_groups(groups, true);
@@ -410,8 +424,7 @@ mod tests {
         let (out, res) = merge_groups(vec![vec![]], true);
         assert!(out.is_empty());
         assert!(res.sources.is_empty());
-        let (out, res) =
-            merge_groups(vec![vec![b"solo".to_vec()], vec![], vec![]], true);
+        let (out, res) = merge_groups(vec![vec![b"solo".to_vec()], vec![], vec![]], true);
         assert_eq!(out.to_vecs(), vec![b"solo".to_vec()]);
         assert_eq!(res.sources, vec![(0, 0)]);
     }

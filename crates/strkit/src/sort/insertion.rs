@@ -118,8 +118,15 @@ mod tests {
     #[test]
     fn sorts_and_reports_lcps() {
         let (set, lcps) = run(&["alps", "alpha", "algo", "algae"]);
-        assert_eq!(set.to_vecs(), vec![b"algae".to_vec(), b"algo".to_vec(),
-            b"alpha".to_vec(), b"alps".to_vec()]);
+        assert_eq!(
+            set.to_vecs(),
+            vec![
+                b"algae".to_vec(),
+                b"algo".to_vec(),
+                b"alpha".to_vec(),
+                b"alps".to_vec()
+            ]
+        );
         verify_lcp_array(&set, &lcps).unwrap();
         assert_eq!(lcps, vec![0, 3, 2, 3]);
     }
@@ -129,7 +136,13 @@ mod tests {
         let (set, lcps) = run(&["b", "a", "b", "a", "a"]);
         assert_eq!(
             set.to_vecs(),
-            vec![b"a".to_vec(), b"a".to_vec(), b"a".to_vec(), b"b".to_vec(), b"b".to_vec()]
+            vec![
+                b"a".to_vec(),
+                b"a".to_vec(),
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"b".to_vec()
+            ]
         );
         verify_lcp_array(&set, &lcps).unwrap();
     }
@@ -152,7 +165,10 @@ mod tests {
         lcp_insertion_sort(&mut ctx, refs, &mut lcps, 2);
         let stats = ctx.stats;
         lcps[0] = 0;
-        assert_eq!(set.to_vecs(), vec![b"xya".to_vec(), b"xyb".to_vec(), b"xyc".to_vec()]);
+        assert_eq!(
+            set.to_vecs(),
+            vec![b"xya".to_vec(), b"xyb".to_vec(), b"xyc".to_vec()]
+        );
         verify_lcp_array(&set, &lcps).unwrap();
         // 3 strings, comparisons extend from depth 2 only: strictly fewer
         // than the 9+ accesses a from-scratch sort would need.

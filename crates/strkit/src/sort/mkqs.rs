@@ -98,9 +98,7 @@ pub(crate) fn multikey_quicksort(
         // length `depth`) or descend one character.
         if gt > lt {
             if c == 0 {
-                for k in lt + 1..gt {
-                    lcps[k] = depth;
-                }
+                lcps[lt + 1..gt].fill(depth);
             } else {
                 stack.push(Task {
                     begin: lt,
@@ -139,7 +137,6 @@ mod tests {
     use crate::lcp::verify_lcp_array;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn check(mut set: StringSet) {
         let mut expect = set.to_vecs();
@@ -183,7 +180,10 @@ mod tests {
 
     #[test]
     fn sorts_shared_prefix_block() {
-        let strs: Vec<String> = (0..100).rev().map(|i| format!("commonprefix{i:03}")).collect();
+        let strs: Vec<String> = (0..100)
+            .rev()
+            .map(|i| format!("commonprefix{i:03}"))
+            .collect();
         let refs: Vec<&str> = strs.iter().map(|s| s.as_str()).collect();
         check(StringSet::from_strs(&refs));
     }

@@ -134,7 +134,6 @@ mod tests {
     use crate::lcp::verify_lcp_array;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn check_sorted_with_lcp(mut set: StringSet) {
         let mut expect = set.to_vecs();

@@ -47,6 +47,7 @@ pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut 
         }
         // Pass 1: gather keys once, counting bucket sizes.
         count.fill(0);
+        #[allow(clippy::needless_range_loop)] // scatter over three parallel arrays
         for i in begin..end {
             let c = ctx.ch(refs[i], depth);
             ctx.key_scratch[i] = c;
@@ -55,11 +56,12 @@ pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut 
         // Exclusive prefix sums → bucket write cursors (block-relative).
         let mut cursor = [0usize; 256];
         let mut sum = 0usize;
-        for b in 0..256 {
-            cursor[b] = sum;
-            sum += count[b];
+        for (cur, &cnt) in cursor.iter_mut().zip(count.iter()) {
+            *cur = sum;
+            sum += cnt;
         }
         // Pass 2: stable scatter into scratch, copy back.
+        #[allow(clippy::needless_range_loop)] // scatter over three parallel arrays
         for i in begin..end {
             let c = ctx.key_scratch[i] as usize;
             ctx.ref_scratch[begin + cursor[c]] = refs[i];
@@ -68,8 +70,7 @@ pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut 
         refs[begin..end].copy_from_slice(&ctx.ref_scratch[begin..end]);
         // Emit boundary LCPs and enqueue bucket subtasks.
         let mut pos = begin;
-        for b in 0..256usize {
-            let sz = count[b];
+        for (b, &sz) in count.iter().enumerate() {
             if sz == 0 {
                 continue;
             }
@@ -81,9 +82,7 @@ pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut 
             if sz >= 2 {
                 if b == 0 {
                     // Finished strings: all equal, of length `depth`.
-                    for k in pos + 1..pos + sz {
-                        lcps[k] = depth;
-                    }
+                    lcps[pos + 1..pos + sz].fill(depth);
                 } else {
                     stack.push(Task {
                         begin: pos,
@@ -119,7 +118,6 @@ mod tests {
     use crate::lcp::verify_lcp_array;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn check(mut set: StringSet) -> super::super::SortStats {
         let mut expect = set.to_vecs();
@@ -169,7 +167,9 @@ mod tests {
     fn deep_recursion_on_long_shared_prefixes() {
         // 300-char shared prefix forces 300 radix levels.
         let prefix = "q".repeat(300);
-        let strs: Vec<String> = (0..200).map(|i| format!("{prefix}{:03}", 199 - i)).collect();
+        let strs: Vec<String> = (0..200)
+            .map(|i| format!("{prefix}{:03}", 199 - i))
+            .collect();
         let refs: Vec<&str> = strs.iter().map(|s| s.as_str()).collect();
         check(StringSet::from_strs(&refs));
     }

@@ -83,16 +83,16 @@ pub(crate) fn string_sample_sort(
             continue;
         }
         // --- sample and choose splitters -------------------------------
-        let k = (n / 256).next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let k = (n / 256)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
         let sample_size = (OVERSAMPLE * k).min(n);
         let mut sample: Vec<StrRef> = (0..sample_size)
             .map(|_| refs[begin + rng.below(n)])
             .collect();
         let mut sample_lcps = vec![0u32; sample.len()];
         mkqs::multikey_quicksort(ctx, &mut sample, &mut sample_lcps, depth);
-        let mut splitters: Vec<StrRef> = (1..k)
-            .map(|j| sample[(j * sample.len()) / k])
-            .collect();
+        let mut splitters: Vec<StrRef> = (1..k).map(|j| sample[(j * sample.len()) / k]).collect();
         // Drop duplicate splitters (their equality buckets would be empty
         // anyway and binary search wants strictly sorted pivots).
         splitters.dedup_by(|a, b| ctx.bytes(*a) == ctx.bytes(*b));
@@ -102,12 +102,12 @@ pub(crate) fn string_sample_sort(
             let pivot = sample[0];
             let (mut eq, mut rest): (Vec<StrRef>, Vec<StrRef>) = (Vec::new(), Vec::new());
             let mut less: Vec<StrRef> = Vec::new();
-            for i in begin..end {
-                let (ord, _) = ctx.lcp_compare(refs[i], pivot, depth);
+            for &r in refs[begin..end].iter() {
+                let (ord, _) = ctx.lcp_compare(r, pivot, depth);
                 match ord {
-                    Ordering::Less => less.push(refs[i]),
-                    Ordering::Equal => eq.push(refs[i]),
-                    Ordering::Greater => rest.push(refs[i]),
+                    Ordering::Less => less.push(r),
+                    Ordering::Equal => eq.push(r),
+                    Ordering::Greater => rest.push(r),
                 }
             }
             let (ls, es) = (less.len(), eq.len());
@@ -116,9 +116,7 @@ pub(crate) fn string_sample_sort(
             refs[begin + ls + es..end].copy_from_slice(&rest);
             // Equality run: LCP = |pivot| internally.
             let plen = pivot.len;
-            for kk in begin + ls + 1..begin + ls + es {
-                lcps[kk] = plen;
-            }
+            lcps[begin + ls + 1..begin + ls + es].fill(plen);
             if ls > 0 {
                 boundaries.push((begin + ls, depth));
                 stack.push(Task {
@@ -197,9 +195,7 @@ pub(crate) fn string_sample_sort(
             if b % 2 == 1 {
                 // Equality bucket of splitter (b−1)/2: all strings equal.
                 let plen = splitters[(b - 1) / 2].len;
-                for kk2 in pos + 1..pos + sz {
-                    lcps[kk2] = plen;
-                }
+                lcps[pos + 1..pos + sz].fill(plen);
             } else if sz >= 2 {
                 // Open bucket: strings share the LCP of its bounding
                 // splitters (or the parent depth at the edges).
@@ -261,6 +257,8 @@ mod tests {
     use crate::lcp::verify_lcp_array;
     use proptest::prelude::*;
     use rand::prelude::*;
+    // `super::*` also brings in this module's private `struct Rng`, which
+    // shadows the `rand::Rng` trait; re-import the trait anonymously.
     use rand::Rng as _;
 
     fn check(mut set: StringSet) -> SortStats {
@@ -299,7 +297,7 @@ mod tests {
         let mut set = StringSet::new();
         for _ in 0..8000 {
             if rng.gen_bool(0.9) {
-                set.push([b"hot_one".as_ref(), b"hot_two", b"hot_three"][rng.gen_range(0..3)]);
+                set.push([b"hot_one".as_ref(), b"hot_two", b"hot_three"][rng.gen_range(0..3usize)]);
             } else {
                 let len = rng.gen_range(0..10);
                 let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect();

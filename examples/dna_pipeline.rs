@@ -28,8 +28,7 @@ fn run_with(alg: Algorithm, p: usize) -> (usize, usize, u64) {
         let n = out.set.len();
         let mut distinct = 0usize;
         for i in 0..n {
-            let dup_of_prev = i > 0
-                && out.set.get(i) == out.set.get(i - 1);
+            let dup_of_prev = i > 0 && out.set.get(i) == out.set.get(i - 1);
             if !dup_of_prev {
                 distinct += 1;
             }
@@ -46,12 +45,20 @@ fn main() {
     println!("DNA read pipeline on {p} simulated PEs (reads of 100 bp, sigma = 4)\n");
     let (n, distinct, pdms_bytes) = run_with(Algorithm::Pdms, p);
     println!("reads:            {n}");
-    println!("distinct reads:   {distinct} ({:.1}% duplicates removed)",
-        100.0 * (n - distinct) as f64 / n as f64);
-    println!("PDMS volume:      {pdms_bytes} bytes ({:.1}/read)", pdms_bytes as f64 / n as f64);
+    println!(
+        "distinct reads:   {distinct} ({:.1}% duplicates removed)",
+        100.0 * (n - distinct) as f64 / n as f64
+    );
+    println!(
+        "PDMS volume:      {pdms_bytes} bytes ({:.1}/read)",
+        pdms_bytes as f64 / n as f64
+    );
 
     let (_, _, simple_bytes) = run_with(Algorithm::MsSimple, p);
-    println!("MS-simple volume: {simple_bytes} bytes ({:.1}/read)", simple_bytes as f64 / n as f64);
+    println!(
+        "MS-simple volume: {simple_bytes} bytes ({:.1}/read)",
+        simple_bytes as f64 / n as f64
+    );
     println!(
         "\nprefix doubling sent {:.1}x fewer bytes than the plain exchange",
         simple_bytes as f64 / pdms_bytes as f64

@@ -132,7 +132,9 @@ fn figure3() {
     // The figure's verdicts: snow unique at depth 2; the al*/or*/sor* group
     // resolves at depth 4; sorter/sorted only at their full length.
     assert_eq!(approx_of["snow"], 2);
-    for s in ["algae", "algo", "alpha", "alps", "order", "orange", "organ", "sorbet", "soul"] {
+    for s in [
+        "algae", "algo", "alpha", "alps", "order", "orange", "organ", "sorbet", "soul",
+    ] {
         assert_eq!(approx_of[s], 4, "{s} resolves at depth 4");
     }
     for s in ["sorter", "sorted"] {

@@ -9,12 +9,32 @@ use distributed_string_sorting::prelude::*;
 fn main() {
     let p = 8;
     let words = [
-        "merge", "sort", "string", "prefix", "doubling", "distinguishing", "communication",
-        "efficient", "hypercube", "quicksort", "splitter", "sample", "loser", "tree", "golomb",
-        "fingerprint", "bucket", "exchange", "radix", "insertion",
+        "merge",
+        "sort",
+        "string",
+        "prefix",
+        "doubling",
+        "distinguishing",
+        "communication",
+        "efficient",
+        "hypercube",
+        "quicksort",
+        "splitter",
+        "sample",
+        "loser",
+        "tree",
+        "golomb",
+        "fingerprint",
+        "bucket",
+        "exchange",
+        "radix",
+        "insertion",
     ];
 
-    println!("sorting {} word variants on {p} simulated PEs\n", words.len() * 40);
+    println!(
+        "sorting {} word variants on {p} simulated PEs\n",
+        words.len() * 40
+    );
     println!(
         "{:<12} {:>10} {:>14} {:>12}",
         "algorithm", "strings", "bytes sent", "bytes/string"

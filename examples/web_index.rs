@@ -16,7 +16,9 @@ use distributed_string_sorting::prelude::*;
 /// for both boundaries).
 fn prefix_count(set: &StringSet, prefix: &[u8]) -> usize {
     let lower = partition_point(set, |s| s < prefix);
-    let upper = partition_point(set, |s| s.len() >= prefix.len() && &s[..prefix.len()] <= prefix || s < prefix);
+    let upper = partition_point(set, |s| {
+        s.len() >= prefix.len() && &s[..prefix.len()] <= prefix || s < prefix
+    });
     upper - lower
 }
 

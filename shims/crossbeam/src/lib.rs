@@ -1,0 +1,216 @@
+//! Minimal offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the two pieces `dss_net` uses, both delegating to
+//! `std`:
+//!
+//! * [`channel`] — unbounded MPSC channels (`unbounded`, `Sender`,
+//!   `Receiver`, `RecvTimeoutError`) over `std::sync::mpsc`. The real
+//!   crossbeam channel is MPMC; `dss_net` gives each PE exactly one
+//!   receiver, so MPSC suffices.
+//! * [`thread`] — scoped threads with a builder (`scope`,
+//!   `Scope::builder`, name + stack size) over `std::thread::scope`.
+//!   Matching crossbeam, the spawn closure receives the scope as an
+//!   argument and `scope` returns a `Result` (always `Ok` here: panics
+//!   from joined child threads propagate exactly as with `std`).
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Unbounded channels over `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if the receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+pub mod thread {
+    //! Scoped threads over `std::thread::scope`.
+
+    use std::io;
+
+    /// Handle to a scope; lets spawned closures spawn further threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread with default settings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+
+        /// Starts configuring a thread (name, stack size) before spawning.
+        pub fn builder(&self) -> ScopedThreadBuilder<'scope, 'env> {
+            ScopedThreadBuilder {
+                scope: *self,
+                builder: std::thread::Builder::new(),
+            }
+        }
+    }
+
+    /// Thread configuration within a scope.
+    pub struct ScopedThreadBuilder<'scope, 'env: 'scope> {
+        scope: Scope<'scope, 'env>,
+        builder: std::thread::Builder,
+    }
+
+    impl<'scope, 'env> ScopedThreadBuilder<'scope, 'env> {
+        /// Names the thread.
+        pub fn name(mut self, name: String) -> Self {
+            self.builder = self.builder.name(name);
+            self
+        }
+
+        /// Sets the thread's stack size in bytes.
+        pub fn stack_size(mut self, size: usize) -> Self {
+            self.builder = self.builder.stack_size(size);
+            self
+        }
+
+        /// Spawns the configured thread.
+        pub fn spawn<F, T>(self, f: F) -> io::Result<ScopedJoinHandle<'scope, T>>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = self.scope;
+            let inner = self.builder.spawn_scoped(scope.inner, move || f(&scope))?;
+            Ok(ScopedJoinHandle { inner })
+        }
+    }
+
+    /// Owned permission to join a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or panic.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned.
+    ///
+    /// Returns `Ok` with the closure's value; panics from joined child
+    /// threads propagate as panics (matching how `dss_net` re-raises them).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use super::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn channel_roundtrip_and_timeout() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3];
+        let sum = thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let data = &data;
+                    scope
+                        .builder()
+                        .name(format!("w{i}"))
+                        .stack_size(1 << 20)
+                        .spawn(move |_| data[i])
+                        .unwrap()
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -28,7 +28,11 @@ fn oracle_check(alg: Algorithm, workload: &Workload, p: usize, seed: u64) {
     });
 
     let got: Vec<Vec<u8>> = match result.values[0].1 {
-        None => result.values.iter().flat_map(|(s, _, _)| s.clone()).collect(),
+        None => result
+            .values
+            .iter()
+            .flat_map(|(s, _, _)| s.clone())
+            .collect(),
         Some(_) => {
             // PDMS: map origins back to full strings.
             let stores: Vec<&Vec<Vec<u8>>> = result
@@ -93,12 +97,7 @@ fn all_algorithms_sort_all_workloads_p4() {
 #[test]
 fn all_algorithms_sort_on_odd_pe_counts() {
     for alg in Algorithm::all_paper() {
-        oracle_check(
-            alg,
-            &Workload::Web { n_per_pe: 50 },
-            3,
-            2,
-        );
+        oracle_check(alg, &Workload::Web { n_per_pe: 50 }, 3, 2);
         oracle_check(
             alg,
             &Workload::DnRatio {

@@ -20,8 +20,7 @@ fn sort_and_check(sorter: &dyn DistSorter, shards: &[Vec<Vec<u8>>]) -> Vec<usize
     });
     let got: Vec<Vec<u8>> = res.values.iter().flat_map(|(v, _)| v.clone()).collect();
     // PDMS outputs prefixes; only compare full contents for plain sorters.
-    if got.iter().map(|s| s.len()).sum::<usize>() == expect.iter().map(|s| s.len()).sum::<usize>()
-    {
+    if got.iter().map(|s| s.len()).sum::<usize>() == expect.iter().map(|s| s.len()).sum::<usize>() {
         assert_eq!(got, expect);
     }
     res.values.iter().map(|(_, n)| *n).collect()

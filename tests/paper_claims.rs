@@ -96,7 +96,10 @@ fn lcp_compression_gap_grows_with_dn_ratio() {
     };
     let low = gap(0.1);
     let high = gap(0.9);
-    assert!(high > low, "gap at r=0.9 ({high:.2}) must exceed r=0.1 ({low:.2})");
+    assert!(
+        high > low,
+        "gap at r=0.9 ({high:.2}) must exceed r=0.1 ({low:.2})"
+    );
     assert!(high > 1.5, "high-LCP input must compress well ({high:.2})");
 }
 
