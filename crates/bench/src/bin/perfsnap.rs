@@ -1,0 +1,107 @@
+//! `perfsnap` — run the fixed hot-path workload matrix and append the
+//! snapshot to `BENCH_perfsnap.json`.
+//!
+//! ```text
+//! cargo run --release --bin perfsnap -- --label "my change"
+//! cargo run --release --bin perfsnap -- --smoke          # CI-sized, stdout only
+//! ```
+//!
+//! Flags: `--label STR`, `--out FILE` (default `BENCH_perfsnap.json`),
+//! `--smoke` (tiny cells, no file write unless `--out` given), plus the
+//! sizing overrides `--seq-n`, `--dist-n`, `--pes`, `--reps`, `--seed`.
+//!
+//! The binary installs a counting global allocator so every cell reports
+//! allocator traffic; the library code is unchanged by the probe.
+
+use dss_bench::cli::Args;
+use dss_bench::perfsnap::{append_snapshot, run_snapshot_filtered, snapshot_json, SnapConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting calls and requested bytes.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counters
+// are side effects only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn probe() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = SnapConfig::from_args(&args);
+    let label = args.get_str(
+        "label",
+        if args.has("smoke") {
+            "smoke"
+        } else {
+            "unlabeled"
+        },
+    );
+    let only = args.get_str("only", "");
+    let cells = run_snapshot_filtered(&cfg, probe, &only);
+    let snap = snapshot_json(&label, &cfg, &cells);
+
+    eprintln!();
+    eprintln!(
+        "{:<10} {:<10} {:>9} {:>11} {:>13} {:>14} {:>10}",
+        "workload", "algo", "n", "wall_ms", "MB/s", "chars_accessed", "allocs"
+    );
+    for c in &cells {
+        eprintln!(
+            "{:<10} {:<10} {:>9} {:>11.2} {:>13.2} {:>14} {:>10}",
+            c.workload,
+            c.algo,
+            c.n,
+            c.wall.as_secs_f64() * 1e3,
+            c.mb_per_s,
+            c.chars_accessed
+                .map_or_else(|| "-".into(), |v| v.to_string()),
+            c.allocs,
+        );
+    }
+
+    let out = args.get_str("out", "");
+    if out.is_empty() && args.has("smoke") {
+        println!("[\n{snap}\n]");
+        return;
+    }
+    let path = PathBuf::from(if out.is_empty() {
+        "BENCH_perfsnap.json".to_string()
+    } else {
+        out
+    });
+    append_snapshot(&path, &snap).expect("write snapshot");
+    eprintln!(
+        "perfsnap: appended snapshot \"{label}\" to {}",
+        path.display()
+    );
+}

@@ -18,6 +18,7 @@
 
 pub mod cli;
 pub mod harness;
+pub mod perfsnap;
 pub mod table;
 
 pub use harness::{run_custom, run_experiment, run_repeated, ExperimentResult};

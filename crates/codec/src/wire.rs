@@ -21,7 +21,7 @@
 //!
 //! All integers are LEB128 varints; all formats are self-delimiting.
 
-use crate::varint::{decode_u64, encode_u64};
+use crate::varint::{decode_u64, encode_u64, encoded_len_u64};
 
 /// A decoded run: flat character data plus per-string boundaries.
 ///
@@ -73,6 +73,65 @@ fn zigzag(v: i64) -> u64 {
 
 fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn encoded_len_origins(origins: Option<&[u64]>) -> usize {
+    origins.map_or(0, |o| o.iter().map(|&v| encoded_len_u64(v)).sum())
+}
+
+/// Exact number of bytes [`encode_plain`] appends for the same arguments.
+///
+/// Lets senders reserve destination buffers once and encode with zero
+/// reallocation (the `has_origins` flag is a 1-byte varint).
+pub fn encoded_len_plain<'a, I>(strings: I, origins: Option<&[u64]>) -> usize
+where
+    I: ExactSizeIterator<Item = &'a [u8]>,
+{
+    let mut len = encoded_len_u64(strings.len() as u64) + 1 + encoded_len_origins(origins);
+    for s in strings {
+        len += encoded_len_u64(s.len() as u64) + s.len();
+    }
+    len
+}
+
+/// Exact number of bytes [`encode_lcp`] appends for the same arguments
+/// (`flavor` is a 1-byte varint like `has_origins`).
+///
+/// Precondition (same as [`encode_lcp`]): `lcps[i] ≤ strings[i].len()`
+/// for `i ≥ 1` — violating it panics the encoder, so a length computed
+/// here would never be used.
+pub fn encoded_len_lcp<'a, I>(
+    strings: I,
+    lcps: &[u32],
+    origins: Option<&[u64]>,
+    delta_lcps: bool,
+) -> usize
+where
+    I: ExactSizeIterator<Item = &'a [u8]>,
+{
+    let mut len = encoded_len_u64(strings.len() as u64) + 2 + encoded_len_origins(origins);
+    let mut prev_lcp: u32 = 0;
+    for (i, s) in strings.enumerate() {
+        if i == 0 {
+            len += encoded_len_u64(s.len() as u64) + s.len();
+        } else {
+            let lcp = lcps[i];
+            debug_assert!(
+                (lcp as usize) <= s.len(),
+                "lcp {lcp} exceeds string length {}",
+                s.len()
+            );
+            len += if delta_lcps {
+                encoded_len_u64(zigzag(lcp as i64 - prev_lcp as i64))
+            } else {
+                encoded_len_u64(lcp as u64)
+            };
+            let suffix_len = s.len() - (lcp as usize).min(s.len());
+            len += encoded_len_u64(suffix_len as u64) + suffix_len;
+            prev_lcp = lcp;
+        }
+    }
+    len
 }
 
 /// Encodes a run in the plain format (no LCP exploitation).
@@ -154,16 +213,59 @@ pub fn encode_lcp<'a, I>(
     }
 }
 
+/// Resets `run` for reuse as a decode target, keeping every allocation
+/// (`data`, `bounds`, `lcps`, and the `origins` vector if present).
+fn reset_scratch(run: &mut DecodedRun, has_lcps: bool) {
+    run.data.clear();
+    run.bounds.clear();
+    run.lcps.clear();
+    run.has_lcps = has_lcps;
+    if let Some(o) = run.origins.as_mut() {
+        o.clear();
+    }
+}
+
+/// Decodes the optional origin-tag trailer into the reusable scratch.
+fn decode_origins_into(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    has_origins: bool,
+    run: &mut DecodedRun,
+) -> Option<()> {
+    if has_origins {
+        let o = run.origins.get_or_insert_with(Vec::new);
+        o.reserve(count);
+        for _ in 0..count {
+            o.push(decode_u64(buf, pos)?);
+        }
+    } else {
+        run.origins = None;
+    }
+    Some(())
+}
+
 /// Decodes a plain-format run. Advances `pos` past the run.
 pub fn decode_plain(buf: &[u8], pos: &mut usize) -> Option<DecodedRun> {
+    let mut run = DecodedRun::default();
+    decode_plain_into(buf, pos, &mut run).map(|()| run)
+}
+
+/// [`decode_plain`] into caller-provided scratch: `run`'s buffers are
+/// cleared and refilled, reusing their capacity, so a receive loop that
+/// decodes many runs allocates only on high-water-mark growth.
+///
+/// On `None` (malformed input), `run` holds a partially decoded state and
+/// must be reset before reuse; `pos` is wherever decoding stopped.
+pub fn decode_plain_into(buf: &[u8], pos: &mut usize, run: &mut DecodedRun) -> Option<()> {
+    reset_scratch(run, false);
     let count = decode_u64(buf, pos)? as usize;
     let has_origins = decode_u64(buf, pos)? == 1;
-    let mut run = DecodedRun {
-        has_lcps: false,
-        ..DecodedRun::default()
-    };
     run.bounds.reserve(count);
-    run.lcps = vec![0; count];
+    run.lcps.resize(count, 0);
+    // Payload bytes are a subset of what remains in `buf`: one reserve
+    // covers all `extend_from_slice` calls below.
+    run.data.reserve(buf.len().saturating_sub(*pos));
     for _ in 0..count {
         let len = decode_u64(buf, pos)? as usize;
         let bytes = buf.get(*pos..*pos + len)?;
@@ -172,28 +274,28 @@ pub fn decode_plain(buf: &[u8], pos: &mut usize) -> Option<DecodedRun> {
         run.data.extend_from_slice(bytes);
         run.bounds.push((off, len));
     }
-    if has_origins {
-        let mut o = Vec::with_capacity(count);
-        for _ in 0..count {
-            o.push(decode_u64(buf, pos)?);
-        }
-        run.origins = Some(o);
-    }
-    Some(run)
+    decode_origins_into(buf, pos, count, has_origins, run)
 }
 
 /// Decodes an LCP-compressed run, reconstructing full strings and the
 /// run-local LCP array. Advances `pos` past the run.
 pub fn decode_lcp(buf: &[u8], pos: &mut usize) -> Option<DecodedRun> {
+    let mut run = DecodedRun::default();
+    decode_lcp_into(buf, pos, &mut run).map(|()| run)
+}
+
+/// [`decode_lcp`] into caller-provided scratch (see [`decode_plain_into`]
+/// for the reuse and failure contract).
+pub fn decode_lcp_into(buf: &[u8], pos: &mut usize, run: &mut DecodedRun) -> Option<()> {
+    reset_scratch(run, true);
     let count = decode_u64(buf, pos)? as usize;
     let has_origins = decode_u64(buf, pos)? == 1;
     let delta_lcps = decode_u64(buf, pos)? == 1;
-    let mut run = DecodedRun {
-        has_lcps: true,
-        ..DecodedRun::default()
-    };
     run.bounds.reserve(count);
     run.lcps.reserve(count);
+    // Reconstructed strings are at least as long as the wire payload;
+    // reserving the remaining buffer floors the growth reallocations.
+    run.data.reserve(buf.len().saturating_sub(*pos));
     let mut prev_lcp: u32 = 0;
     let mut prev_off = 0usize;
     for i in 0..count {
@@ -231,14 +333,7 @@ pub fn decode_lcp(buf: &[u8], pos: &mut usize) -> Option<DecodedRun> {
             prev_off = off;
         }
     }
-    if has_origins {
-        let mut o = Vec::with_capacity(count);
-        for _ in 0..count {
-            o.push(decode_u64(buf, pos)?);
-        }
-        run.origins = Some(o);
-    }
-    Some(run)
+    decode_origins_into(buf, pos, count, has_origins, run)
 }
 
 #[cfg(test)]
@@ -393,6 +488,76 @@ mod tests {
             let mut pos = 0;
             assert_eq!(decode_lcp(&buf[..cut], &mut pos), None, "cut {cut}");
         }
+    }
+
+    #[test]
+    fn encoded_len_matches_paper_example() {
+        let strings: Vec<&[u8]> = vec![b"snow", b"sorbet", b"sorter"];
+        let lcps = lcp_array(&strings);
+        let mut buf = Vec::new();
+        encode_plain(strings.iter().copied(), None, &mut buf);
+        assert_eq!(encoded_len_plain(strings.iter().copied(), None), buf.len());
+        for delta in [false, true] {
+            let mut buf = Vec::new();
+            encode_lcp(strings.iter().copied(), &lcps, None, delta, &mut buf);
+            assert_eq!(
+                encoded_len_lcp(strings.iter().copied(), &lcps, None, delta),
+                buf.len(),
+                "delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_into_reuses_scratch_capacity() {
+        let strings: Vec<&[u8]> = vec![b"alpha", b"alps", b"orange", b"organ"];
+        let lcps = lcp_array(&strings);
+        let origins: Vec<u64> = vec![9, 8, 7, 6];
+        let mut buf = Vec::new();
+        encode_lcp(
+            strings.iter().copied(),
+            &lcps,
+            Some(&origins),
+            false,
+            &mut buf,
+        );
+        let mut run = DecodedRun::default();
+        let mut pos = 0;
+        decode_lcp_into(&buf, &mut pos, &mut run).unwrap();
+        assert_eq!(run.origins.as_deref(), Some(origins.as_slice()));
+        let caps = (
+            run.data.capacity(),
+            run.bounds.capacity(),
+            run.lcps.capacity(),
+        );
+        // Decoding the same run again must not grow any buffer.
+        for _ in 0..3 {
+            let mut pos = 0;
+            decode_lcp_into(&buf, &mut pos, &mut run).unwrap();
+            assert_eq!(pos, buf.len());
+            assert_eq!(
+                caps,
+                (
+                    run.data.capacity(),
+                    run.bounds.capacity(),
+                    run.lcps.capacity()
+                )
+            );
+        }
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(run.get(i), *s);
+        }
+        assert_eq!(run.lcps, lcps);
+        // A plain run decoded into the same scratch drops the LCP flag and
+        // the origins (this encoding carries none).
+        let mut plain = Vec::new();
+        encode_plain(strings.iter().copied(), None, &mut plain);
+        let mut pos = 0;
+        decode_plain_into(&plain, &mut pos, &mut run).unwrap();
+        assert!(!run.has_lcps);
+        assert_eq!(run.origins, None);
+        assert_eq!(run.lcps, vec![0; strings.len()]);
+        assert_eq!(run.get(3), b"organ");
     }
 
     #[test]

@@ -10,6 +10,10 @@ use dss_codec::golomb::{
     golomb_decode_auto, golomb_decode_sorted, golomb_encode_auto, golomb_encode_sorted,
 };
 use dss_codec::varint::{decode_u64, encode_u64, encoded_len_u64};
+use dss_codec::wire::{
+    decode_lcp_into, decode_plain_into, encode_lcp, encode_plain, encoded_len_lcp,
+    encoded_len_plain, DecodedRun,
+};
 use dss_codec::{BitReader, BitWriter};
 use rand::prelude::*;
 
@@ -112,6 +116,105 @@ fn golomb_dense_duplicate_streams_roundtrip() {
             golomb_decode_sorted(&bytes, bits, values.len(), log_m),
             Some(values.clone()),
             "log_m {log_m}"
+        );
+    }
+}
+
+/// Random sorted run shaped like exchange traffic: clustered prefixes so
+/// LCPs are non-trivial, plus occasional empty strings.
+fn random_sorted_run(rng: &mut StdRng) -> (Vec<Vec<u8>>, Vec<u32>, Vec<u64>) {
+    let n = rng.gen_range(0..60usize);
+    let mut strings: Vec<Vec<u8>> = (0..n)
+        .map(|_| {
+            let prefix_len = rng.gen_range(0..6usize);
+            let tail_len = rng.gen_range(0..8usize);
+            let mut s: Vec<u8> = vec![b'p'; prefix_len];
+            s.extend((0..tail_len).map(|_| rng.gen_range(b'a'..=b'f')));
+            s
+        })
+        .collect();
+    strings.sort();
+    let mut lcps = vec![0u32];
+    for w in strings.windows(2) {
+        let l = w[0].iter().zip(&w[1]).take_while(|(a, b)| a == b).count();
+        lcps.push(l as u32);
+    }
+    lcps.truncate(strings.len());
+    let origins: Vec<u64> = (0..strings.len())
+        .map(|_| rng.gen_range(0..=u64::MAX) >> rng.gen_range(0..64u32))
+        .collect();
+    (strings, lcps, origins)
+}
+
+/// `encoded_len_*` must equal the bytes actually appended, for all three
+/// codecs (plain, LCP, LCP-delta), with and without origin tags — the
+/// contract that lets the exchange reserve destination buffers exactly.
+#[test]
+fn encoded_len_is_exact_for_all_codecs() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x1e4 ^ seed);
+        let (strings, lcps, origins) = random_sorted_run(&mut rng);
+        let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+        for origins in [None, Some(origins.as_slice())] {
+            let mut buf = Vec::new();
+            encode_plain(refs.iter().copied(), origins, &mut buf);
+            assert_eq!(
+                encoded_len_plain(refs.iter().copied(), origins),
+                buf.len(),
+                "plain, seed {seed}"
+            );
+            for delta in [false, true] {
+                let mut buf = Vec::new();
+                encode_lcp(refs.iter().copied(), &lcps, origins, delta, &mut buf);
+                assert_eq!(
+                    encoded_len_lcp(refs.iter().copied(), &lcps, origins, delta),
+                    buf.len(),
+                    "lcp delta={delta}, seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+/// Decoding into reused scratch must agree with fresh decoding and stop
+/// allocating once the high-water mark is reached.
+#[test]
+fn decode_into_scratch_roundtrips_many_runs() {
+    let mut rng = StdRng::seed_from_u64(0x5c7a7c4);
+    let mut scratch = DecodedRun::default();
+    for round in 0..60 {
+        let (strings, lcps, origins) = random_sorted_run(&mut rng);
+        let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+        let delta = rng.gen_bool(0.5);
+        let with_origins = rng.gen_bool(0.5);
+        let origins = with_origins.then_some(origins);
+        let mut buf = Vec::new();
+        let mut pos = 0;
+        if round % 2 == 0 {
+            encode_lcp(
+                refs.iter().copied(),
+                &lcps,
+                origins.as_deref(),
+                delta,
+                &mut buf,
+            );
+            decode_lcp_into(&buf, &mut pos, &mut scratch).unwrap();
+            assert_eq!(scratch.lcps, lcps, "round {round}");
+            assert!(scratch.has_lcps);
+        } else {
+            encode_plain(refs.iter().copied(), origins.as_deref(), &mut buf);
+            decode_plain_into(&buf, &mut pos, &mut scratch).unwrap();
+            assert!(!scratch.has_lcps);
+        }
+        assert_eq!(pos, buf.len(), "round {round}");
+        assert_eq!(scratch.len(), refs.len());
+        for (i, s) in refs.iter().enumerate() {
+            assert_eq!(scratch.get(i), *s, "round {round} string {i}");
+        }
+        assert_eq!(
+            scratch.origins.as_deref(),
+            origins.as_deref(),
+            "round {round}"
         );
     }
 }

@@ -64,44 +64,49 @@ pub fn exchange_buckets(
     debug_assert_eq!(input.bounds.len(), p + 1);
     debug_assert_eq!(input.lcps.len(), input.set.len());
     let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
+    // Run-local LCP scratch, reused across destinations.
+    let mut run_lcps: Vec<u32> = Vec::new();
     for dest in 0..p {
         let (lo, hi) = (input.bounds[dest], input.bounds[dest + 1]);
-        let mut buf = Vec::new();
-        let origins_slice: Option<Vec<u64>> = input.origins.map(|o| o[lo..hi].to_vec());
-        match codec {
+        // Origin tags ride along as a subslice — no per-bucket copy.
+        let origins_slice: Option<&[u64]> = input.origins.map(|o| &o[lo..hi]);
+        let strings = || {
+            ExactIter::new(
+                (lo..hi).map(|i| &input.set.get(i)[..input.send_len(i)]),
+                hi - lo,
+            )
+        };
+        // Each destination buffer is reserved to its exact encoded size
+        // once, so encoding never reallocates mid-run.
+        let buf = match codec {
             ExchangeCodec::Plain => {
-                let strings = (lo..hi).map(|i| &input.set.get(i)[..input.send_len(i)]);
-                wire::encode_plain(
-                    ExactIter::new(strings, hi - lo),
-                    origins_slice.as_deref(),
-                    &mut buf,
-                );
+                let exact = wire::encoded_len_plain(strings(), origins_slice);
+                let mut buf = Vec::with_capacity(exact);
+                wire::encode_plain(strings(), origins_slice, &mut buf);
+                debug_assert_eq!(buf.len(), exact);
+                buf
             }
             ExchangeCodec::LcpCompressed | ExchangeCodec::LcpDelta => {
                 // Run-local LCPs: slice of the global array, truncated to
                 // the transmitted lengths, first entry 0.
-                let run_lcps: Vec<u32> = (lo..hi)
-                    .enumerate()
-                    .map(|(k, i)| {
-                        if k == 0 {
-                            0
-                        } else {
-                            input.lcps[i]
-                                .min(input.send_len(i - 1) as u32)
-                                .min(input.send_len(i) as u32)
-                        }
-                    })
-                    .collect();
-                let strings = (lo..hi).map(|i| &input.set.get(i)[..input.send_len(i)]);
-                wire::encode_lcp(
-                    ExactIter::new(strings, hi - lo),
-                    &run_lcps,
-                    origins_slice.as_deref(),
-                    codec == ExchangeCodec::LcpDelta,
-                    &mut buf,
-                );
+                run_lcps.clear();
+                run_lcps.extend((lo..hi).enumerate().map(|(k, i)| {
+                    if k == 0 {
+                        0
+                    } else {
+                        input.lcps[i]
+                            .min(input.send_len(i - 1) as u32)
+                            .min(input.send_len(i) as u32)
+                    }
+                }));
+                let delta = codec == ExchangeCodec::LcpDelta;
+                let exact = wire::encoded_len_lcp(strings(), &run_lcps, origins_slice, delta);
+                let mut buf = Vec::with_capacity(exact);
+                wire::encode_lcp(strings(), &run_lcps, origins_slice, delta, &mut buf);
+                debug_assert_eq!(buf.len(), exact);
+                buf
             }
-        }
+        };
         msgs.push(buf);
     }
     comm.alltoallv(msgs)
@@ -119,13 +124,13 @@ pub fn exchange_buckets(
 
 /// Adapter: attach an exact size to any iterator (the wire encoder needs
 /// `ExactSizeIterator` and range-map chains lose it).
-struct ExactIter<I> {
+pub(crate) struct ExactIter<I> {
     inner: I,
     remaining: usize,
 }
 
 impl<I> ExactIter<I> {
-    fn new(inner: I, len: usize) -> Self {
+    pub(crate) fn new(inner: I, len: usize) -> Self {
         Self {
             inner,
             remaining: len,
@@ -151,6 +156,8 @@ impl<'a, I: Iterator<Item = &'a [u8]>> ExactSizeIterator for ExactIter<I> {}
 
 /// Merges received runs with the LCP loser tree. Returns the local
 /// output with its exact LCP array (and merged origin tags if present).
+/// The output arena is pre-sized to the exact run totals by `merge_into`
+/// and never reallocates mid-merge.
 pub fn merge_received_lcp(runs: &[DecodedRun]) -> SortedRun {
     let ref_vecs: Vec<Vec<StrRef>> = runs.iter().map(run_refs).collect();
     let views: Vec<MergeRun<'_>> = runs
@@ -174,6 +181,7 @@ pub fn merge_received_lcp(runs: &[DecodedRun]) -> SortedRun {
 }
 
 /// Merges received runs with the plain loser tree (no LCP information).
+/// Output pre-sizing matches [`merge_received_lcp`].
 pub fn merge_received_plain(runs: &[DecodedRun]) -> SortedRun {
     let ref_vecs: Vec<Vec<StrRef>> = runs.iter().map(run_refs).collect();
     let views: Vec<MergeRun<'_>> = runs
@@ -335,6 +343,53 @@ mod tests {
             compressed * 2 < plain,
             "lcp-compressed {compressed} vs plain {plain}"
         );
+    }
+
+    /// Builds a DecodedRun the way the wire would deliver it: sorted, flat
+    /// payload, exact run-local LCP array.
+    fn decoded_run_of(strs: &[&str]) -> DecodedRun {
+        let mut set = dss_strkit::StringSet::from_strs(strs);
+        let lcps = sort_with_lcp(&mut set).0;
+        let mut run = DecodedRun {
+            has_lcps: true,
+            lcps,
+            ..DecodedRun::default()
+        };
+        for s in set.iter() {
+            run.bounds.push((run.data.len(), s.len()));
+            run.data.extend_from_slice(s);
+        }
+        run
+    }
+
+    /// The merge output arena is reserved to the exact totals up front:
+    /// `StringSet::reserve` is exact, so any mid-merge growth would leave
+    /// capacity above length. Guards the allocation-lean merge path.
+    #[test]
+    fn merge_output_arena_never_reallocates() {
+        let runs = vec![
+            decoded_run_of(&["snow", "sorbet", "sorter", "soul"]),
+            decoded_run_of(&["algae", "algo", "alpha", "alps", "orange"]),
+            decoded_run_of(&["order", "organ", "sorted"]),
+        ];
+        let expect_chars: usize = runs.iter().map(|r| r.data.len()).sum();
+        let expect_n: usize = runs.iter().map(|r| r.len()).sum();
+        for plain in [false, true] {
+            let merged = if plain {
+                merge_received_plain(&runs)
+            } else {
+                merge_received_lcp(&runs)
+            };
+            assert_eq!(merged.set.len(), expect_n);
+            assert_eq!(merged.set.arena_len(), expect_chars);
+            assert_eq!(
+                merged.set.arena_capacity(),
+                merged.set.arena_len(),
+                "arena grew mid-merge (plain={plain})"
+            );
+            assert_eq!(merged.set.refs_capacity(), merged.set.len());
+            assert!(merged.set.to_vecs().windows(2).all(|w| w[0] <= w[1]));
+        }
     }
 
     #[test]

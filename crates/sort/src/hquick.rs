@@ -117,6 +117,8 @@ fn hquick_sort(comm: &Comm, input: StringSet, set_phases: bool) -> (StringSet, V
     if set_phases {
         comm.set_phase("hq_partition");
     }
+    // Decode scratch reused across all d levels.
+    let mut run_scratch = wire::DecodedRun::default();
     for level in (0..d).rev() {
         let pivot = select_pivot(&cur, &set, &ids, &mut rng);
         let (keep_le, bit) = {
@@ -147,24 +149,31 @@ fn hquick_sort(comm: &Comm, input: StringSet, set_phases: bool) -> (StringSet, V
         } else {
             (left_idx, right_idx)
         };
-        let mut buf = Vec::new();
         let send_ids: Vec<u64> = send_idx.iter().map(|&i| ids[i]).collect();
-        wire::encode_plain(
-            send_idx.iter().map(|&i| set.get(i)),
-            Some(&send_ids),
-            &mut buf,
-        );
+        let strings = || {
+            crate::exchange::ExactIter::new(send_idx.iter().map(|&i| set.get(i)), send_idx.len())
+        };
+        // Reserve the exact encoded size once; encoding never reallocates.
+        let exact = wire::encoded_len_plain(strings(), Some(&send_ids));
+        let mut buf = Vec::with_capacity(exact);
+        wire::encode_plain(strings(), Some(&send_ids), &mut buf);
+        debug_assert_eq!(buf.len(), exact);
         let partner = cur.rank() ^ (1 << level);
         let incoming = cur.exchange(partner, dss_net::Tag::user(level as u64), buf);
-        // Rebuild the working set: kept strings + received fragment.
-        let mut next = StringSet::new();
-        let mut next_ids = Vec::new();
+        // Rebuild the working set: kept strings + received fragment,
+        // decoded into per-sort scratch and pre-reserved exactly.
+        let mut pos = 0;
+        wire::decode_plain_into(&incoming, &mut pos, &mut run_scratch)
+            .expect("well-formed exchange run");
+        let run = &run_scratch;
+        let kept_chars: usize = keep_idx.iter().map(|&i| set.get(i).len()).sum();
+        let mut next =
+            StringSet::with_capacity(keep_idx.len() + run.len(), kept_chars + run.data.len());
+        let mut next_ids = Vec::with_capacity(keep_idx.len() + run.len());
         for &i in &keep_idx {
             next.push(set.get(i));
             next_ids.push(ids[i]);
         }
-        let mut pos = 0;
-        let run = wire::decode_plain(&incoming, &mut pos).expect("well-formed exchange run");
         let run_ids = run.origins.as_deref().unwrap_or(&[]);
         for (k, s) in run.iter().enumerate() {
             next.push(s);

@@ -112,6 +112,26 @@ impl StringSet {
         self.data.len()
     }
 
+    /// Allocated arena capacity in bytes. With exact pre-reservation this
+    /// stays equal to [`Self::arena_len`] across an append loop — tests
+    /// use that to assert the hot paths never reallocate mid-merge.
+    pub fn arena_capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Allocated handle-array capacity, in strings.
+    pub fn refs_capacity(&self) -> usize {
+        self.strs.capacity()
+    }
+
+    /// Pre-allocates room for exactly `num_strings` additional handles and
+    /// `num_chars` additional characters (no amortized over-allocation:
+    /// callers pass exact totals computed ahead of an append loop).
+    pub fn reserve(&mut self, num_strings: usize, num_chars: usize) {
+        self.strs.reserve_exact(num_strings);
+        self.data.reserve_exact(num_chars);
+    }
+
     /// Borrows string `i` in current order.
     #[inline]
     pub fn get(&self, i: usize) -> &[u8] {
@@ -263,6 +283,20 @@ mod tests {
     fn rejects_sentinel_byte() {
         let mut set = StringSet::new();
         set.push(b"a\0b");
+    }
+
+    #[test]
+    fn exact_reserve_prevents_growth() {
+        let mut set = StringSet::with_capacity(3, 9);
+        for s in [b"abc".as_ref(), b"defg", b"hi"] {
+            set.push(s);
+        }
+        assert_eq!(set.arena_capacity(), 9);
+        assert_eq!(set.refs_capacity(), 3);
+        set.reserve(1, 4);
+        set.push(b"jklm");
+        assert_eq!(set.arena_capacity(), 13);
+        assert_eq!(set.arena_len(), 13);
     }
 
     #[test]

@@ -89,6 +89,18 @@ pub struct LcpLoserTree<'a> {
     h: Vec<u32>,
     stats: MergeStats,
     total: usize,
+    total_chars: usize,
+}
+
+/// Exact output totals of a run set: `(strings, characters)`. Used to
+/// pre-reserve the merge output so the append loop never reallocates.
+fn run_totals(runs: &[MergeRun<'_>]) -> (usize, usize) {
+    let total = runs.iter().map(|r| r.refs.len()).sum();
+    let total_chars = runs
+        .iter()
+        .map(|r| r.refs.iter().map(|s| s.len as usize).sum::<usize>())
+        .sum();
+    (total, total_chars)
 }
 
 impl<'a> LcpLoserTree<'a> {
@@ -98,7 +110,7 @@ impl<'a> LcpLoserTree<'a> {
         for r in &runs {
             debug_assert_eq!(r.refs.len(), r.lcps.len());
         }
-        let total = runs.iter().map(|r| r.refs.len()).sum();
+        let (total, total_chars) = run_totals(&runs);
         let k = runs.len().max(1).next_power_of_two();
         let mut tree = Self {
             k,
@@ -109,6 +121,7 @@ impl<'a> LcpLoserTree<'a> {
             runs,
             stats: MergeStats::default(),
             total,
+            total_chars,
         };
         tree.winner = tree.build(1);
         tree
@@ -207,8 +220,10 @@ impl<'a> LcpLoserTree<'a> {
         Some((out, out_h, w, idx as u32))
     }
 
-    /// Drains the tree, appending every string to `out`.
+    /// Drains the tree, appending every string to `out` (pre-reserved to
+    /// the exact output size, so the appends never reallocate).
     pub fn merge_into(mut self, out: &mut StringSet) -> MergeOutput {
+        out.reserve(self.total, self.total_chars);
         let mut lcps = Vec::with_capacity(self.total);
         let mut sources = Vec::with_capacity(self.total);
         while let Some((s, h, run, idx)) = self.pop() {
@@ -238,12 +253,13 @@ pub struct LoserTree<'a> {
     pos: Vec<usize>,
     stats: MergeStats,
     total: usize,
+    total_chars: usize,
 }
 
 impl<'a> LoserTree<'a> {
     /// Builds the tree (run LCP arrays are ignored and may be empty).
     pub fn new(runs: Vec<MergeRun<'a>>) -> Self {
-        let total = runs.iter().map(|r| r.refs.len()).sum();
+        let (total, total_chars) = run_totals(&runs);
         let k = runs.len().max(1).next_power_of_two();
         let mut tree = Self {
             k,
@@ -253,6 +269,7 @@ impl<'a> LoserTree<'a> {
             runs,
             stats: MergeStats::default(),
             total,
+            total_chars,
         };
         tree.winner = tree.build(1);
         tree
@@ -320,8 +337,10 @@ impl<'a> LoserTree<'a> {
         Some((out, w, idx as u32))
     }
 
-    /// Drains the tree, appending every string to `out`.
+    /// Drains the tree, appending every string to `out` (pre-reserved to
+    /// the exact output size, so the appends never reallocate).
     pub fn merge_into(mut self, out: &mut StringSet) -> MergeOutput {
+        out.reserve(self.total, self.total_chars);
         let mut sources = Vec::with_capacity(self.total);
         while let Some((s, run, idx)) = self.pop() {
             out.push(s);

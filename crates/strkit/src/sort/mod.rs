@@ -27,7 +27,35 @@ use crate::arena::{StrRef, StringSet};
 /// Block sizes below this use multikey quicksort instead of radix passes.
 pub(crate) const RADIX_THRESHOLD: usize = 64;
 /// Block sizes below this use LCP insertion sort.
-pub(crate) const INSERTION_THRESHOLD: usize = 16;
+pub(crate) const INSERTION_THRESHOLD: usize = 8;
+
+/// Gather-loop lookahead distance for [`prefetch_str_char`].
+pub(crate) const PREFETCH_DIST: usize = 16;
+
+/// Hints the CPU to pull the depth-character of `r` into L1 ahead of the
+/// gather loop's read. The arena fetches of a radix/mkqs pass are the
+/// classic string-sorting cache miss (each string lives elsewhere in the
+/// arena); a software prefetch `PREFETCH_DIST` elements ahead overlaps
+/// those misses instead of serializing them. No-op off x86_64.
+#[inline(always)]
+pub(crate) fn prefetch_str_char(arena: &[u8], r: StrRef, depth: u32) {
+    #[cfg(target_arch = "x86_64")]
+    if depth < r.len {
+        // SAFETY: `begin + depth < begin + len ≤ arena.len()` for every
+        // well-formed handle, and prefetch has no architectural effect
+        // beyond the cache regardless.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                arena.as_ptr().add((r.begin + depth) as usize) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (arena, r, depth);
+    }
+}
 
 /// Work counters exposed by the sequential sorters. `chars_accessed`
 /// approximates the paper's "characters inspected" measure (the quantity
@@ -55,6 +83,22 @@ pub(crate) struct Ctx<'a> {
     pub ref_scratch: Vec<StrRef>,
     /// Cached bucket keys so each radix pass gathers characters once.
     pub key_scratch: Vec<u8>,
+    /// Caching mkqs: per-string depth-characters, swapped along with the
+    /// handles (see `mkqs.rs`). Kept out of `key_scratch`, which radix
+    /// indexes by absolute position mid-pass.
+    pub mkqs_cache: Vec<u8>,
+    /// Caching mkqs task stack, reused across the thousands of small
+    /// blocks one radix sort hands over.
+    pub mkqs_stack: Vec<mkqs::Task>,
+    /// 16-bit radix: bucket counters (allocated on first large block),
+    /// zeroed via `used16` after every pass.
+    pub count16: Vec<u32>,
+    /// 16-bit radix: gathered character-pair keys.
+    pub key16_scratch: Vec<u16>,
+    /// 16-bit radix: occupied bucket keys of the current pass.
+    pub used16: Vec<u16>,
+    /// 16-bit radix: `(key, start offset)` of each occupied bucket.
+    pub bucket16: Vec<(u16, u32)>,
 }
 
 impl<'a> Ctx<'a> {
@@ -64,18 +108,12 @@ impl<'a> Ctx<'a> {
             stats: SortStats::default(),
             ref_scratch: Vec::new(),
             key_scratch: Vec::new(),
-        }
-    }
-
-    /// Character of `r` at `depth`, with the paper's 0 sentinel past the
-    /// end. Counted in [`SortStats::chars_accessed`].
-    #[inline]
-    pub fn ch(&mut self, r: StrRef, depth: u32) -> u8 {
-        self.stats.chars_accessed += 1;
-        if depth < r.len {
-            self.arena[(r.begin + depth) as usize]
-        } else {
-            0
+            mkqs_cache: Vec::new(),
+            mkqs_stack: Vec::new(),
+            count16: Vec::new(),
+            key16_scratch: Vec::new(),
+            used16: Vec::new(),
+            bucket16: Vec::new(),
         }
     }
 

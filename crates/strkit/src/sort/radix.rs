@@ -7,6 +7,16 @@
 //! length equals the depth land in the finished bucket (sentinel 0) and
 //! are all equal. Work is O(D) outside the base cases.
 //!
+//! **Two-byte passes** (Bingmann's 16-bit-alphabet radix): blocks of at
+//! least [`RADIX16_MIN`] strings partition on the character *pair* at the
+//! current depth, descending two levels per pass. The dominant cost of a
+//! radix pass is one random arena fetch per string, and the two
+//! characters of a pair share a cache line — so a 16-bit pass does the
+//! work of two 8-bit passes for one miss per string instead of two. The
+//! 2·σ²-entry counter array is made affordable by tracking the occupied
+//! buckets in a side list (at most `n` of 65536), sorting that list, and
+//! zeroing only the touched counters afterwards.
+//!
 //! Bucket keys are gathered once per pass into a scratch array; the
 //! scatter is a stable counting sort through a reusable `StrRef` scratch
 //! buffer (ping-pong would save a copy but complicates LCP bookkeeping
@@ -14,6 +24,10 @@
 
 use super::{mkqs, Ctx, RADIX_THRESHOLD};
 use crate::arena::StrRef;
+
+/// Minimum block size for a 16-bit radix pass. Below this the occupied
+/// bucket list no longer amortizes against plain 8-bit passes.
+pub(crate) const RADIX16_MIN: usize = 128;
 
 struct Task {
     begin: usize,
@@ -45,14 +59,31 @@ pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut 
             mkqs::multikey_quicksort(ctx, &mut refs[begin..end], &mut lcps[begin..end], depth);
             continue;
         }
-        // Pass 1: gather keys once, counting bucket sizes.
+        if n >= RADIX16_MIN {
+            radix16_pass(ctx, refs, lcps, begin, end, depth, &mut stack);
+            continue;
+        }
+        // Pass 1: gather keys once, counting bucket sizes. Slice iteration
+        // keeps the loop free of per-element bounds checks; the stats are
+        // charged once per pass (n fetches), not per call.
         count.fill(0);
-        #[allow(clippy::needless_range_loop)] // scatter over three parallel arrays
-        for i in begin..end {
-            let c = ctx.ch(refs[i], depth);
-            ctx.key_scratch[i] = c;
+        let arena = ctx.arena;
+        let block = &refs[begin..end];
+        let keys = &mut ctx.key_scratch[begin..end];
+        for i in 0..n {
+            if i + super::PREFETCH_DIST < n {
+                super::prefetch_str_char(arena, block[i + super::PREFETCH_DIST], depth);
+            }
+            let r = block[i];
+            let c = if depth < r.len {
+                arena[(r.begin + depth) as usize]
+            } else {
+                0
+            };
+            keys[i] = c;
             count[c as usize] += 1;
         }
+        ctx.stats.chars_accessed += n as u64;
         // Exclusive prefix sums → bucket write cursors (block-relative).
         let mut cursor = [0usize; 256];
         let mut sum = 0usize;
@@ -61,13 +92,13 @@ pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut 
             sum += cnt;
         }
         // Pass 2: stable scatter into scratch, copy back.
-        #[allow(clippy::needless_range_loop)] // scatter over three parallel arrays
-        for i in begin..end {
-            let c = ctx.key_scratch[i] as usize;
-            ctx.ref_scratch[begin + cursor[c]] = refs[i];
-            cursor[c] += 1;
+        let scratch = &mut ctx.ref_scratch[begin..end];
+        for (&r, &c) in refs[begin..end].iter().zip(&ctx.key_scratch[begin..end]) {
+            let cur = &mut cursor[c as usize];
+            scratch[*cur] = r;
+            *cur += 1;
         }
-        refs[begin..end].copy_from_slice(&ctx.ref_scratch[begin..end]);
+        refs[begin..end].copy_from_slice(scratch);
         // Emit boundary LCPs and enqueue bucket subtasks.
         let mut pos = begin;
         for (b, &sz) in count.iter().enumerate() {
@@ -94,6 +125,129 @@ pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut 
             pos += sz;
         }
     }
+}
+
+/// One 16-bit radix pass over `refs[begin..end]` (all sharing `depth`
+/// prefix characters): partitions on the `(depth, depth+1)` character
+/// pair and pushes `depth + 2` subtasks. See the module doc.
+///
+/// Key layout: `c0 << 8 | c1` with the 0 sentinel past the end, so key 0
+/// means "finished at `depth`" and a zero low byte means "finished at
+/// `depth + 1`" (arena strings never contain the 0 byte).
+#[allow(clippy::too_many_arguments)]
+fn radix16_pass(
+    ctx: &mut Ctx<'_>,
+    refs: &mut [StrRef],
+    lcps: &mut [u32],
+    begin: usize,
+    end: usize,
+    depth: u32,
+    stack: &mut Vec<Task>,
+) {
+    let n = end - begin;
+    if ctx.count16.is_empty() {
+        ctx.count16 = vec![0u32; 1 << 16];
+    }
+    if ctx.key16_scratch.len() < n {
+        ctx.key16_scratch.resize(n, 0);
+    }
+    let arena = ctx.arena;
+    let block = &refs[begin..end];
+    let keys = &mut ctx.key16_scratch[..n];
+    let count16 = &mut ctx.count16;
+    let used = &mut ctx.used16;
+    debug_assert!(used.is_empty() && count16.iter().all(|&c| c == 0));
+    // Pass 1: gather character pairs (one cache line per string), count
+    // bucket sizes, and record which of the 65536 buckets are occupied.
+    for i in 0..n {
+        if i + super::PREFETCH_DIST < n {
+            super::prefetch_str_char(arena, block[i + super::PREFETCH_DIST], depth);
+        }
+        let r = block[i];
+        let key = if depth < r.len {
+            let c0 = arena[(r.begin + depth) as usize];
+            let c1 = if depth + 1 < r.len {
+                arena[(r.begin + depth + 1) as usize]
+            } else {
+                0
+            };
+            u16::from(c0) << 8 | u16::from(c1)
+        } else {
+            0
+        };
+        keys[i] = key;
+        let cnt = &mut count16[key as usize];
+        if *cnt == 0 {
+            used.push(key);
+        }
+        *cnt += 1;
+    }
+    // Occupied buckets in key order drive prefix sums, boundary LCPs and
+    // the recursion; `bucket16` remembers each bucket's start offset.
+    used.sort_unstable();
+    let bucket16 = &mut ctx.bucket16;
+    bucket16.clear();
+    let mut cum = 0u32;
+    for &k in used.iter() {
+        bucket16.push((k, cum));
+        let c = count16[k as usize];
+        count16[k as usize] = cum; // becomes the write cursor
+        cum += c;
+    }
+    debug_assert_eq!(cum as usize, n);
+    // Pass 2: stable scatter into scratch, copy back.
+    let scratch = &mut ctx.ref_scratch[begin..end];
+    for (&r, &k) in block.iter().zip(keys.iter()) {
+        let cur = &mut count16[k as usize];
+        scratch[*cur as usize] = r;
+        *cur += 1;
+    }
+    refs[begin..end].copy_from_slice(scratch);
+    // Emit boundary LCPs, charge the exact character fetches, and enqueue
+    // two-levels-deeper subtasks. After the scatter `count16[k]` holds the
+    // bucket's end offset.
+    let mut chars = 0u64;
+    for (j, &(k, start)) in bucket16.iter().enumerate() {
+        let size = (count16[k as usize] - start) as usize;
+        let pos = begin + start as usize;
+        if j > 0 {
+            // Differ in the first pair character ⇒ LCP `depth`, else the
+            // first characters match and they differ at `depth + 1`.
+            let prev_k = bucket16[j - 1].0;
+            lcps[pos] = if prev_k >> 8 != k >> 8 {
+                depth
+            } else {
+                depth + 1
+            };
+        }
+        chars += size as u64
+            * match (k >> 8, k & 0xff) {
+                (0, _) => 0, // finished before `depth`: no fetch
+                (_, 0) => 1, // fetched `depth` only
+                _ => 2,      // fetched the full pair
+            };
+        if size >= 2 {
+            if k == 0 {
+                // All equal, of length `depth`.
+                lcps[pos + 1..pos + size].fill(depth);
+            } else if k & 0xff == 0 {
+                // All equal, of length `depth + 1` (shared c0, sentinel).
+                lcps[pos + 1..pos + size].fill(depth + 1);
+            } else {
+                stack.push(Task {
+                    begin: pos,
+                    end: pos + size,
+                    depth: depth + 2,
+                });
+            }
+        }
+    }
+    ctx.stats.chars_accessed += chars;
+    // Zero only the touched counters for the next pass.
+    for &k in used.iter() {
+        count16[k as usize] = 0;
+    }
+    used.clear();
 }
 
 /// Standalone entry: sorts from depth 0, filling the complete LCP array.
