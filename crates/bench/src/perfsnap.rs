@@ -1,8 +1,8 @@
 //! perfsnap — the tracked hot-path performance baseline.
 //!
 //! Runs a fixed workload matrix (random / skewed / DNA / duplicate-heavy
-//! × seq-sort / MS / MS-simple, plus an exchange+merge micro-cell) and
-//! reports, per cell:
+//! × seq-sort / MS / MS-simple / PDMS / PDMS-Golomb / hQuick, plus an
+//! exchange+merge micro-cell) and reports, per cell:
 //!
 //! * **throughput** in MB of string characters per second (best of reps);
 //! * **chars_accessed** of the sequential sorters (the paper's D-bounded
@@ -19,8 +19,7 @@
 use crate::cli::Args;
 use dss_gen::Workload;
 use dss_net::runner::{run_spmd, RunConfig};
-use dss_sort::exchange::{exchange_buckets, merge_received_lcp, ExchangeCodec, ExchangeInput};
-use dss_sort::partition::bucket_bounds;
+use dss_sort::exchange::{merge_received_lcp, ExchangeCodec, ExchangePayload, StringAllToAll};
 use dss_sort::Algorithm;
 use dss_strkit::sort::sort_with_lcp;
 use dss_strkit::StringSet;
@@ -335,10 +334,12 @@ pub fn dist_cell(w: SnapWorkload, alg: Algorithm, cfg: &SnapConfig, probe: Alloc
     best.expect("reps >= 1")
 }
 
-/// Measures the exchange+merge micro-cell: local sort (untimed), then a
-/// barrier-fenced `exchange_buckets` + `merge_received_lcp` region. The
-/// allocation delta is read on rank 0 across the fences, so it covers
-/// every PE's exchange-path allocations and nothing else.
+/// Measures the exchange+merge micro-cell: local sort (untimed), one
+/// untimed warmup exchange that brings the engine's pooled decode scratch
+/// to steady state, then a barrier-fenced [`StringAllToAll`] exchange +
+/// `merge_received_lcp` region. The allocation delta is read on rank 0
+/// across the fences, so it covers every PE's steady-state exchange-path
+/// allocations and nothing else.
 pub fn exchange_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Cell {
     let mut best: Option<Cell> = None;
     for _ in 0..cfg.reps {
@@ -355,22 +356,20 @@ pub fn exchange_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
             for j in 1..p {
                 splitters.push(sample.get(j * sample.len() / p));
             }
-            let bounds = bucket_bounds(&set, &splitters);
+            let payload = ExchangePayload {
+                set: &set,
+                lcps: &lcps,
+                origins: None,
+                truncate: None,
+            };
+            let mut engine = StringAllToAll::new(ExchangeCodec::LcpCompressed);
+            // Warmup: populate the pooled decode scratch (untimed).
+            let _ = engine.exchange_by_splitters(comm, &payload, &splitters, false);
             comm.barrier();
             let before = (comm.rank() == 0).then(probe);
             let t0 = Instant::now();
-            let runs = exchange_buckets(
-                comm,
-                &ExchangeInput {
-                    set: &set,
-                    lcps: &lcps,
-                    bounds: &bounds,
-                    origins: None,
-                    truncate: None,
-                },
-                ExchangeCodec::LcpCompressed,
-            );
-            let merged = merge_received_lcp(&runs);
+            let runs = engine.exchange_by_splitters(comm, &payload, &splitters, false);
+            let merged = merge_received_lcp(runs);
             let wall = t0.elapsed();
             comm.barrier();
             let (da, db) = match before {
@@ -439,7 +438,13 @@ pub fn run_snapshot_filtered(cfg: &SnapConfig, probe: AllocProbe, filter: &str) 
             eprintln!("perfsnap: {} / seq-sort", w.label());
             cells.push(seq_cell(w, cfg, probe));
         }
-        for alg in [Algorithm::Ms, Algorithm::MsSimple] {
+        for alg in [
+            Algorithm::Ms,
+            Algorithm::MsSimple,
+            Algorithm::Pdms,
+            Algorithm::PdmsGolomb,
+            Algorithm::HQuick,
+        ] {
             if want(w, alg.label()) {
                 eprintln!("perfsnap: {} / {}", w.label(), alg.label());
                 cells.push(dist_cell(w, alg, cfg, probe));
@@ -543,7 +548,8 @@ mod tests {
             truncate: 0,
         };
         let cells = run_snapshot(&cfg, no_probe);
-        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 4);
+        // seq-sort + 5 distributed algorithms + the exchange micro-cell.
+        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 7);
         for c in &cells {
             assert!(c.n > 0, "{}/{} empty", c.workload, c.algo);
             assert!(c.mb_per_s > 0.0);
@@ -553,10 +559,15 @@ mod tests {
             .iter()
             .filter(|c| c.algo == "seq-sort")
             .all(|c| c.chars_accessed.is_some()));
-        assert!(cells
-            .iter()
-            .filter(|c| c.algo == "MS")
-            .all(|c| c.bytes_per_string.unwrap_or(0.0) > 0.0));
+        for algo in ["MS", "MS-simple", "PDMS", "PDMS-Golomb", "hQuick"] {
+            assert!(
+                cells
+                    .iter()
+                    .filter(|c| c.algo == algo)
+                    .all(|c| c.bytes_per_string.unwrap_or(0.0) > 0.0),
+                "{algo} cells must report wire volume"
+            );
+        }
     }
 
     #[test]

@@ -43,3 +43,4 @@ pub use comm::{Comm, Tag};
 pub use metrics::{CostModel, NetStats, PhaseSummary};
 pub use rng::SplitMix64;
 pub use runner::{run_spmd, RunConfig, SpmdResult};
+pub use topology::{grid_dims, grid_view, GridComm};

@@ -1,8 +1,42 @@
-//! Hypercube topology helpers.
+//! Topology views over a communicator: hypercube helpers and the r×c
+//! grid view used by multi-level algorithms.
+//!
+//! ## Hypercube
 //!
 //! hQuick (§IV) arranges `2^⌊log p⌋` PEs as a d-dimensional hypercube and
 //! peels one dimension per iteration; these helpers keep the bit fiddling
 //! in one place.
+//!
+//! ## Grid view
+//!
+//! The follow-up work on multi-level string sorting (Kurpicz, Mehnert,
+//! Sanders, Schimek: "Scalable Distributed String Sorting", 2024) replaces
+//! the single-level all-to-all — where every PE talks to all `p − 1` peers
+//! — with grid communication: the `p = r·c` PEs form an r×c grid, data
+//! first moves *within rows* (`c − 1` partners) into the right column,
+//! then *within columns* (`r − 1` partners) to its final PE, cutting the
+//! per-PE partner count from `Θ(p)` to `O(r + c)` (`O(√p)` for a square
+//! grid).
+//!
+//! [`grid_view`] builds that view from two [`Comm::split`] calls. The rank
+//! mapping is **column-major** and deterministic:
+//!
+//! ```text
+//! world rank v  ⇔  (row, col) = (v mod r, v ⌊/⌋ r),   v = col·r + row
+//! ```
+//!
+//! so each *column* is a contiguous world-rank block. A two-phase
+//! row-then-column exchange that routes global bucket `j` into column `j`
+//! and then orders each column internally therefore leaves the
+//! world-rank-ordered concatenation globally sorted — the output
+//! invariant every distributed sorter promises.
+//!
+//! Accounting follows the collective rules of [`crate::comm`]: each of the
+//! two splits performs one counted all-gather of the color (`⌈log p⌉`
+//! latency rounds, `O(p)` volume), and traffic on the row/column
+//! communicators is metered exactly like any other communicator traffic.
+
+use crate::comm::Comm;
 
 /// Largest `d` with `2^d ≤ p`; the paper's `d = ⌊log p⌋` (0 for `p = 1`).
 pub fn hypercube_dim(p: usize) -> u32 {
@@ -29,6 +63,107 @@ pub fn is_lower(rank: usize, dim: u32) -> bool {
 /// bits above dimension `i`).
 pub fn subcube_id(rank: usize, dims: u32) -> usize {
     rank >> dims
+}
+
+// ---------------------------------------------------------------------
+// grid view
+// ---------------------------------------------------------------------
+
+/// Picks the r×c factorization the grid algorithms use for `p` PEs: the
+/// **largest `r ≤ √p` dividing `p`** (so `r ≤ c` and the grid is as close
+/// to square as `p` allows — square grids minimize `r + c`, the per-PE
+/// partner count of a two-level exchange).
+///
+/// Returns `None` when no grid with `r, c ≥ 2` exists (`p < 4` or `p`
+/// prime); callers fall back to their single-level variant.
+pub fn grid_dims(p: usize) -> Option<(usize, usize)> {
+    if p < 4 {
+        return None;
+    }
+    let mut r = 1usize;
+    while (r + 1) * (r + 1) <= p {
+        r += 1;
+    }
+    while r >= 2 {
+        if p.is_multiple_of(r) {
+            return Some((r, p / r));
+        }
+        r -= 1;
+    }
+    None
+}
+
+/// The r×c grid view of a communicator: this PE's row and column
+/// subcommunicators plus the deterministic rank mapping (see the module
+/// docs). Built by [`grid_view`].
+pub struct GridComm {
+    rows: usize,
+    cols: usize,
+    /// This PE's row communicator (size `cols`; rank within it = column).
+    pub row: Comm,
+    /// This PE's column communicator (size `rows`; rank within it = row).
+    pub col: Comm,
+}
+
+impl GridComm {
+    /// Number of grid rows `r`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of grid columns `c`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// This PE's row index (its rank within its column communicator).
+    pub fn my_row(&self) -> usize {
+        self.col.rank()
+    }
+
+    /// This PE's column index (its rank within its row communicator).
+    pub fn my_col(&self) -> usize {
+        self.row.rank()
+    }
+
+    /// Rank (in the communicator the grid was built from) of the PE at
+    /// `(row, col)` — the inverse of the column-major mapping.
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        col * self.rows + row
+    }
+}
+
+/// Splits `comm` into an `rows × cols` grid view (requires
+/// `rows · cols == comm.size()`).
+///
+/// Rank `v` of `comm` sits at `(row, col) = (v mod rows, v / rows)`:
+/// columns are contiguous rank blocks, rows are strided. Two counted
+/// [`Comm::split`] all-gathers build the row and column communicators;
+/// because `split` orders members by parent rank, the rank *within* the
+/// row communicator equals the column index and vice versa — no further
+/// renumbering needed.
+pub fn grid_view(comm: &Comm, rows: usize, cols: usize) -> GridComm {
+    assert!(rows >= 1 && cols >= 1);
+    assert_eq!(
+        rows * cols,
+        comm.size(),
+        "grid {rows}x{cols} must tile the communicator exactly"
+    );
+    let v = comm.rank();
+    let (my_row, my_col) = (v % rows, v / rows);
+    let row = comm.split(my_row as u64);
+    let col = comm.split(my_col as u64);
+    debug_assert_eq!(row.size(), cols);
+    debug_assert_eq!(col.size(), rows);
+    debug_assert_eq!(row.rank(), my_col);
+    debug_assert_eq!(col.rank(), my_row);
+    GridComm {
+        rows,
+        cols,
+        row,
+        col,
+    }
 }
 
 #[cfg(test)]
@@ -66,5 +201,62 @@ mod tests {
         assert_eq!(subcube_id(3, 2), 0);
         assert_eq!(subcube_id(4, 2), 1);
         assert_eq!(subcube_id(7, 2), 1);
+    }
+
+    #[test]
+    fn grid_dims_prefers_near_square_factorizations() {
+        assert_eq!(grid_dims(4), Some((2, 2)));
+        assert_eq!(grid_dims(6), Some((2, 3)));
+        assert_eq!(grid_dims(12), Some((3, 4)));
+        assert_eq!(grid_dims(16), Some((4, 4)));
+        assert_eq!(grid_dims(18), Some((3, 6)));
+        assert_eq!(grid_dims(64), Some((8, 8)));
+        // No nontrivial grid: tiny or prime PE counts.
+        for p in [0usize, 1, 2, 3, 5, 7, 11, 13, 97] {
+            assert_eq!(grid_dims(p), None, "p={p}");
+        }
+        // r ≤ c always, and r·c = p.
+        for p in 4..200usize {
+            if let Some((r, c)) = grid_dims(p) {
+                assert!(r >= 2 && r <= c && r * c == p, "p={p} -> {r}x{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_view_mapping_and_routing() {
+        use crate::runner::{run_spmd, RunConfig};
+        use crate::Tag;
+        let (r, c) = (2usize, 3usize);
+        let res = run_spmd(r * c, RunConfig::default(), move |comm| {
+            let g = grid_view(comm, r, c);
+            assert_eq!((g.rows(), g.cols()), (r, c));
+            assert_eq!(g.row.size(), c);
+            assert_eq!(g.col.size(), r);
+            // Column-major mapping: v = col·r + row.
+            assert_eq!(comm.rank(), g.rank_of(g.my_row(), g.my_col()));
+            assert_eq!(g.my_row(), comm.rank() % r);
+            assert_eq!(g.my_col(), comm.rank() / r);
+            // Row and column comms route independently even with the same
+            // tag in flight everywhere: ring-pass the world rank in both.
+            let t = Tag::user(3);
+            g.row.send((g.my_col() + 1) % c, t, vec![comm.rank() as u8]);
+            let from_row = g.row.recv((g.my_col() + c - 1) % c, t);
+            g.col.send((g.my_row() + 1) % r, t, vec![comm.rank() as u8]);
+            let from_col = g.col.recv((g.my_row() + r - 1) % r, t);
+            let expect_row = g.rank_of(g.my_row(), (g.my_col() + c - 1) % c);
+            let expect_col = g.rank_of((g.my_row() + r - 1) % r, g.my_col());
+            assert_eq!(from_row, vec![expect_row as u8]);
+            assert_eq!(from_col, vec![expect_col as u8]);
+            (g.my_row(), g.my_col())
+        });
+        // Every grid position is occupied exactly once.
+        let mut seen: Vec<(usize, usize)> = res.values;
+        seen.sort_unstable();
+        let expect: Vec<(usize, usize)> =
+            (0..c).flat_map(|j| (0..r).map(move |i| (i, j))).collect();
+        let mut expect = expect;
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
     }
 }

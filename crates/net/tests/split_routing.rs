@@ -1,0 +1,93 @@
+//! Property test for nested `Comm::split` routing — the grid's
+//! row/column case is a split of a split, so the communicator-id matching
+//! must keep sibling subcommunicators fully isolated even when every leaf
+//! uses the *same* user tag at the same time, and the latency accounting
+//! of collectives run on nested communicators must stay additive.
+
+use dss_net::collectives::ReduceOp;
+use dss_net::runner::{run_spmd, RunConfig};
+use dss_net::Tag;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        recv_timeout: Duration::from_secs(30),
+        ..RunConfig::default()
+    }
+}
+
+fn ceil_log2(p: usize) -> u64 {
+    (usize::BITS - (p - 1).leading_zeros()) as u64
+}
+
+/// Members of the leaf communicator of `rank`, in world-rank order, under
+/// the two nested color assignments.
+fn leaf_members(colors: &[u64], subcolors: &[u64], rank: usize) -> Vec<usize> {
+    (0..colors.len())
+        .filter(|&i| colors[i] == colors[rank] && subcolors[i] == subcolors[rank])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Split-of-a-split: every PE ring-passes its world rank inside its
+    /// leaf communicator with one shared tag, and every leaf runs an
+    /// allreduce — messages must never cross sibling subcommunicators and
+    /// every PE's "nested" phase must account exactly the sum of the
+    /// collective rounds it ran on each nesting level.
+    #[test]
+    fn nested_split_isolates_and_accounts(
+        p in 2usize..8,
+        colors in proptest::collection::vec(0u64..3, 8..9),
+        subcolors in proptest::collection::vec(0u64..2, 8..9),
+    ) {
+        let colors = colors[..p].to_vec();
+        let subcolors = subcolors[..p].to_vec();
+        let (colors_ref, subcolors_ref) = (&colors, &subcolors);
+        let res = run_spmd(p, cfg(), move |comm| {
+            let rank = comm.rank();
+            let sub = comm.split(colors_ref[rank]);
+            let leaf = sub.split(subcolors_ref[rank]);
+            let members = leaf_members(colors_ref, subcolors_ref, rank);
+            assert_eq!(leaf.size(), members.len());
+            let my = members.iter().position(|&m| m == rank).expect("member");
+            assert_eq!(leaf.rank(), my, "split keeps parent rank order");
+
+            // Ring p2p with the SAME tag in every leaf simultaneously:
+            // only communicator-id matching keeps the rings apart.
+            let t = Tag::user(7);
+            let next = (my + 1) % members.len();
+            let prev = (my + members.len() - 1) % members.len();
+            leaf.send(next, t, vec![rank as u8]);
+            let got = leaf.recv(prev, t);
+            assert_eq!(got, vec![members[prev] as u8], "ring crossed leaves");
+
+            // Collective isolation: the leaf-wide max of world ranks.
+            let max = leaf.allreduce_u64(rank as u64, ReduceOp::Max);
+            assert_eq!(max, *members.last().expect("nonempty") as u64);
+
+            // Latency additivity: one barrier per nesting level inside a
+            // dedicated phase accounts ⌈log₂⌉ rounds per level, summed.
+            comm.set_phase("nested");
+            comm.barrier();
+            sub.barrier();
+            leaf.barrier();
+            let expect = [comm.size(), sub.size(), leaf.size()]
+                .iter()
+                .filter(|&&s| s > 1)
+                .map(|&s| ceil_log2(s))
+                .sum::<u64>();
+            let got_rounds = comm.with_metrics(|m| {
+                m.phases()
+                    .find(|(n, _)| *n == "nested")
+                    .map(|(_, c)| c.rounds)
+                    .expect("phase recorded")
+            });
+            assert_eq!(got_rounds, expect, "collective rounds must add up");
+            got_rounds
+        });
+        prop_assert_eq!(res.values.len(), p);
+    }
+}

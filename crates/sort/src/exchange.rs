@@ -1,15 +1,33 @@
-//! Step 3 of the merge-based algorithms: the personalized all-to-all
-//! string exchange, with the paper's LCP compression, plus the shared
-//! "merge the received runs" step 4.
+//! The exchange engine: step 3 of the merge-based algorithms — the
+//! personalized all-to-all string exchange with the paper's LCP
+//! compression — plus the shared "merge the received runs" step 4.
 //!
-//! Because every bucket is a contiguous slice of the *sorted* local set,
-//! its run-local LCP array is just the corresponding slice of the local
-//! LCP array (first entry zeroed). LCP compression then transmits each
-//! string as `(lcp, suffix)` — repeated prefixes cross the wire exactly
-//! once (Fig. 2, step 3). PDMS additionally truncates every string to its
-//! approximated distinguishing prefix and tags it with an origin.
+//! [`StringAllToAll`] is the single codec-aware all-to-all implementation
+//! of the crate. It owns the whole data-movement pipeline:
+//!
+//! * **splitter classification** — bucket bounds over the sorted local
+//!   set, with optional duplicate tie-breaking (§VIII);
+//! * **per-destination encoding** — plain, LCP-compressed or LCP-delta
+//!   wire format, each destination buffer reserved to its exact encoded
+//!   size so encoding never reallocates;
+//! * **origin tagging** — PDMS-style origin tags ride along as a
+//!   subslice, no per-bucket copy;
+//! * **pooled decode scratch** — received runs are decoded into a ring of
+//!   [`DecodedRun`]s owned by the engine, so repeated exchanges through
+//!   the same engine (MS2L's two levels, hQuick's placement, benchmark
+//!   loops) reach steady state with near-zero decode-side allocations.
+//!
+//! The engine is topology-agnostic: it exchanges over whatever
+//! communicator it is handed — the world communicator for the
+//! single-level algorithms, a row or column communicator of a
+//! [`dss_net::GridComm`] for the two-level ones. Because every bucket is
+//! a contiguous slice of the *sorted* local set, its run-local LCP array
+//! is just the corresponding slice of the local LCP array (first entry
+//! zeroed); LCP compression then transmits each string as `(lcp, suffix)`
+//! — repeated prefixes cross the wire exactly once (Fig. 2, step 3).
 
 use crate::output::SortedRun;
+use crate::partition::{bucket_bounds, bucket_bounds_tie_break};
 use dss_codec::wire::{self, DecodedRun};
 use dss_net::Comm;
 use dss_strkit::losertree::{LcpLoserTree, LoserTree, MergeRun};
@@ -27,14 +45,12 @@ pub enum ExchangeCodec {
     LcpDelta,
 }
 
-/// Everything the exchange needs to know about the local buckets.
-pub struct ExchangeInput<'a> {
+/// What one exchange ships: the sorted local set plus its side arrays.
+pub struct ExchangePayload<'a> {
     /// Sorted local set.
     pub set: &'a StringSet,
-    /// Its LCP array.
+    /// Its LCP array (ignored by [`ExchangeCodec::Plain`]).
     pub lcps: &'a [u32],
-    /// Bucket boundaries from [`crate::partition::bucket_bounds`].
-    pub bounds: &'a [usize],
     /// Per-string origin tags to ship along (PDMS).
     pub origins: Option<&'a [u64]>,
     /// Per-string transmit lengths (PDMS: approximate distinguishing
@@ -42,7 +58,7 @@ pub struct ExchangeInput<'a> {
     pub truncate: Option<&'a [u32]>,
 }
 
-impl<'a> ExchangeInput<'a> {
+impl<'a> ExchangePayload<'a> {
     fn send_len(&self, i: usize) -> usize {
         let full = self.set.get(i).len();
         match self.truncate {
@@ -52,33 +68,124 @@ impl<'a> ExchangeInput<'a> {
     }
 }
 
-/// Serializes and exchanges all buckets; returns the decoded runs indexed
-/// by source PE. Each run is sorted and carries its exact LCP array when
-/// an LCP codec is used.
-pub fn exchange_buckets(
-    comm: &Comm,
-    input: &ExchangeInput<'_>,
+/// The codec-aware personalized all-to-all engine (see module docs).
+///
+/// One engine instance can serve any number of exchanges over any
+/// communicators; its scratch buffers (encode-side run-local LCPs, bucket
+/// bounds, decode-side [`DecodedRun`] ring) are grown once and reused.
+pub struct StringAllToAll {
     codec: ExchangeCodec,
-) -> Vec<DecodedRun> {
-    let p = comm.size();
-    debug_assert_eq!(input.bounds.len(), p + 1);
-    debug_assert_eq!(input.lcps.len(), input.set.len());
-    let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
-    // Run-local LCP scratch, reused across destinations.
-    let mut run_lcps: Vec<u32> = Vec::new();
-    for dest in 0..p {
-        let (lo, hi) = (input.bounds[dest], input.bounds[dest + 1]);
+    /// Run-local LCP scratch, reused across destinations.
+    run_lcps: Vec<u32>,
+    /// Pooled decode scratch ring, indexed by source PE.
+    runs: Vec<DecodedRun>,
+}
+
+impl StringAllToAll {
+    /// Engine with the given wire codec.
+    pub fn new(codec: ExchangeCodec) -> Self {
+        Self {
+            codec,
+            run_lcps: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// The wire codec this engine encodes with.
+    pub fn codec(&self) -> ExchangeCodec {
+        self.codec
+    }
+
+    /// Classifies the sorted payload against `splitters` (`comm.size() − 1`
+    /// of them, identical on every PE; `tie_break` spreads runs equal to a
+    /// splitter per §VIII) and exchanges the buckets: bucket `i` travels
+    /// to communicator rank `i`. Returns the decoded runs indexed by
+    /// source rank; each run is sorted and carries its exact LCP array
+    /// when an LCP codec is used.
+    pub fn exchange_by_splitters(
+        &mut self,
+        comm: &Comm,
+        payload: &ExchangePayload<'_>,
+        splitters: &StringSet,
+        tie_break: bool,
+    ) -> &[DecodedRun] {
+        let bounds = if tie_break {
+            bucket_bounds_tie_break(payload.set, splitters)
+        } else {
+            bucket_bounds(payload.set, splitters)
+        };
+        self.exchange_bounds(comm, payload, &bounds)
+    }
+
+    /// Exchanges pre-computed buckets: `bounds[i]..bounds[i+1]` of the
+    /// sorted payload travels to communicator rank `i`
+    /// (`bounds.len() == comm.size() + 1`).
+    pub fn exchange_bounds(
+        &mut self,
+        comm: &Comm,
+        payload: &ExchangePayload<'_>,
+        bounds: &[usize],
+    ) -> &[DecodedRun] {
+        let p = comm.size();
+        debug_assert_eq!(bounds.len(), p + 1);
+        if !matches!(self.codec, ExchangeCodec::Plain) {
+            debug_assert_eq!(payload.lcps.len(), payload.set.len());
+        }
+        let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
+        for dest in 0..p {
+            let (lo, hi) = (bounds[dest], bounds[dest + 1]);
+            msgs.push(self.encode_bucket(payload, lo, hi));
+        }
+        let received = comm.alltoallv(msgs);
+        self.decode_received(&received)
+    }
+
+    /// Plain scatter: string `i` of (unsorted) `set` travels to
+    /// communicator rank `dest_of[i]`, preserving relative order within
+    /// each destination. hQuick's random placement step. Plain codec only
+    /// — an arbitrary assignment has no sortedness to LCP-compress.
+    pub fn scatter_plain(
+        &mut self,
+        comm: &Comm,
+        set: &StringSet,
+        dest_of: &[usize],
+    ) -> &[DecodedRun] {
+        debug_assert_eq!(dest_of.len(), set.len());
+        debug_assert!(
+            matches!(self.codec, ExchangeCodec::Plain),
+            "scatter is plain-only"
+        );
+        let p = comm.size();
+        // Bucket the indices per destination in one pass.
+        let mut idxs: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for (i, &d) in dest_of.iter().enumerate() {
+            idxs[d].push(i);
+        }
+        let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
+        for list in &idxs {
+            let strings = || ExactIter::new(list.iter().map(|&i| set.get(i)), list.len());
+            let exact = wire::encoded_len_plain(strings(), None);
+            let mut buf = Vec::with_capacity(exact);
+            wire::encode_plain(strings(), None, &mut buf);
+            debug_assert_eq!(buf.len(), exact);
+            msgs.push(buf);
+        }
+        let received = comm.alltoallv(msgs);
+        self.decode_received(&received)
+    }
+
+    /// Serializes one bucket with the engine codec, reserved to its exact
+    /// encoded size so encoding never reallocates mid-run.
+    fn encode_bucket(&mut self, payload: &ExchangePayload<'_>, lo: usize, hi: usize) -> Vec<u8> {
         // Origin tags ride along as a subslice — no per-bucket copy.
-        let origins_slice: Option<&[u64]> = input.origins.map(|o| &o[lo..hi]);
+        let origins_slice: Option<&[u64]> = payload.origins.map(|o| &o[lo..hi]);
         let strings = || {
             ExactIter::new(
-                (lo..hi).map(|i| &input.set.get(i)[..input.send_len(i)]),
+                (lo..hi).map(|i| &payload.set.get(i)[..payload.send_len(i)]),
                 hi - lo,
             )
         };
-        // Each destination buffer is reserved to its exact encoded size
-        // once, so encoding never reallocates mid-run.
-        let buf = match codec {
+        match self.codec {
             ExchangeCodec::Plain => {
                 let exact = wire::encoded_len_plain(strings(), origins_slice);
                 let mut buf = Vec::with_capacity(exact);
@@ -89,37 +196,44 @@ pub fn exchange_buckets(
             ExchangeCodec::LcpCompressed | ExchangeCodec::LcpDelta => {
                 // Run-local LCPs: slice of the global array, truncated to
                 // the transmitted lengths, first entry 0.
-                run_lcps.clear();
-                run_lcps.extend((lo..hi).enumerate().map(|(k, i)| {
+                self.run_lcps.clear();
+                self.run_lcps.extend((lo..hi).enumerate().map(|(k, i)| {
                     if k == 0 {
                         0
                     } else {
-                        input.lcps[i]
-                            .min(input.send_len(i - 1) as u32)
-                            .min(input.send_len(i) as u32)
+                        payload.lcps[i]
+                            .min(payload.send_len(i - 1) as u32)
+                            .min(payload.send_len(i) as u32)
                     }
                 }));
-                let delta = codec == ExchangeCodec::LcpDelta;
-                let exact = wire::encoded_len_lcp(strings(), &run_lcps, origins_slice, delta);
+                let delta = self.codec == ExchangeCodec::LcpDelta;
+                let exact = wire::encoded_len_lcp(strings(), &self.run_lcps, origins_slice, delta);
                 let mut buf = Vec::with_capacity(exact);
-                wire::encode_lcp(strings(), &run_lcps, origins_slice, delta, &mut buf);
+                wire::encode_lcp(strings(), &self.run_lcps, origins_slice, delta, &mut buf);
                 debug_assert_eq!(buf.len(), exact);
                 buf
             }
-        };
-        msgs.push(buf);
+        }
     }
-    comm.alltoallv(msgs)
-        .into_iter()
-        .map(|buf| {
+
+    /// Decodes the received buffers into the pooled scratch ring, growing
+    /// it only on its high-water mark.
+    fn decode_received(&mut self, received: &[Vec<u8>]) -> &[DecodedRun] {
+        let p = received.len();
+        if self.runs.len() < p {
+            self.runs.resize_with(p, DecodedRun::default);
+        }
+        for (run, buf) in self.runs.iter_mut().zip(received) {
             let mut pos = 0;
-            match codec {
-                ExchangeCodec::Plain => wire::decode_plain(&buf, &mut pos),
-                _ => wire::decode_lcp(&buf, &mut pos),
+            match self.codec {
+                ExchangeCodec::Plain => wire::decode_plain_into(buf, &mut pos, run),
+                _ => wire::decode_lcp_into(buf, &mut pos, run),
             }
-            .expect("well-formed exchange run")
-        })
-        .collect()
+            .expect("well-formed exchange run");
+            debug_assert_eq!(pos, buf.len());
+        }
+        &self.runs[..p]
+    }
 }
 
 /// Adapter: attach an exact size to any iterator (the wire encoder needs
@@ -229,7 +343,6 @@ fn collect_origins(runs: &[DecodedRun], sources: &[(u32, u32)]) -> Option<Vec<u6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::partition::bucket_bounds;
     use dss_net::runner::{run_spmd, RunConfig};
     use dss_strkit::sort::sort_with_lcp;
     use std::time::Duration;
@@ -252,22 +365,22 @@ mod tests {
             };
             let lcps = sort_with_lcp(&mut set).0;
             let splitters = StringSet::from_strs(&["oo"]);
-            let bounds = bucket_bounds(&set, &splitters);
-            let runs = exchange_buckets(
+            let mut engine = StringAllToAll::new(codec);
+            let runs = engine.exchange_by_splitters(
                 comm,
-                &ExchangeInput {
+                &ExchangePayload {
                     set: &set,
                     lcps: &lcps,
-                    bounds: &bounds,
                     origins: None,
                     truncate: None,
                 },
-                codec,
+                &splitters,
+                false,
             );
             let merged = if lcp_merge {
-                merge_received_lcp(&runs)
+                merge_received_lcp(runs)
             } else {
-                merge_received_plain(&runs)
+                merge_received_plain(runs)
             };
             if let Some(l) = &merged.lcps {
                 dss_strkit::lcp::verify_lcp_array(&merged.set, l).expect("merged lcps");
@@ -315,18 +428,18 @@ mod tests {
                 }
                 let lcps = sort_with_lcp(&mut set).0;
                 let splitters = StringSet::from_strs(&["shared_prefix_00_z"]);
-                let bounds = bucket_bounds(&set, &splitters);
                 comm.set_phase("exchange");
-                let _ = exchange_buckets(
+                let mut engine = StringAllToAll::new(codec);
+                let _ = engine.exchange_by_splitters(
                     comm,
-                    &ExchangeInput {
+                    &ExchangePayload {
                         set: &set,
                         lcps: &lcps,
-                        bounds: &bounds,
                         origins: None,
                         truncate: None,
                     },
-                    codec,
+                    &splitters,
+                    false,
                 );
             });
             res.stats
@@ -409,19 +522,19 @@ mod tests {
             let trunc: Vec<u32> = vec![3; set.len()];
             let origins: Vec<u64> = (0..set.len() as u64).collect();
             let splitters = StringSet::from_strs(&["50"]);
-            let bounds = bucket_bounds(&set, &splitters);
-            let runs = exchange_buckets(
+            let mut engine = StringAllToAll::new(ExchangeCodec::LcpCompressed);
+            let runs = engine.exchange_by_splitters(
                 comm,
-                &ExchangeInput {
+                &ExchangePayload {
                     set: &set,
                     lcps: &lcps,
-                    bounds: &bounds,
                     origins: Some(&origins),
                     truncate: Some(&trunc),
                 },
-                ExchangeCodec::LcpCompressed,
+                &splitters,
+                false,
             );
-            let merged = merge_received_lcp(&runs);
+            let merged = merge_received_lcp(runs);
             assert!(merged.set.iter().all(|s| s.len() == 3));
             assert_eq!(
                 merged.origins.as_ref().map(Vec::len),
@@ -430,5 +543,68 @@ mod tests {
             merged.set.len()
         });
         assert_eq!(res.values.iter().sum::<usize>(), 100);
+    }
+
+    /// Scatter: strings land on their assigned PE in input order.
+    #[test]
+    fn scatter_routes_by_destination() {
+        let res = run_spmd(3, cfg_run(), |comm| {
+            let p = comm.size();
+            let mut set = StringSet::new();
+            for i in 0..30u32 {
+                set.push(format!("r{}i{:02}", comm.rank(), i).as_bytes());
+            }
+            let dest_of: Vec<usize> = (0..set.len()).map(|i| i % p).collect();
+            let mut engine = StringAllToAll::new(ExchangeCodec::Plain);
+            let runs = engine.scatter_plain(comm, &set, &dest_of);
+            // Run `src` holds exactly the strings src assigned to us, in order.
+            let r = comm.rank();
+            for (src, run) in runs.iter().enumerate() {
+                let expect: Vec<Vec<u8>> = (0..30usize)
+                    .filter(|i| i % p == r)
+                    .map(|i| format!("r{src}i{i:02}").into_bytes())
+                    .collect();
+                let got: Vec<Vec<u8>> = run.iter().map(|s| s.to_vec()).collect();
+                assert_eq!(got, expect, "src {src}");
+            }
+            runs.iter().map(|r| r.len()).sum::<usize>()
+        });
+        assert_eq!(res.values.iter().sum::<usize>(), 90);
+    }
+
+    /// The same engine run twice with identical data must not grow its
+    /// pooled decode scratch: every `DecodedRun` buffer keeps its exact
+    /// capacity from the first round.
+    #[test]
+    fn pooled_decode_scratch_is_stable_across_rounds() {
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let mut set = StringSet::new();
+            for i in 0..200u32 {
+                set.push(format!("steady_{:03}_{}", i, comm.rank()).as_bytes());
+            }
+            let lcps = sort_with_lcp(&mut set).0;
+            let splitters = StringSet::from_strs(&["steady_100"]);
+            let payload = ExchangePayload {
+                set: &set,
+                lcps: &lcps,
+                origins: None,
+                truncate: None,
+            };
+            let mut engine = StringAllToAll::new(ExchangeCodec::LcpCompressed);
+            let caps: Vec<(usize, usize, usize)> = engine
+                .exchange_by_splitters(comm, &payload, &splitters, false)
+                .iter()
+                .map(|r| (r.data.capacity(), r.bounds.capacity(), r.lcps.capacity()))
+                .collect();
+            for round in 0..3 {
+                let runs = engine.exchange_by_splitters(comm, &payload, &splitters, false);
+                let now: Vec<(usize, usize, usize)> = runs
+                    .iter()
+                    .map(|r| (r.data.capacity(), r.bounds.capacity(), r.lcps.capacity()))
+                    .collect();
+                assert_eq!(caps, now, "scratch grew in round {round}");
+            }
+        });
+        assert_eq!(res.values.len(), 2);
     }
 }

@@ -12,7 +12,7 @@
 //! strings and p−1 message latencies on PE 0 — the bottleneck the paper
 //! holds responsible for FKmerge's scalability collapse beyond ~320 cores.
 
-use crate::exchange::{exchange_buckets, merge_received_plain, ExchangeCodec, ExchangeInput};
+use crate::exchange::{merge_received_plain, ExchangeCodec, ExchangePayload, StringAllToAll};
 use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig, SamplingPolicy};
 use crate::DistSorter;
@@ -43,21 +43,22 @@ impl DistSorter for FkMerge {
             central_sample_sort: true,
             ..PartitionConfig::default()
         };
-        let bounds = partition::partition(comm, &input, &cfg, None, None);
+        let splitters = partition::determine_splitters(comm, &input, &cfg, None, None);
         comm.set_phase("exchange");
-        let runs = exchange_buckets(
+        let mut engine = StringAllToAll::new(ExchangeCodec::Plain);
+        let runs = engine.exchange_by_splitters(
             comm,
-            &ExchangeInput {
+            &ExchangePayload {
                 set: &input,
                 lcps: &lcps,
-                bounds: &bounds,
                 origins: None,
                 truncate: None,
             },
-            ExchangeCodec::Plain,
+            &splitters,
+            false,
         );
         comm.set_phase("merge");
-        merge_received_plain(&runs)
+        merge_received_plain(runs)
     }
 }
 

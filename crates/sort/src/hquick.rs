@@ -79,28 +79,23 @@ fn hquick_sort(comm: &Comm, input: StringSet, set_phases: bool) -> (StringSet, V
     let d = topology::hypercube_dim(p);
     let mut rng = comm.rng();
 
-    // Step 1: random placement onto the q hypercube nodes.
+    // Step 1: random placement onto the q hypercube nodes, via the plain
+    // scatter of the shared exchange engine.
     if set_phases {
         comm.set_phase("hq_place");
     }
-    let mut dest_of: Vec<usize> = (0..input.len()).map(|_| rng.next_index(q)).collect();
-    let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
-    for dest in 0..p {
-        let idxs: Vec<usize> = (0..input.len()).filter(|&i| dest_of[i] == dest).collect();
-        let mut buf = Vec::new();
-        wire::encode_plain(idxs.iter().map(|&i| input.get(i)), None, &mut buf);
-        msgs.push(buf);
-    }
-    dest_of.clear();
-    let received = comm.alltoallv(msgs);
-    let mut set = StringSet::new();
-    for part in &received {
-        let mut pos = 0;
-        let run = wire::decode_plain(part, &mut pos).expect("well-formed placement run");
+    let dest_of: Vec<usize> = (0..input.len()).map(|_| rng.next_index(q)).collect();
+    let mut engine = crate::exchange::StringAllToAll::new(crate::exchange::ExchangeCodec::Plain);
+    let runs = engine.scatter_plain(comm, &input, &dest_of);
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let total_chars: usize = runs.iter().map(|r| r.data.len()).sum();
+    let mut set = StringSet::with_capacity(total, total_chars);
+    for run in runs {
         for s in run.iter() {
             set.push(s);
         }
     }
+    drop(input);
     let mut ids: Vec<u64> = (0..set.len() as u64)
         .map(|i| ((comm.rank() as u64) << 40) | i)
         .collect();

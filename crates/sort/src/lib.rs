@@ -1,20 +1,23 @@
 //! # dss-sort — distributed string sorting (the paper's contribution)
 //!
-//! The six algorithms evaluated in §VII, over the [`dss_net`] runtime:
+//! The six algorithms evaluated in §VII plus the two-level extension,
+//! over the [`dss_net`] runtime:
 //!
 //! | algorithm | module | paper | idea |
 //! |---|---|---|---|
 //! | `hQuick` | [`hquick`] | §IV | hypercube atomic quicksort adapted to strings: polylog latency, moves all data log p times |
-//! | `FKmerge` | [`fkmerge`] | §II-C, [15] | Fischer–Kurpicz mergesort: deterministic sampling, centralized sample sort, plain loser tree |
+//! | `FKmerge` | [`fkmerge`] | §II-C, \[15\] | Fischer–Kurpicz mergesort: deterministic sampling, centralized sample sort, plain loser tree |
 //! | `MS-simple` | [`ms`] | §V | distributed string mergesort without LCP optimizations |
 //! | `MS` | [`ms`] | §V | + LCP compression on the wire and LCP loser-tree merge |
 //! | `PDMS` | [`pdms`] | §VI | + prefix doubling: transmit only (approximate) distinguishing prefixes |
 //! | `PDMS-Golomb` | [`pdms`] | §VI-A | + Golomb-coded fingerprint traffic in the duplicate detection |
+//! | `MS2L` | [`ms2l`] | Kurpicz, Mehnert, Sanders, Schimek 2024 | two-level grid exchange: row then column over an r×c grid, `O(r + c)` partners per PE instead of `Θ(p)` |
 //!
 //! Supporting modules: [`partition`] (string- and character-based regular
-//! sampling, Theorems 2 and 3), [`exchange`] (the all-to-all with the wire
-//! codecs), [`checker`] (distributed result validation), [`output`]
-//! (result types).
+//! sampling, Theorems 2 and 3; splitter determination), [`exchange`] (the
+//! [`StringAllToAll`] engine — the single codec-aware all-to-all all
+//! algorithms route through), [`checker`] (distributed result
+//! validation), [`output`] (result types).
 //!
 //! ## Example
 //!
@@ -45,14 +48,16 @@ pub mod exchange;
 pub mod fkmerge;
 pub mod hquick;
 pub mod ms;
+pub mod ms2l;
 pub mod output;
 pub mod partition;
 pub mod pdms;
 
-pub use exchange::ExchangeCodec;
+pub use exchange::{ExchangeCodec, ExchangePayload, StringAllToAll};
 pub use fkmerge::FkMerge;
 pub use hquick::HQuick;
 pub use ms::{Ms, MsConfig};
+pub use ms2l::{Ms2l, Ms2lConfig};
 pub use output::SortedRun;
 pub use partition::{PartitionConfig, SamplingPolicy};
 pub use pdms::{Pdms, PdmsConfig};
@@ -70,7 +75,8 @@ pub trait DistSorter: Send + Sync {
     fn sort(&self, comm: &Comm, input: StringSet) -> SortedRun;
 }
 
-/// The named algorithm set of the evaluation (§VII-C), for harnesses.
+/// The named algorithm set of the evaluation (§VII-C) plus the two-level
+/// extension, for harnesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     FkMerge,
@@ -79,10 +85,11 @@ pub enum Algorithm {
     Ms,
     PdmsGolomb,
     Pdms,
+    Ms2l,
 }
 
 impl Algorithm {
-    /// All six algorithms, in the paper's plot order.
+    /// The six algorithms of the paper's evaluation, in its plot order.
     pub fn all_paper() -> [Algorithm; 6] {
         [
             Algorithm::FkMerge,
@@ -91,6 +98,19 @@ impl Algorithm {
             Algorithm::Ms,
             Algorithm::PdmsGolomb,
             Algorithm::Pdms,
+        ]
+    }
+
+    /// Every implemented algorithm: the paper set plus MS2L.
+    pub fn all_extended() -> [Algorithm; 7] {
+        [
+            Algorithm::FkMerge,
+            Algorithm::HQuick,
+            Algorithm::MsSimple,
+            Algorithm::Ms,
+            Algorithm::PdmsGolomb,
+            Algorithm::Pdms,
+            Algorithm::Ms2l,
         ]
     }
 
@@ -103,6 +123,7 @@ impl Algorithm {
             Algorithm::Ms => Box::new(Ms::default()),
             Algorithm::PdmsGolomb => Box::new(Pdms::golomb()),
             Algorithm::Pdms => Box::new(Pdms::default()),
+            Algorithm::Ms2l => Box::new(Ms2l::default()),
         }
     }
 
@@ -115,6 +136,7 @@ impl Algorithm {
             Algorithm::Ms => "MS",
             Algorithm::PdmsGolomb => "PDMS-Golomb",
             Algorithm::Pdms => "PDMS",
+            Algorithm::Ms2l => "MS2L",
         }
     }
 }

@@ -14,7 +14,7 @@
 //!    tree (MS-simple).
 
 use crate::exchange::{
-    exchange_buckets, merge_received_lcp, merge_received_plain, ExchangeCodec, ExchangeInput,
+    merge_received_lcp, merge_received_plain, ExchangeCodec, ExchangePayload, StringAllToAll,
 };
 use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig};
@@ -88,29 +88,31 @@ impl DistSorter for Ms {
             };
         }
         comm.set_phase("partition");
-        let bounds = partition::partition(comm, &input, &self.cfg.partition, None, None);
+        let splitters =
+            partition::determine_splitters(comm, &input, &self.cfg.partition, None, None);
         comm.set_phase("exchange");
         let codec = match (self.cfg.lcp, self.cfg.delta_lcps) {
             (false, _) => ExchangeCodec::Plain,
             (true, false) => ExchangeCodec::LcpCompressed,
             (true, true) => ExchangeCodec::LcpDelta,
         };
-        let runs = exchange_buckets(
+        let mut engine = StringAllToAll::new(codec);
+        let runs = engine.exchange_by_splitters(
             comm,
-            &ExchangeInput {
+            &ExchangePayload {
                 set: &input,
                 lcps: &lcps,
-                bounds: &bounds,
                 origins: None,
                 truncate: None,
             },
-            codec,
+            &splitters,
+            self.cfg.partition.duplicate_tie_break,
         );
         comm.set_phase("merge");
         if self.cfg.lcp {
-            merge_received_lcp(&runs)
+            merge_received_lcp(runs)
         } else {
-            merge_received_plain(&runs)
+            merge_received_plain(runs)
         }
     }
 }

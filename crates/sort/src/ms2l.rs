@@ -1,0 +1,296 @@
+//! MS2L — two-level (grid) distributed string mergesort.
+//!
+//! The paper's single-level algorithms (§V–§VI) have every PE exchange
+//! with all `p − 1` peers — the scalability wall the follow-up work
+//! "Scalable Distributed String Sorting" (Kurpicz, Mehnert, Sanders,
+//! Schimek, 2024) removes with **multi-level grid communication**. MS2L
+//! is the two-level instance of that idea on top of MS's machinery:
+//!
+//! 1. **local sort** with LCP array (as MS step 1);
+//! 2. **row partition**: `c − 1` *global* splitters (regular sampling
+//!    over the world communicator, distributed sample sort) cut the
+//!    global order into `c` column ranges; each PE splits its sorted set
+//!    into `c` buckets;
+//! 3. **row exchange + merge**: over the row communicator of a
+//!    [`dss_net::GridComm`] (`c − 1` partners per PE), bucket `j` travels
+//!    to the row member in column `j`; an LCP loser-tree merge restores a
+//!    sorted local set. Now column `j` holds exactly global range `j`;
+//! 4. **column partition + exchange + merge**: an ordinary single-level
+//!    MS round *within* the column communicator (`r − 1` partners)
+//!    finishes the sort.
+//!
+//! With the column-major rank mapping of [`dss_net::grid_view`]
+//! (`world rank = col·r + row`), concatenating the per-PE outputs in
+//! world-rank order yields the globally sorted sequence — same output
+//! contract as every other [`DistSorter`].
+//!
+//! Both exchanges run through the same [`StringAllToAll`] engine
+//! instance, so the second level reuses the first level's pooled decode
+//! scratch. Per-PE exchange partners drop from `p − 1` to
+//! `(r − 1) + (c − 1)` — `O(√p)` on a square grid — at the cost of
+//! moving the payload twice (the classic latency/volume tradeoff, here
+//! traded the opposite way from `alltoallv_hypercube`).
+//!
+//! When `p` admits no `r×c` grid with `r, c ≥ 2` (`p < 4` or `p` prime),
+//! MS2L falls back to single-level [`Ms`] with the same codec settings.
+
+use crate::exchange::{merge_received_lcp, ExchangeCodec, ExchangePayload, StringAllToAll};
+use crate::ms::{Ms, MsConfig};
+use crate::output::SortedRun;
+use crate::partition::{self, PartitionConfig};
+use crate::DistSorter;
+use dss_net::topology;
+use dss_net::Comm;
+use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::StringSet;
+
+/// Configuration of MS2L.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ms2lConfig {
+    /// Difference-code the LCP values on the wire (§VI-B extension).
+    pub delta_lcps: bool,
+    /// Grid rows `r` (`0` ⇒ auto: the near-square [`topology::grid_dims`]
+    /// choice). Must divide `p` with a quotient ≥ 2, else MS2L falls back
+    /// to single-level MS.
+    pub rows: usize,
+    /// Sampling/splitter policy, used by both levels.
+    pub partition: PartitionConfig,
+}
+
+/// Two-level distributed string mergesort (see module docs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Ms2l {
+    pub cfg: Ms2lConfig,
+}
+
+impl Ms2l {
+    /// MS2L with a custom configuration.
+    pub fn with_config(cfg: Ms2lConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The grid this configuration yields for `p` PEs (`None` ⇒ fallback
+    /// to single-level MS).
+    fn dims(&self, p: usize) -> Option<(usize, usize)> {
+        if self.cfg.rows == 0 {
+            topology::grid_dims(p)
+        } else if self.cfg.rows >= 2 && p.is_multiple_of(self.cfg.rows) && p / self.cfg.rows >= 2 {
+            Some((self.cfg.rows, p / self.cfg.rows))
+        } else {
+            None
+        }
+    }
+
+    fn fallback(&self) -> Ms {
+        Ms::with_config(MsConfig {
+            lcp: true,
+            delta_lcps: self.cfg.delta_lcps,
+            partition: self.cfg.partition,
+        })
+    }
+}
+
+impl DistSorter for Ms2l {
+    fn name(&self) -> &'static str {
+        "MS2L"
+    }
+
+    fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        let p = comm.size();
+        let Some((r, c)) = self.dims(p) else {
+            // No r×c grid with r, c ≥ 2: single-level MS does the job.
+            return self.fallback().sort(comm, input);
+        };
+
+        comm.set_phase("local_sort");
+        let (lcps, _) = sort_with_lcp(&mut input);
+        let codec = if self.cfg.delta_lcps {
+            ExchangeCodec::LcpDelta
+        } else {
+            ExchangeCodec::LcpCompressed
+        };
+        let tie_break = self.cfg.partition.duplicate_tie_break;
+        // The two counted splits of the grid view are communication —
+        // keep them out of the local_sort phase.
+        comm.set_phase("grid_setup");
+        let grid = topology::grid_view(comm, r, c);
+        let mut engine = StringAllToAll::new(codec);
+
+        // Level 1: c − 1 global splitters cut the global order into the
+        // c column ranges; the sample sort runs over the *world*
+        // communicator so the splitters are true global order statistics.
+        comm.set_phase("partition_row");
+        let row_splitters =
+            partition::determine_splitters_for(comm, &input, c, &self.cfg.partition, None, None);
+        comm.set_phase("exchange_row");
+        let runs = engine.exchange_by_splitters(
+            &grid.row,
+            &ExchangePayload {
+                set: &input,
+                lcps: &lcps,
+                origins: None,
+                truncate: None,
+            },
+            &row_splitters,
+            tie_break,
+        );
+        comm.set_phase("merge_row");
+        let mid = merge_received_lcp(runs);
+        drop(input);
+        let mid_lcps = mid.lcps.as_deref().expect("LCP merge yields LCPs");
+
+        // Level 2: an ordinary single-level MS round within the column,
+        // which now holds one contiguous global range.
+        comm.set_phase("partition_col");
+        let col_splitters =
+            partition::determine_splitters(&grid.col, &mid.set, &self.cfg.partition, None, None);
+        comm.set_phase("exchange_col");
+        let runs = engine.exchange_by_splitters(
+            &grid.col,
+            &ExchangePayload {
+                set: &mid.set,
+                lcps: mid_lcps,
+                origins: None,
+                truncate: None,
+            },
+            &col_splitters,
+            tie_break,
+        );
+        comm.set_phase("merge_col");
+        merge_received_lcp(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use rand::prelude::*;
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(60),
+            ..RunConfig::default()
+        }
+    }
+
+    fn check(p: usize, shards: Vec<Vec<Vec<u8>>>, sorter: Ms2l) {
+        let mut expect: Vec<Vec<u8>> = shards.iter().flatten().cloned().collect();
+        expect.sort();
+        let shards_ref = &shards;
+        let res = run_spmd(p, cfg_run(), move |comm| {
+            let set =
+                StringSet::from_iter_bytes(shards_ref[comm.rank()].iter().map(|s| s.as_slice()));
+            let out = sorter.sort(comm, set);
+            if let Some(l) = &out.lcps {
+                dss_strkit::lcp::verify_lcp_array(&out.set, l).expect("output lcps");
+            }
+            out.set.to_vecs()
+        });
+        let got: Vec<Vec<u8>> = res.values.into_iter().flatten().collect();
+        assert_eq!(got, expect, "p={p}");
+    }
+
+    fn random_shards(p: usize, n: usize, seed: u64) -> Vec<Vec<Vec<u8>>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        let len = rng.gen_range(0..14);
+                        (0..len).map(|_| rng.gen_range(b'a'..=b'e')).collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ms2l_sorts_square_and_rectangular_grids() {
+        // 4 = 2×2, 6 = 2×3 (non-square), 8 = 2×4, 9 = 3×3.
+        for p in [4usize, 6, 8, 9] {
+            check(p, random_shards(p, 60, p as u64), Ms2l::default());
+        }
+    }
+
+    #[test]
+    fn ms2l_falls_back_on_prime_and_tiny_pe_counts() {
+        for p in [1usize, 2, 3, 5, 7] {
+            check(p, random_shards(p, 50, 40 + p as u64), Ms2l::default());
+        }
+    }
+
+    #[test]
+    fn ms2l_with_explicit_rows_and_delta_lcps() {
+        let sorter = Ms2l::with_config(Ms2lConfig {
+            delta_lcps: true,
+            rows: 2,
+            ..Ms2lConfig::default()
+        });
+        check(6, random_shards(6, 50, 77), sorter);
+        // rows that do not divide p fall back.
+        let bad = Ms2l::with_config(Ms2lConfig {
+            rows: 4,
+            ..Ms2lConfig::default()
+        });
+        check(6, random_shards(6, 40, 78), bad);
+    }
+
+    #[test]
+    fn ms2l_handles_duplicates_and_empty_shards() {
+        let mut shards = random_shards(6, 0, 90);
+        shards[1] = vec![b"dup".to_vec(); 150];
+        shards[4] = vec![b"dup".to_vec(); 30];
+        check(6, shards, Ms2l::default());
+    }
+
+    /// The headline claim: on a 4×4 grid, MS2L's exchange phases contact
+    /// at most (r − 1) + (c − 1) partners per PE while single-level MS
+    /// contacts p − 1 — measured exactly via the per-phase message
+    /// counters.
+    #[test]
+    fn grid_exchange_cuts_message_partners_to_r_plus_c() {
+        let p = 16usize; // 4×4
+        let (r, c) = dss_net::grid_dims(p).expect("16 has a grid");
+        assert_eq!((r, c), (4, 4));
+
+        let msgs_in = |stats: &dss_net::NetStats, phases: &[&str]| -> u64 {
+            stats
+                .phases
+                .iter()
+                .filter(|ph| phases.contains(&ph.name.as_str()))
+                .map(|ph| ph.max.msgs_sent)
+                .sum()
+        };
+
+        let run = |alg: Algorithm| {
+            run_spmd(p, cfg_run(), move |comm| {
+                let mut rng = StdRng::seed_from_u64(1000 + comm.rank() as u64);
+                let mut set = StringSet::new();
+                for _ in 0..40 {
+                    let len = rng.gen_range(0..10);
+                    let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'f')).collect();
+                    set.push(&s);
+                }
+                let _ = alg.instance().sort(comm, set);
+            })
+            .stats
+        };
+
+        let two_level = run(Algorithm::Ms2l);
+        let partners_2l = msgs_in(&two_level, &["exchange_row", "exchange_col"]);
+        assert_eq!(
+            partners_2l,
+            (r as u64 - 1) + (c as u64 - 1),
+            "two-level exchange partners"
+        );
+        assert!(partners_2l <= (r + c) as u64 && r + c < p);
+
+        let single = run(Algorithm::Ms);
+        let partners_1l = msgs_in(&single, &["exchange"]);
+        assert_eq!(partners_1l, p as u64 - 1, "single-level exchange partners");
+        assert!(partners_2l < partners_1l);
+    }
+}

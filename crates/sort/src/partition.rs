@@ -22,7 +22,7 @@ use crate::hquick;
 use dss_codec::wire;
 use dss_net::Comm;
 use dss_strkit::sort::sort_with_lcp;
-use dss_strkit::{lcp, StringSet};
+use dss_strkit::StringSet;
 
 /// Which quantity regular sampling balances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,11 +169,27 @@ fn decode_set(buf: &[u8]) -> StringSet {
 ///
 /// Returns the splitters as a sorted `StringSet` (identical on every PE).
 pub fn select_splitters(comm: &Comm, local_sample: StringSet, central: bool) -> StringSet {
-    let p = comm.size();
-    if p == 1 {
+    select_k_splitters(comm, local_sample, comm.size(), central)
+}
+
+/// k-way generalization of [`select_splitters`]: sorts the global sample
+/// over `comm` and selects + gossips `k − 1` splitters partitioning the
+/// global data into `k` order-ranges — `k = comm.size()` for the
+/// single-level algorithms, `k =` grid columns for MS2L's row exchange.
+///
+/// Always returns exactly `k − 1` sorted splitters, identical on every
+/// PE: a degenerate (all-empty) global sample is padded with repeats so
+/// downstream bucket vectors keep their expected shape.
+pub fn select_k_splitters(
+    comm: &Comm,
+    local_sample: StringSet,
+    k: usize,
+    central: bool,
+) -> StringSet {
+    if k <= 1 {
         return StringSet::new();
     }
-    if central {
+    let splitters = if central {
         // FKmerge-style: ship all samples to PE 0, sort there, broadcast.
         let gathered = comm.gatherv(0, encode_set(&local_sample));
         let splitters = if let Some(parts) = gathered {
@@ -186,8 +202,8 @@ pub fn select_splitters(comm: &Comm, local_sample: StringSet, central: bool) -> 
             let mut splitters = StringSet::new();
             if s > 0 {
                 // fᵢ = V[v·i − 1] in the paper's notation (V sorted, |V| = pv).
-                for j in 1..p {
-                    let idx = ((j * s) / p).saturating_sub(1);
+                for j in 1..k {
+                    let idx = ((j * s) / k).saturating_sub(1);
                     splitters.push(all.get(idx.min(s - 1)));
                 }
             }
@@ -198,14 +214,14 @@ pub fn select_splitters(comm: &Comm, local_sample: StringSet, central: bool) -> 
         decode_set(&comm.broadcast(0, splitters))
     } else {
         // Distributed: hQuick-sort the sample, then extract the order
-        // statistics at global ranks j·s/p and gossip them.
+        // statistics at global ranks j·s/k and gossip them.
         let sorted = hquick::sort_for_samples(comm, local_sample);
         let (prefix, total) = comm.exclusive_scan_sum_u64(sorted.len() as u64);
         let mut mine = StringSet::new();
         let mut ranks: Vec<u64> = Vec::new();
         if total > 0 {
-            for j in 1..p as u64 {
-                let target = ((j * total) / p as u64).saturating_sub(1);
+            for j in 1..k as u64 {
+                let target = ((j * total) / k as u64).saturating_sub(1);
                 let target = target.min(total - 1);
                 if target >= prefix && target < prefix + sorted.len() as u64 {
                     mine.push(sorted.get((target - prefix) as usize));
@@ -228,7 +244,24 @@ pub fn select_splitters(comm: &Comm, local_sample: StringSet, central: bool) -> 
         }
         tagged.sort_by_key(|(r, _)| *r);
         StringSet::from_iter_bytes(tagged.iter().map(|(_, s)| s.as_slice()))
+    };
+    pad_splitters(splitters, k)
+}
+
+/// An all-empty global sample yields no order statistics at all; pad with
+/// repeats of the last splitter (or empty strings) so every caller gets
+/// exactly `k − 1` sorted splitters. Repeats delimit empty buckets (ties
+/// go left), so data placement is unaffected.
+fn pad_splitters(mut splitters: StringSet, k: usize) -> StringSet {
+    while splitters.len() + 1 < k {
+        let last: Vec<u8> = if splitters.is_empty() {
+            Vec::new()
+        } else {
+            splitters.get(splitters.len() - 1).to_vec()
+        };
+        splitters.push(&last);
     }
+    splitters
 }
 
 /// Computes bucket boundaries of the sorted local `set` for the given
@@ -298,17 +331,33 @@ pub fn bucket_bounds_tie_break(set: &StringSet, splitters: &StringSet) -> Vec<us
     bounds
 }
 
-/// Full partitioning step: sample, sort sample, select splitters, compute
-/// local bucket boundaries.
-pub fn partition(
+/// Splitter-determination step of the merge-based algorithms: draw this
+/// PE's regular sample, sort the global sample, select + gossip the
+/// `comm.size() − 1` splitters. The [`crate::exchange::StringAllToAll`]
+/// engine performs the bucket classification against them.
+pub fn determine_splitters(
     comm: &Comm,
     set: &StringSet,
     cfg: &PartitionConfig,
     weights: Option<&[u32]>,
     truncate_to: Option<&[u32]>,
-) -> Vec<usize> {
-    let p = comm.size();
-    let v = cfg.v(p);
+) -> StringSet {
+    determine_splitters_for(comm, set, comm.size(), cfg, weights, truncate_to)
+}
+
+/// [`determine_splitters`] generalized to `k` target buckets: the sample
+/// is still drawn and sorted over all of `comm`, but only `k − 1`
+/// splitters are selected — MS2L's row exchange partitions the *global*
+/// data into `k =` (grid columns) ranges this way.
+pub fn determine_splitters_for(
+    comm: &Comm,
+    set: &StringSet,
+    k: usize,
+    cfg: &PartitionConfig,
+    weights: Option<&[u32]>,
+    truncate_to: Option<&[u32]>,
+) -> StringSet {
+    let v = cfg.v(comm.size());
     let mut rng = comm.rng();
     let sample = draw_sample(
         set,
@@ -318,12 +367,22 @@ pub fn partition(
         truncate_to,
         cfg.random_sampling.then_some(&mut rng),
     );
-    let splitters = select_splitters(comm, sample, cfg.central_sample_sort);
-    // When sampling truncated strings (PDMS), compare against equally
-    // truncated local strings for consistency — handled by the caller via
-    // `truncate_to`-aware bounds if needed; plain comparison is safe since
-    // truncation preserves order (splitters are distinguishing prefixes).
-    let _ = lcp; // (module-level import used in tests)
+    // When sampling truncated strings (PDMS), comparing full local strings
+    // against truncated splitters is safe since truncation preserves order
+    // (splitters are distinguishing prefixes).
+    select_k_splitters(comm, sample, k, cfg.central_sample_sort)
+}
+
+/// Full partitioning step: sample, sort sample, select splitters, compute
+/// local bucket boundaries.
+pub fn partition(
+    comm: &Comm,
+    set: &StringSet,
+    cfg: &PartitionConfig,
+    weights: Option<&[u32]>,
+    truncate_to: Option<&[u32]>,
+) -> Vec<usize> {
+    let splitters = determine_splitters(comm, set, cfg, weights, truncate_to);
     if cfg.duplicate_tie_break {
         bucket_bounds_tie_break(set, &splitters)
     } else {

@@ -17,7 +17,7 @@
 //! PDMS-Golomb Golomb-codes the fingerprint traffic of the duplicate
 //! detection; plain PDMS ships raw fingerprints (§VII-C).
 
-use crate::exchange::{exchange_buckets, merge_received_lcp, ExchangeCodec, ExchangeInput};
+use crate::exchange::{merge_received_lcp, ExchangeCodec, ExchangePayload, StringAllToAll};
 use crate::output::{origin_tag, SortedRun};
 use crate::partition::{self, PartitionConfig};
 use crate::DistSorter;
@@ -100,7 +100,7 @@ impl DistSorter for Pdms {
         // approximate distinguishing prefix lengths when requested.
         comm.set_phase("partition");
         let weights = approx.clone();
-        let bounds = partition::partition(
+        let splitters = partition::determine_splitters(
             comm,
             &input,
             &self.cfg.partition,
@@ -119,21 +119,22 @@ impl DistSorter for Pdms {
         } else {
             ExchangeCodec::LcpCompressed
         };
-        let runs = exchange_buckets(
+        let mut engine = StringAllToAll::new(codec);
+        let runs = engine.exchange_by_splitters(
             comm,
-            &ExchangeInput {
+            &ExchangePayload {
                 set: &input,
                 lcps: &lcps,
-                bounds: &bounds,
                 origins: Some(&origins),
                 truncate: Some(&trunc),
             },
-            codec,
+            &splitters,
+            self.cfg.partition.duplicate_tie_break,
         );
 
         // Step 4: LCP loser-tree merge of the prefix runs.
         comm.set_phase("merge");
-        let mut out = merge_received_lcp(&runs);
+        let mut out = merge_received_lcp(runs);
         out.local_store = Some(input);
         out
     }

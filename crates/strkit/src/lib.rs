@@ -6,7 +6,7 @@
 //! * [`arena`] — flat character arenas with cheap string handles. String
 //!   arrays are "arrays of pointers to the beginning of the strings"
 //!   (§II); swapping strings never moves characters.
-//! * [`lcp`] — longest-common-prefix primitives, LCP arrays and
+//! * [`lcp`](mod@lcp) — longest-common-prefix primitives, LCP arrays and
 //!   distinguishing-prefix computations (`DIST`, `D`).
 //! * [`sort`] — the paper's base-case sorter stack (§II-A): MSD string
 //!   radix sort → multikey quicksort → LCP-aware insertion sort, all

@@ -20,6 +20,7 @@ mod samplesort;
 pub use insertion::lcp_insertion_sort_standalone;
 pub use mkqs::multikey_quicksort_standalone;
 pub use radix::msd_radix_sort_standalone;
+pub use radix::RADIX16_MIN;
 pub use samplesort::string_sample_sort_standalone;
 
 use crate::arena::{StrRef, StringSet};
@@ -27,7 +28,11 @@ use crate::arena::{StrRef, StringSet};
 /// Block sizes below this use multikey quicksort instead of radix passes.
 pub(crate) const RADIX_THRESHOLD: usize = 64;
 /// Block sizes below this use LCP insertion sort.
-pub(crate) const INSERTION_THRESHOLD: usize = 8;
+///
+/// Tuned on a 1-core host together with [`RADIX16_MIN`] (see the ROADMAP
+/// tuning note); this constant is the single source of truth — all guards
+/// reference it, nothing hard-codes the value.
+pub const INSERTION_THRESHOLD: usize = 8;
 
 /// Gather-loop lookahead distance for [`prefetch_str_char`].
 pub(crate) const PREFETCH_DIST: usize = 16;

@@ -27,7 +27,11 @@ use crate::arena::StrRef;
 
 /// Minimum block size for a 16-bit radix pass. Below this the occupied
 /// bucket list no longer amortizes against plain 8-bit passes.
-pub(crate) const RADIX16_MIN: usize = 128;
+///
+/// Tuned on a 1-core host (see the ROADMAP tuning note); this constant is
+/// the single source of truth — all guards reference it, nothing
+/// hard-codes the value.
+pub const RADIX16_MIN: usize = 128;
 
 struct Task {
     begin: usize,

@@ -39,7 +39,7 @@ fn main() {
         "{:<12} {:>10} {:>14} {:>12}",
         "algorithm", "strings", "bytes sent", "bytes/string"
     );
-    for alg in Algorithm::all_paper() {
+    for alg in Algorithm::all_extended() {
         let result = run_spmd(p, RunConfig::default(), |comm| {
             // Each PE contributes a deterministic shard of word variants.
             let mut shard = StringSet::new();

@@ -87,7 +87,7 @@ fn workloads() -> Vec<Workload> {
 
 #[test]
 fn all_algorithms_sort_all_workloads_p4() {
-    for alg in Algorithm::all_paper() {
+    for alg in Algorithm::all_extended() {
         for w in workloads() {
             oracle_check(alg, &w, 4, 1);
         }
@@ -96,7 +96,8 @@ fn all_algorithms_sort_all_workloads_p4() {
 
 #[test]
 fn all_algorithms_sort_on_odd_pe_counts() {
-    for alg in Algorithm::all_paper() {
+    // 3 and 5 are prime: MS2L exercises its single-level fallback here.
+    for alg in Algorithm::all_extended() {
         oracle_check(alg, &Workload::Web { n_per_pe: 50 }, 3, 2);
         oracle_check(
             alg,
@@ -114,7 +115,7 @@ fn all_algorithms_sort_on_odd_pe_counts() {
 
 #[test]
 fn all_algorithms_sort_on_single_pe() {
-    for alg in Algorithm::all_paper() {
+    for alg in Algorithm::all_extended() {
         oracle_check(alg, &Workload::Dna { n_per_pe: 60 }, 1, 4);
     }
 }
@@ -127,8 +128,16 @@ fn skewed_instances_sort() {
         r: 0.5,
         sigma: 8,
     };
-    for alg in Algorithm::all_paper() {
+    for alg in Algorithm::all_extended() {
         oracle_check(alg, &w, 4, 5);
+    }
+}
+
+#[test]
+fn ms2l_sorts_non_square_grids_on_every_workload() {
+    // p = 6 → the 2×3 grid (non-square); all workload families.
+    for w in workloads() {
+        oracle_check(Algorithm::Ms2l, &w, 6, 6);
     }
 }
 
@@ -141,7 +150,7 @@ fn degenerate_duplicate_only_input() {
         let _ = AllDup;
         let shard = StringSet::from_strs(&["boiler"; 100]);
         let input = shard.clone();
-        for alg in Algorithm::all_paper() {
+        for alg in Algorithm::all_extended() {
             let out = alg.instance().sort(comm, shard.clone());
             check_distributed_sort(comm, &input, &out)
                 .unwrap_or_else(|e| panic!("{}: {e}", alg.label()));
@@ -152,7 +161,7 @@ fn degenerate_duplicate_only_input() {
 
 #[test]
 fn empty_and_near_empty_inputs() {
-    for alg in Algorithm::all_paper() {
+    for alg in Algorithm::all_extended() {
         let result = run_spmd(3, RunConfig::default(), move |comm| {
             // PE1 holds everything; others are empty.
             let shard = if comm.rank() == 1 {
@@ -167,5 +176,20 @@ fn empty_and_near_empty_inputs() {
             out.set.len()
         });
         assert_eq!(result.values.iter().sum::<usize>(), 5, "{}", alg.label());
+    }
+}
+
+#[test]
+fn fully_empty_inputs_survive_splitter_padding() {
+    // Every PE empty: the global sample is empty, so splitter selection
+    // pads to full width and the exchange still sees well-shaped buckets.
+    for alg in Algorithm::all_extended() {
+        let result = run_spmd(4, RunConfig::default(), move |comm| {
+            let out = alg.instance().sort(comm, StringSet::new());
+            check_distributed_sort(comm, &StringSet::new(), &out)
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.label()));
+            out.set.len()
+        });
+        assert_eq!(result.values.iter().sum::<usize>(), 0, "{}", alg.label());
     }
 }
