@@ -7,7 +7,9 @@
 //! ```
 //!
 //! Flags: `--label STR`, `--out FILE` (default `BENCH_perfsnap.json`),
-//! `--smoke` (tiny cells, no file write unless `--out` given), plus the
+//! `--smoke` (tiny cells, no file write unless `--out` given),
+//! `--mode blocking|pipelined` (forces the exchange mode for the whole
+//! run, recorded in the snapshot's `config.exchange_mode`), plus the
 //! sizing overrides `--seq-n`, `--dist-n`, `--pes`, `--reps`, `--seed`.
 //!
 //! The binary installs a counting global allocator so every cell reports
@@ -57,6 +59,17 @@ fn probe() -> (u64, u64) {
 
 fn main() {
     let args = Args::parse();
+    // Force the exchange mode before anything reads the (cached) env
+    // knob; the effective mode lands in the snapshot's config object. A
+    // typo must not silently benchmark the blocking fallback.
+    let mode = args.get_str("mode", "");
+    if !mode.is_empty() {
+        assert!(
+            mode.eq_ignore_ascii_case("blocking") || mode.eq_ignore_ascii_case("pipelined"),
+            "--mode must be 'blocking' or 'pipelined', got '{mode}'"
+        );
+        std::env::set_var("DSS_EXCHANGE_MODE", &mode);
+    }
     let cfg = SnapConfig::from_args(&args);
     let label = args.get_str(
         "label",

@@ -1,8 +1,8 @@
 //! perfsnap — the tracked hot-path performance baseline.
 //!
 //! Runs a fixed workload matrix (random / skewed / DNA / duplicate-heavy
-//! × seq-sort / MS / MS-simple / PDMS / PDMS-Golomb / hQuick, plus an
-//! exchange+merge micro-cell) and reports, per cell:
+//! × seq-sort / MS / MS-simple / PDMS / PDMS-Golomb / hQuick / MS2L, plus
+//! an exchange+merge micro-cell) and reports, per cell:
 //!
 //! * **throughput** in MB of string characters per second (best of reps);
 //! * **chars_accessed** of the sequential sorters (the paper's D-bounded
@@ -444,6 +444,7 @@ pub fn run_snapshot_filtered(cfg: &SnapConfig, probe: AllocProbe, filter: &str) 
             Algorithm::Pdms,
             Algorithm::PdmsGolomb,
             Algorithm::HQuick,
+            Algorithm::Ms2l,
         ] {
             if want(w, alg.label()) {
                 eprintln!("perfsnap: {} / {}", w.label(), alg.label());
@@ -476,8 +477,13 @@ pub fn snapshot_json(label: &str, cfg: &SnapConfig, cells: &[Cell]) -> String {
     out.push_str("  {\n");
     out.push_str(&format!("    \"label\": \"{}\",\n", json_escape(label)));
     out.push_str(&format!(
-        "    \"config\": {{\"seq_n\": {}, \"dist_n_per_pe\": {}, \"p\": {}, \"reps\": {}, \"seed\": {}}},\n",
-        cfg.seq_n, cfg.dist_n_per_pe, cfg.p, cfg.reps, cfg.seed
+        "    \"config\": {{\"seq_n\": {}, \"dist_n_per_pe\": {}, \"p\": {}, \"reps\": {}, \"seed\": {}, \"exchange_mode\": \"{}\"}},\n",
+        cfg.seq_n,
+        cfg.dist_n_per_pe,
+        cfg.p,
+        cfg.reps,
+        cfg.seed,
+        dss_sort::ExchangeMode::from_env().label()
     ));
     out.push_str("    \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -548,8 +554,8 @@ mod tests {
             truncate: 0,
         };
         let cells = run_snapshot(&cfg, no_probe);
-        // seq-sort + 5 distributed algorithms + the exchange micro-cell.
-        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 7);
+        // seq-sort + 6 distributed algorithms + the exchange micro-cell.
+        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 8);
         for c in &cells {
             assert!(c.n > 0, "{}/{} empty", c.workload, c.algo);
             assert!(c.mb_per_s > 0.0);
@@ -559,7 +565,7 @@ mod tests {
             .iter()
             .filter(|c| c.algo == "seq-sort")
             .all(|c| c.chars_accessed.is_some()));
-        for algo in ["MS", "MS-simple", "PDMS", "PDMS-Golomb", "hQuick"] {
+        for algo in ["MS", "MS-simple", "PDMS", "PDMS-Golomb", "hQuick", "MS2L"] {
             assert!(
                 cells
                     .iter()

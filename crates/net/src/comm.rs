@@ -22,7 +22,7 @@
 
 use crate::metrics::PeMetrics;
 use crate::rng::SplitMix64;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -81,6 +81,19 @@ impl WorldShared {
     }
 }
 
+/// A posted (not yet completed) receive request: the matching engine of
+/// both the blocking `recv` and the non-blocking `irecv` paths.
+pub(crate) struct RecvSlot {
+    comm: u64,
+    src: u32,
+    tag: u64,
+    /// Filled once a matching envelope is routed here.
+    payload: Option<Vec<u8>>,
+    /// Whether consuming the payload counts `bytes_recv` (false for
+    /// self-receives, which are free local moves).
+    count: bool,
+}
+
 /// Per-PE endpoint state, shared by all communicators of this PE.
 pub(crate) struct PeCore {
     pub world_rank: usize,
@@ -90,6 +103,114 @@ pub(crate) struct PeCore {
     pub metrics: PeMetrics,
     pub seed: u64,
     pub recv_timeout: Duration,
+    /// Slab of receive requests (`None` = free slot, recycled via
+    /// `free_slots`).
+    pub(crate) slots: Vec<Option<RecvSlot>>,
+    /// Live slot ids in posting order — the FIFO tie-breaker when several
+    /// requests with the same `(comm, src, tag)` key are in flight.
+    pub(crate) posted: Vec<usize>,
+    pub(crate) free_slots: Vec<usize>,
+}
+
+impl PeCore {
+    /// Posts a receive request for `(comm, src, tag)`. If a matching
+    /// envelope is already parked, the earliest-arrived one completes the
+    /// request immediately.
+    pub(crate) fn post_slot(&mut self, comm: u64, src: u32, tag: u64, count: bool) -> usize {
+        let mut slot = RecvSlot {
+            comm,
+            src,
+            tag,
+            payload: None,
+            count,
+        };
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|e| e.comm == comm && e.src == src && e.tag == tag)
+        {
+            // `remove` (not `swap_remove`) keeps later same-key envelopes
+            // in arrival order — the per-(src, dst, tag) FIFO guarantee.
+            slot.payload = Some(self.pending.remove(i).payload);
+        }
+        let id = match self.free_slots.pop() {
+            Some(id) => {
+                self.slots[id] = Some(slot);
+                id
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.posted.push(id);
+        id
+    }
+
+    /// Routes an arrived envelope to the earliest-posted matching unfilled
+    /// request, parking it in arrival order otherwise. Panics on the
+    /// poison pill so blocked PEs abort instead of deadlocking.
+    pub(crate) fn deliver(&mut self, env: Envelope) {
+        if env.comm == POISON_COMM {
+            panic!("peer PE panicked; aborting this PE");
+        }
+        for &id in &self.posted {
+            let slot = self.slots[id].as_mut().expect("posted slot is live");
+            if slot.payload.is_none()
+                && slot.comm == env.comm
+                && slot.src == env.src
+                && slot.tag == env.tag
+            {
+                slot.payload = Some(env.payload);
+                return;
+            }
+        }
+        self.pending.push(env);
+    }
+
+    /// Whether the request has a payload waiting to be taken.
+    pub(crate) fn slot_ready(&self, id: usize) -> bool {
+        self.slots[id].as_ref().is_some_and(|s| s.payload.is_some())
+    }
+
+    /// Consumes a completed request: frees the slot and records the
+    /// receive in the metrics (unless it was a self-receive).
+    pub(crate) fn take_slot(&mut self, id: usize) -> Vec<u8> {
+        let slot = self.slots[id].take().expect("slot is live");
+        let payload = slot.payload.expect("slot completed");
+        self.posted.retain(|&x| x != id);
+        self.free_slots.push(id);
+        if slot.count {
+            self.metrics.on_recv(payload.len());
+        }
+        payload
+    }
+
+    /// Routes every already-arrived envelope without blocking.
+    pub(crate) fn try_progress(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(env) => self.deliver(env),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Blocks for one more envelope and routes it. `Err` means the
+    /// receive timeout elapsed (the caller panics with its own context).
+    pub(crate) fn progress_blocking(&mut self) -> Result<(), Duration> {
+        let timeout = self.recv_timeout;
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => {
+                self.deliver(env);
+                Ok(())
+            }
+            Err(RecvTimeoutError::Timeout) => Err(timeout),
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("world mailbox disconnected — runner tore down mid-operation")
+            }
+        }
+    }
 }
 
 /// Membership of one communicator.
@@ -236,8 +357,9 @@ impl Comm {
     pub(crate) fn raw_send(&self, dst: usize, tag: u64, payload: Vec<u8>, count: bool) {
         let mut core = self.core.borrow_mut();
         if dst == self.group.my_rank {
-            // Self-delivery: free local move, straight into pending.
-            core.pending.push(Envelope {
+            // Self-delivery: free local move, routed like an arrival so a
+            // posted receive request matches it.
+            core.deliver(Envelope {
                 comm: self.group.id,
                 src: self.group.my_rank as u32,
                 tag,
@@ -262,42 +384,34 @@ impl Comm {
     pub(crate) fn raw_recv(&self, src: usize, tag: u64, count: bool) -> Vec<u8> {
         let mut core = self.core.borrow_mut();
         let comm_id = self.group.id;
-        // Check messages parked earlier.
-        if let Some(i) = core
-            .pending
-            .iter()
-            .position(|e| e.comm == comm_id && e.src == src as u32 && e.tag == tag)
-        {
-            let env = core.pending.swap_remove(i);
-            if count && src != self.group.my_rank {
-                core.metrics.on_recv(env.payload.len());
-            }
-            return env.payload;
-        }
-        let timeout = core.recv_timeout;
+        let count = count && src != self.group.my_rank;
+        let id = core.post_slot(comm_id, src as u32, tag, count);
         loop {
-            let env = match core.rx.recv_timeout(timeout) {
-                Ok(env) => env,
-                Err(RecvTimeoutError::Timeout) => panic!(
+            if core.slot_ready(id) {
+                return core.take_slot(id);
+            }
+            if let Err(timeout) = core.progress_blocking() {
+                panic!(
                     "PE {} (comm {comm_id}, rank {}): recv(src={src}, tag={tag}) timed out \
                      after {timeout:?} — likely deadlock",
                     core.world_rank, self.group.my_rank,
-                ),
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("world mailbox disconnected — runner tore down mid-operation")
-                }
-            };
-            if env.comm == POISON_COMM {
-                panic!("peer PE panicked; aborting this PE");
+                );
             }
-            if env.comm == comm_id && env.src == src as u32 && env.tag == tag {
-                if count && src != self.group.my_rank {
-                    core.metrics.on_recv(env.payload.len());
-                }
-                return env.payload;
-            }
-            core.pending.push(env);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // internals used by the non-blocking runtime (see `nonblocking`)
+    // ------------------------------------------------------------------
+
+    /// Id of this communicator (slot keys are `(comm id, src, tag)`).
+    pub(crate) fn comm_id(&self) -> u64 {
+        self.group.id
+    }
+
+    /// Runs `f` with exclusive access to the per-PE endpoint state.
+    pub(crate) fn with_core<R>(&self, f: impl FnOnce(&mut PeCore) -> R) -> R {
+        f(&mut self.core.borrow_mut())
     }
 
     // ------------------------------------------------------------------

@@ -35,12 +35,14 @@ pub mod collectives;
 pub mod comm;
 pub mod cputime;
 pub mod metrics;
+pub mod nonblocking;
 pub mod rng;
 pub mod runner;
 pub mod topology;
 
 pub use comm::{Comm, Tag};
 pub use metrics::{CostModel, NetStats, PhaseSummary};
+pub use nonblocking::{PendingExchange, RecvHandle, SendHandle};
 pub use rng::SplitMix64;
 pub use runner::{run_spmd, RunConfig, SpmdResult};
 pub use topology::{grid_dims, grid_view, GridComm};

@@ -15,6 +15,20 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// Oversubscription correction for compute-time accounting: with `p` PE
+/// threads on this host's cores, wall-clock compute spans overstate CPU
+/// use by `p / cores`, so they are scaled by `min(1, cores / p)`.
+///
+/// Timing-sensitive tests must scale their compute/overlap assertions by
+/// this factor instead of assuming real concurrency — on a 1-core host
+/// every "parallel" phase is in fact time-sliced.
+pub fn oversub_scale(p: usize) -> f64 {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores as f64 / p as f64).min(1.0)
+}
+
 /// Counters for one phase on one PE.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseCounters {

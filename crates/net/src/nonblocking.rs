@@ -1,0 +1,591 @@
+//! Non-blocking point-to-point runtime: `isend`/`irecv` handles with
+//! `test`/`wait`/`wait_any` progress semantics, and the
+//! [`PendingExchange`] building block for pipelined personalized
+//! all-to-alls.
+//!
+//! The blocking layer ([`Comm::send`]/[`Comm::recv`]) serializes a PE's
+//! timeline: while a receive blocks, the CPU idles even though the data
+//! it could be encoding, decoding or merging is already local. This
+//! module exposes the machinery to overlap that work with transfers:
+//!
+//! * [`Comm::isend`] starts a send and returns a [`SendHandle`]. The
+//!   simulated transport is eagerly buffered (unbounded channels), so —
+//!   as with a buffered `MPI_Isend` — the handle completes immediately;
+//!   it exists so call sites read like their MPI counterparts and keep
+//!   working if the transport ever gains backpressure.
+//! * [`Comm::irecv`] posts a receive request into the PE's in-flight
+//!   queue and returns a [`RecvHandle`]. The request is completed through
+//!   [`Comm::test`] (non-blocking poll), [`Comm::wait`] (block on one
+//!   handle) or [`Comm::wait_any`] (block until any of a set completes).
+//! * [`Comm::begin_alltoallv`] posts one receive per peer and returns a
+//!   [`PendingExchange`]: feed it destination buffers as they become
+//!   ready ([`PendingExchange::send`]) and consume arrivals while later
+//!   sends are still in flight ([`PendingExchange::poll_any`] /
+//!   [`PendingExchange::recv_any`]).
+//!
+//! ## Ordering guarantee
+//!
+//! Messages with the same `(source, destination, tag)` key on the same
+//! communicator are delivered in send order — byte-identical FIFO
+//! streams. Posted requests with the same key complete in posting order
+//! (the matching engine routes each arrival to the earliest posted
+//! unfilled request, and parks unexpected arrivals in arrival order).
+//!
+//! ## Accounting rules
+//!
+//! Identical to the blocking path: every payload byte to another PE is
+//! counted exactly once on each side (`isend` at start time, receive
+//! completion when the payload is handed back); self-messages are free.
+//! Like `raw_send`/`raw_recv`, the primitives here contribute **no
+//! latency rounds** — composite operations charge their critical-path
+//! depth explicitly, as the collectives do ([`PendingExchange::finish`]
+//! adds the direct all-to-all's `p − 1` rounds, matching
+//! [`Comm::alltoallv`]). Wall time inside any of these calls is
+//! attributed to `comm_ns`; time between calls (the overlapped encode /
+//! decode / merge work) to `compute_ns`.
+
+use crate::comm::{Comm, PeCore, Tag};
+
+/// Handle of a started send. The channel transport buffers eagerly, so
+/// the operation is complete from construction (see module docs).
+#[derive(Debug)]
+#[must_use = "a send handle should be completed with wait() or test()"]
+pub struct SendHandle(());
+
+impl SendHandle {
+    /// Whether the send has completed (always, on this transport).
+    pub fn test(&self) -> bool {
+        true
+    }
+
+    /// Blocks until the send has completed (a no-op on this transport).
+    pub fn wait(self) {}
+}
+
+/// Handle of a posted receive. Complete it with [`Comm::test`],
+/// [`Comm::wait`] or [`Comm::wait_any`] on the communicator that posted
+/// it.
+#[derive(Debug)]
+#[must_use = "a posted receive must be completed with wait()/test()/wait_any()"]
+pub struct RecvHandle {
+    slot: usize,
+    src: usize,
+    done: bool,
+}
+
+impl RecvHandle {
+    /// Communicator rank this handle receives from.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Whether the payload has already been taken out of this handle.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+impl Comm {
+    /// Starts a non-blocking send of `payload` to communicator rank
+    /// `dst`. Bytes are counted at start time, exactly like
+    /// [`Comm::send`]; self-sends are free local moves.
+    pub fn isend(&self, dst: usize, tag: Tag, payload: Vec<u8>) -> SendHandle {
+        self.enter();
+        self.raw_send(dst, tag.0, payload, true);
+        self.exit();
+        SendHandle(())
+    }
+
+    /// Posts a non-blocking receive from communicator rank `src` with
+    /// `tag` and returns its handle. Adds no latency round by itself
+    /// (see the module accounting rules).
+    pub fn irecv(&self, src: usize, tag: Tag) -> RecvHandle {
+        self.enter();
+        let h = self.post_recv(src, tag.0);
+        self.exit();
+        h
+    }
+
+    /// Slot posting without the metrics enter/exit fences (for composite
+    /// operations that fence once around a batch of posts).
+    fn post_recv(&self, src: usize, tag: u64) -> RecvHandle {
+        let count = src != self.rank();
+        let comm_id = self.comm_id();
+        let slot = self.with_core(|core| core.post_slot(comm_id, src as u32, tag, count));
+        RecvHandle {
+            slot,
+            src,
+            done: false,
+        }
+    }
+
+    /// Non-blocking progress + completion check: drains every
+    /// already-arrived envelope, then returns the payload if `h` has
+    /// completed. Returns `None` if the message has not arrived yet, or
+    /// if the handle was already consumed.
+    pub fn test(&self, h: &mut RecvHandle) -> Option<Vec<u8>> {
+        if h.done {
+            return None;
+        }
+        self.enter();
+        let out = self.with_core(|core| {
+            core.try_progress();
+            core.slot_ready(h.slot).then(|| core.take_slot(h.slot))
+        });
+        self.exit();
+        if out.is_some() {
+            h.done = true;
+        }
+        out
+    }
+
+    /// Blocks until `h` completes and returns its payload.
+    ///
+    /// # Panics
+    /// If the handle was already consumed, or on receive timeout (likely
+    /// deadlock, as with [`Comm::recv`]).
+    pub fn wait(&self, mut h: RecvHandle) -> Vec<u8> {
+        assert!(!h.done, "receive handle already completed");
+        h.done = true;
+        self.enter();
+        let payload = self.wait_slot(h.slot, h.src);
+        self.exit();
+        payload
+    }
+
+    /// Blocks until any not-yet-consumed handle in `handles` completes;
+    /// returns its index and payload and marks it consumed. Returns
+    /// `None` when every handle has already been consumed.
+    ///
+    /// Ready handles are preferred in slice order, so equal-key handles
+    /// resolve in posting order.
+    pub fn wait_any(&self, handles: &mut [RecvHandle]) -> Option<(usize, Vec<u8>)> {
+        if handles.iter().all(|h| h.done) {
+            return None;
+        }
+        self.enter();
+        let (i, payload) = loop {
+            let ready = self.with_core(|core| {
+                core.try_progress();
+                handles
+                    .iter()
+                    .position(|h| !h.done && core.slot_ready(h.slot))
+                    .map(|i| (i, core.take_slot(handles[i].slot)))
+            });
+            if let Some(hit) = ready {
+                break hit;
+            }
+            self.block_for_progress("wait_any");
+        };
+        self.exit();
+        handles[i].done = true;
+        Some((i, payload))
+    }
+
+    /// Blocking completion of one slot (metrics fences owned by caller).
+    fn wait_slot(&self, slot: usize, src: usize) -> Vec<u8> {
+        loop {
+            let ready = self.with_core(|core| core.slot_ready(slot).then(|| core.take_slot(slot)));
+            if let Some(payload) = ready {
+                return payload;
+            }
+            self.block_for_progress(&format!("wait(src={src})"));
+        }
+    }
+
+    /// One blocking progress step with the standard deadlock diagnostics.
+    fn block_for_progress(&self, what: &str) {
+        let timed_out = self.with_core(|core| core.progress_blocking().err());
+        if let Some(timeout) = timed_out {
+            panic!(
+                "PE {} (comm {}, rank {}): {what} timed out after {timeout:?} — likely deadlock",
+                self.world_rank(),
+                self.comm_id(),
+                self.rank(),
+            );
+        }
+    }
+
+    /// Begins a non-blocking personalized all-to-all: posts one receive
+    /// per peer under a fresh collective tag and returns the
+    /// [`PendingExchange`] that completes it. SPMD-collective — every
+    /// member must call it at the same logical point, exactly once per
+    /// exchange, and send exactly one message to every rank (empty
+    /// buffers included, so message counts match [`Comm::alltoallv`]).
+    pub fn begin_alltoallv(&self) -> PendingExchange {
+        self.enter();
+        let tag = Tag::coll(self.next_coll_tag());
+        let p = self.size();
+        let r = self.rank();
+        let recvs = (0..p)
+            .map(|src| (src != r).then(|| self.post_recv(src, tag.0)))
+            .collect();
+        self.exit();
+        PendingExchange {
+            tag,
+            comm_id: self.comm_id(),
+            size: p,
+            rank: r,
+            recvs,
+            self_msg: None,
+            sent: vec![false; p],
+            outstanding: p,
+        }
+    }
+}
+
+/// One in-flight personalized all-to-all, created by
+/// [`Comm::begin_alltoallv`].
+///
+/// The caller streams destination buffers in with [`send`] as each one
+/// is ready (encode → transfer overlap) and drains arrivals with
+/// [`poll_any`] / [`recv_any`] while later sends are still in flight
+/// (transfer → decode/merge overlap). [`finish`] checks completion and
+/// charges the direct algorithm's `p − 1` latency rounds, so a pipelined
+/// exchange reports byte, message and round counts identical to the
+/// blocking [`Comm::alltoallv`].
+///
+/// [`send`]: PendingExchange::send
+/// [`poll_any`]: PendingExchange::poll_any
+/// [`recv_any`]: PendingExchange::recv_any
+/// [`finish`]: PendingExchange::finish
+#[must_use = "a pending exchange must be drained and finished"]
+pub struct PendingExchange {
+    tag: Tag,
+    /// Id of the creating communicator — every driving call re-checks it.
+    comm_id: u64,
+    size: usize,
+    rank: usize,
+    /// Receive handle per source rank (`None` at this PE's own rank).
+    recvs: Vec<Option<RecvHandle>>,
+    /// The self-addressed buffer (free local move, never on the wire).
+    self_msg: Option<Vec<u8>>,
+    sent: Vec<bool>,
+    /// Messages (including the self-message) not yet handed back.
+    outstanding: usize,
+}
+
+impl PendingExchange {
+    /// Ships this PE's buffer for rank `dst` (exactly once per
+    /// destination). Remote buffers go out immediately via
+    /// [`Comm::isend`]; the self buffer is kept aside and surfaces
+    /// through [`PendingExchange::poll_any`]/[`recv_any`] like any other
+    /// arrival.
+    ///
+    /// [`recv_any`]: PendingExchange::recv_any
+    pub fn send(&mut self, comm: &Comm, dst: usize, payload: Vec<u8>) {
+        self.check_comm(comm);
+        assert!(!self.sent[dst], "one message per destination");
+        self.sent[dst] = true;
+        if dst == self.rank {
+            self.self_msg = Some(payload);
+        } else {
+            comm.isend(dst, self.tag, payload).wait();
+        }
+    }
+
+    /// Non-blocking: the next available arrival as `(source rank,
+    /// payload)`, or `None` if nothing new has landed yet. One channel
+    /// drain per call (not per handle), so polling between sends stays
+    /// cheap on the hot exchange path.
+    pub fn poll_any(&mut self, comm: &Comm) -> Option<(usize, Vec<u8>)> {
+        self.check_comm(comm);
+        if let Some(payload) = self.self_msg.take() {
+            self.outstanding -= 1;
+            return Some((self.rank, payload));
+        }
+        if self.outstanding == 0 || self.recvs.iter().all(Option::is_none) {
+            return None;
+        }
+        comm.enter();
+        let hit = comm.with_core(|core| {
+            core.try_progress();
+            self.take_ready(core)
+        });
+        comm.exit();
+        hit
+    }
+
+    /// Blocking: the next arrival as `(source rank, payload)`, or `None`
+    /// once all `p` messages (including the self-message) have been
+    /// handed back. Ship the self-message before draining with this —
+    /// blocking on a buffer that was never sent would dead-wait.
+    pub fn recv_any(&mut self, comm: &Comm) -> Option<(usize, Vec<u8>)> {
+        self.check_comm(comm);
+        if self.outstanding == 0 {
+            return None;
+        }
+        if let Some(payload) = self.self_msg.take() {
+            self.outstanding -= 1;
+            return Some((self.rank, payload));
+        }
+        debug_assert!(
+            self.recvs.iter().any(Option::is_some),
+            "recv_any before the self-message was sent"
+        );
+        comm.enter();
+        let hit = loop {
+            let ready = comm.with_core(|core| {
+                core.try_progress();
+                self.take_ready(core)
+            });
+            if let Some(hit) = ready {
+                break hit;
+            }
+            comm.block_for_progress("PendingExchange::recv_any");
+        };
+        comm.exit();
+        Some(hit)
+    }
+
+    /// Hands back the first completed outstanding receive, if any
+    /// (progress must have been driven by the caller).
+    fn take_ready(&mut self, core: &mut PeCore) -> Option<(usize, Vec<u8>)> {
+        for src in 0..self.size {
+            if let Some(h) = &self.recvs[src] {
+                if core.slot_ready(h.slot) {
+                    let payload = core.take_slot(h.slot);
+                    self.recvs[src] = None;
+                    self.outstanding -= 1;
+                    return Some((src, payload));
+                }
+            }
+        }
+        None
+    }
+
+    /// Completes the exchange: asserts every message was sent and every
+    /// arrival consumed, then charges the direct all-to-all's `p − 1`
+    /// latency rounds (identical to [`Comm::alltoallv`] accounting).
+    pub fn finish(self, comm: &Comm) {
+        self.check_comm(comm);
+        assert!(
+            self.sent.iter().all(|&s| s),
+            "pending exchange finished before sending to every rank"
+        );
+        assert_eq!(
+            self.outstanding, 0,
+            "pending exchange has undrained arrivals"
+        );
+        if self.size > 1 {
+            comm.enter();
+            comm.add_rounds(self.size as u64 - 1);
+            comm.exit();
+        }
+    }
+
+    /// Number of arrivals (including the self-message) not yet returned.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    fn check_comm(&self, comm: &Comm) {
+        // A hard check on the communicator *id*: same-shaped siblings
+        // (e.g. the row and column comms of a square grid) would pass a
+        // size/rank comparison and then dead-wait under the wrong tags.
+        assert_eq!(
+            comm.comm_id(),
+            self.comm_id,
+            "PendingExchange must be driven by the communicator that created it"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::oversub_scale;
+    use crate::runner::{run_spmd, RunConfig};
+    use std::time::{Duration, Instant};
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(20),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn irecv_wait_matches_blocking_recv() {
+        let res = run_spmd(2, cfg(), |comm| {
+            let other = 1 - comm.rank();
+            let h = comm.irecv(other, Tag::user(1));
+            comm.isend(other, Tag::user(1), vec![comm.rank() as u8; 3])
+                .wait();
+            comm.wait(h)
+        });
+        assert_eq!(res.values[0], vec![1, 1, 1]);
+        assert_eq!(res.values[1], vec![0, 0, 0]);
+        assert_eq!(res.stats.total_bytes_sent(), 6);
+        assert_eq!(res.stats.totals().msgs_sent, 2);
+        // Primitives add no latency rounds (composites charge their own).
+        assert_eq!(res.stats.totals().rounds, 0);
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        let res = run_spmd(2, cfg(), |comm| {
+            if comm.rank() == 0 {
+                // Nothing has been sent yet: test must answer None, not block.
+                let mut h = comm.irecv(1, Tag::user(2));
+                let early = comm.test(&mut h);
+                comm.isend(1, Tag::user(3), vec![7]).wait();
+                let late = comm.wait(h);
+                (early.is_none(), late)
+            } else {
+                let go = comm.recv(0, Tag::user(3));
+                comm.isend(0, Tag::user(2), vec![go[0] + 1]).wait();
+                (true, vec![])
+            }
+        });
+        assert_eq!(res.values[0], (true, vec![8]));
+    }
+
+    #[test]
+    fn same_key_handles_complete_in_posting_order() {
+        let res = run_spmd(2, cfg(), |comm| {
+            if comm.rank() == 0 {
+                for i in 0..5u8 {
+                    comm.isend(1, Tag::user(9), vec![i]).wait();
+                }
+                Vec::new()
+            } else {
+                // Post all five before any completion; complete them in a
+                // scrambled order — each handle must still carry the
+                // message matching its posting position.
+                let mut hs: Vec<RecvHandle> = (0..5).map(|_| comm.irecv(0, Tag::user(9))).collect();
+                let mut out = vec![0u8; 5];
+                for &i in &[3usize, 0, 4, 2, 1] {
+                    let h = std::mem::replace(&mut hs[i], comm.irecv(1, Tag::user(99)));
+                    out[i] = comm.wait(h)[0];
+                }
+                // Drain the dummy handles with matching self-sends.
+                for _ in 0..5 {
+                    comm.isend(1, Tag::user(99), Vec::new()).wait();
+                }
+                for h in hs {
+                    let _ = comm.wait(h);
+                }
+                out
+            }
+        });
+        assert_eq!(res.values[1], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wait_any_returns_every_arrival_exactly_once() {
+        let res = run_spmd(4, cfg(), |comm| {
+            let r = comm.rank();
+            let p = comm.size();
+            let mut hs: Vec<RecvHandle> = (0..p)
+                .filter(|&s| s != r)
+                .map(|s| comm.irecv(s, Tag::user(5)))
+                .collect();
+            for dst in 0..p {
+                if dst != r {
+                    comm.isend(dst, Tag::user(5), vec![r as u8]).wait();
+                }
+            }
+            let mut seen = Vec::new();
+            while let Some((_, payload)) = comm.wait_any(&mut hs) {
+                seen.push(payload[0]);
+            }
+            assert!(comm.wait_any(&mut hs).is_none());
+            seen.sort_unstable();
+            seen
+        });
+        for (r, v) in res.values.iter().enumerate() {
+            let expect: Vec<u8> = (0..4u8).filter(|&s| s as usize != r).collect();
+            assert_eq!(v, &expect, "rank {r}");
+        }
+    }
+
+    /// Compute performed while a transfer is in flight lands in
+    /// `compute_ns`, not `comm_ns` — the accounting that makes overlap
+    /// visible. The bound scales with `oversub_scale` so it also holds on
+    /// a 1-core host, where "overlap" is time-slicing.
+    #[test]
+    fn overlapped_compute_is_attributed_to_compute() {
+        let p = 2;
+        let res = run_spmd(p, cfg(), move |comm| {
+            comm.set_phase("pipeline");
+            let other = 1 - comm.rank();
+            let h = comm.irecv(other, Tag::user(7));
+            comm.isend(other, Tag::user(7), vec![0u8; 64 << 10]).wait();
+            // Overlapped "encode/merge" work while the payload is in flight.
+            let t = Instant::now();
+            while t.elapsed() < Duration::from_millis(20) {
+                std::hint::spin_loop();
+            }
+            let got = comm.wait(h);
+            got.len()
+        });
+        assert!(res.values.iter().all(|&n| n == 64 << 10));
+        let phase = res
+            .stats
+            .phases
+            .iter()
+            .find(|ph| ph.name == "pipeline")
+            .expect("phase");
+        let want = (15_000_000f64 * oversub_scale(p)) as u64;
+        assert!(
+            phase.max.compute_ns >= want,
+            "overlapped compute {}ns, want >= {want}ns",
+            phase.max.compute_ns
+        );
+    }
+
+    #[test]
+    fn pending_exchange_matches_alltoallv_payloads_and_accounting() {
+        for p in [1usize, 2, 4, 5] {
+            let pipelined = run_spmd(p, cfg(), |comm| {
+                comm.set_phase("x");
+                let r = comm.rank();
+                let p = comm.size();
+                let mut ex = comm.begin_alltoallv();
+                let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+                for i in 0..p {
+                    let dst = (r + i) % p;
+                    ex.send(comm, dst, vec![r as u8, dst as u8, 42]);
+                    while let Some((src, payload)) = ex.poll_any(comm) {
+                        out[src] = payload;
+                    }
+                }
+                while let Some((src, payload)) = ex.recv_any(comm) {
+                    out[src] = payload;
+                }
+                ex.finish(comm);
+                out
+            });
+            let blocking = run_spmd(p, cfg(), |comm| {
+                comm.set_phase("x");
+                let msgs: Vec<Vec<u8>> = (0..comm.size())
+                    .map(|dst| vec![comm.rank() as u8, dst as u8, 42])
+                    .collect();
+                comm.alltoallv(msgs)
+            });
+            assert_eq!(pipelined.values, blocking.values, "p={p}");
+            let cell = |s: &crate::NetStats| {
+                let ph = s.phases.iter().find(|ph| ph.name == "x").expect("phase");
+                (ph.total, ph.max)
+            };
+            let (pt, pm) = cell(&pipelined.stats);
+            let (bt, bm) = cell(&blocking.stats);
+            assert_eq!(pt.bytes_sent, bt.bytes_sent, "p={p}");
+            assert_eq!(pt.bytes_recv, bt.bytes_recv, "p={p}");
+            assert_eq!(pt.msgs_sent, bt.msgs_sent, "p={p}");
+            assert_eq!(pm.rounds, bm.rounds, "p={p}");
+            assert_eq!(pm.msgs_sent, bm.msgs_sent, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one message per destination")]
+    fn pending_exchange_rejects_duplicate_destination() {
+        run_spmd(2, cfg(), |comm| {
+            let mut ex = comm.begin_alltoallv();
+            ex.send(comm, 0, vec![1]);
+            ex.send(comm, 0, vec![2]);
+        });
+    }
+}

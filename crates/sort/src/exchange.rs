@@ -25,6 +25,22 @@
 //! is just the corresponding slice of the local LCP array (first entry
 //! zeroed); LCP compression then transmits each string as `(lcp, suffix)`
 //! — repeated prefixes cross the wire exactly once (Fig. 2, step 3).
+//!
+//! ## Exchange modes
+//!
+//! Every data-movement entry point runs in one of two [`ExchangeMode`]s:
+//!
+//! * [`ExchangeMode::Blocking`] — encode every bucket, run one
+//!   [`Comm::alltoallv`], then decode (and merge) after the last byte has
+//!   arrived. The four pipeline stages serialize.
+//! * [`ExchangeMode::Pipelined`] — post all receives up front
+//!   ([`Comm::begin_alltoallv`]), encode destination buckets one at a
+//!   time and ship each the moment it is ready, and decode (+ merge, for
+//!   the fused [`StringAllToAll::exchange_merge_bounds`]) every arriving
+//!   run while later sends are still in flight. Encode, transfer, decode
+//!   and merge overlap; bytes, messages and latency rounds are accounted
+//!   identically to the blocking path, and the output (including merged
+//!   LCP arrays and origin tags) is byte-identical.
 
 use crate::output::SortedRun;
 use crate::partition::{bucket_bounds, bucket_bounds_tie_break};
@@ -32,6 +48,48 @@ use dss_codec::wire::{self, DecodedRun};
 use dss_net::Comm;
 use dss_strkit::losertree::{LcpLoserTree, LoserTree, MergeRun};
 use dss_strkit::{StrRef, StringSet};
+use std::sync::OnceLock;
+
+/// How [`StringAllToAll`] moves its buckets (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeMode {
+    /// One blocking all-to-all; encode → transfer → decode → merge run
+    /// strictly in sequence.
+    Blocking,
+    /// Non-blocking runtime underneath; encode/transfer/decode/merge
+    /// overlap, with identical output and identical byte/message/round
+    /// accounting.
+    Pipelined,
+}
+
+impl ExchangeMode {
+    /// The process-wide default mode: `DSS_EXCHANGE_MODE=pipelined` (or
+    /// `blocking`, the fallback), read once and cached. This is the knob
+    /// CI uses to force the whole test matrix through either path.
+    pub fn from_env() -> ExchangeMode {
+        static MODE: OnceLock<ExchangeMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("DSS_EXCHANGE_MODE").as_deref() {
+            Ok(v) if v.eq_ignore_ascii_case("pipelined") => ExchangeMode::Pipelined,
+            _ => ExchangeMode::Blocking,
+        })
+    }
+
+    /// Snapshot label (`"blocking"` / `"pipelined"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExchangeMode::Blocking => "blocking",
+            ExchangeMode::Pipelined => "pipelined",
+        }
+    }
+}
+
+impl Default for ExchangeMode {
+    /// [`ExchangeMode::from_env`], so every config that derives `Default`
+    /// honors the `DSS_EXCHANGE_MODE` knob.
+    fn default() -> Self {
+        ExchangeMode::from_env()
+    }
+}
 
 /// Wire format of the exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +133,7 @@ impl<'a> ExchangePayload<'a> {
 /// bounds, decode-side [`DecodedRun`] ring) are grown once and reused.
 pub struct StringAllToAll {
     codec: ExchangeCodec,
+    mode: ExchangeMode,
     /// Run-local LCP scratch, reused across destinations.
     run_lcps: Vec<u32>,
     /// Pooled decode scratch ring, indexed by source PE.
@@ -82,10 +141,17 @@ pub struct StringAllToAll {
 }
 
 impl StringAllToAll {
-    /// Engine with the given wire codec.
+    /// Engine with the given wire codec and the process-default
+    /// [`ExchangeMode`] (the `DSS_EXCHANGE_MODE` knob).
     pub fn new(codec: ExchangeCodec) -> Self {
+        Self::with_mode(codec, ExchangeMode::default())
+    }
+
+    /// Engine with an explicit exchange mode.
+    pub fn with_mode(codec: ExchangeCodec, mode: ExchangeMode) -> Self {
         Self {
             codec,
+            mode,
             run_lcps: Vec::new(),
             runs: Vec::new(),
         }
@@ -94,6 +160,11 @@ impl StringAllToAll {
     /// The wire codec this engine encodes with.
     pub fn codec(&self) -> ExchangeCodec {
         self.codec
+    }
+
+    /// The exchange mode this engine moves data with.
+    pub fn mode(&self) -> ExchangeMode {
+        self.mode
     }
 
     /// Classifies the sorted payload against `splitters` (`comm.size() − 1`
@@ -131,13 +202,133 @@ impl StringAllToAll {
         if !matches!(self.codec, ExchangeCodec::Plain) {
             debug_assert_eq!(payload.lcps.len(), payload.set.len());
         }
-        let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
-        for dest in 0..p {
-            let (lo, hi) = (bounds[dest], bounds[dest + 1]);
-            msgs.push(self.encode_bucket(payload, lo, hi));
+        match self.mode {
+            ExchangeMode::Blocking => {
+                let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
+                for dest in 0..p {
+                    let (lo, hi) = (bounds[dest], bounds[dest + 1]);
+                    msgs.push(self.encode_bucket(payload, lo, hi));
+                }
+                let received = comm.alltoallv(msgs);
+                self.decode_received(&received)
+            }
+            ExchangeMode::Pipelined => {
+                self.ensure_runs(p);
+                let mut ex = comm.begin_alltoallv();
+                let r = comm.rank();
+                for i in 0..p {
+                    let dest = (r + i) % p;
+                    let buf = self.encode_bucket(payload, bounds[dest], bounds[dest + 1]);
+                    ex.send(comm, dest, buf);
+                    // Decode whatever has already landed while the
+                    // remaining buckets are still being encoded/sent.
+                    while let Some((src, buf)) = ex.poll_any(comm) {
+                        self.decode_one(src, &buf);
+                    }
+                }
+                while let Some((src, buf)) = ex.recv_any(comm) {
+                    self.decode_one(src, &buf);
+                }
+                ex.finish(comm);
+                &self.runs[..p]
+            }
         }
-        let received = comm.alltoallv(msgs);
-        self.decode_received(&received)
+    }
+
+    /// Classifies, exchanges **and merges** in one call: the pipelined
+    /// counterpart of `exchange_by_splitters` + `merge_received_*`, and
+    /// the entry point every merge-based algorithm routes through.
+    ///
+    /// LCP codecs merge with the LCP loser tree (the result carries its
+    /// exact LCP array); [`ExchangeCodec::Plain`] merges with the plain
+    /// tree. In [`ExchangeMode::Blocking`] the phases run in sequence and
+    /// the merge is attributed to `merge_phase` (when given) exactly as
+    /// the unfused path would; in [`ExchangeMode::Pipelined`] arriving
+    /// runs are decoded and merged *while later sends are still in
+    /// flight*, so only the non-overlapped tail merge after the last
+    /// arrival lands in `merge_phase`. Both modes return byte-identical
+    /// results.
+    pub fn exchange_merge_by_splitters(
+        &mut self,
+        comm: &Comm,
+        payload: &ExchangePayload<'_>,
+        splitters: &StringSet,
+        tie_break: bool,
+        merge_phase: Option<&str>,
+    ) -> SortedRun {
+        let bounds = if tie_break {
+            bucket_bounds_tie_break(payload.set, splitters)
+        } else {
+            bucket_bounds(payload.set, splitters)
+        };
+        self.exchange_merge_bounds(comm, payload, &bounds, merge_phase)
+    }
+
+    /// [`Self::exchange_merge_by_splitters`] over pre-computed buckets.
+    pub fn exchange_merge_bounds(
+        &mut self,
+        comm: &Comm,
+        payload: &ExchangePayload<'_>,
+        bounds: &[usize],
+        merge_phase: Option<&str>,
+    ) -> SortedRun {
+        let lcp_merge = !matches!(self.codec, ExchangeCodec::Plain);
+        match self.mode {
+            ExchangeMode::Blocking => {
+                let runs = self.exchange_bounds(comm, payload, bounds);
+                if let Some(phase) = merge_phase {
+                    comm.set_phase(phase);
+                }
+                if lcp_merge {
+                    merge_received_lcp(runs)
+                } else {
+                    merge_received_plain(runs)
+                }
+            }
+            ExchangeMode::Pipelined => {
+                self.exchange_merge_pipelined(comm, payload, bounds, merge_phase)
+            }
+        }
+    }
+
+    /// The overlapped path: receives posted up front, buckets encoded and
+    /// shipped one at a time, arrivals decoded and incrementally merged
+    /// between sends. Incremental merges combine only *adjacent* source
+    /// ranges of equal width (a binary-counter cascade), which keeps the
+    /// total merge work at the k-way tree's `O(n log p)` and — because
+    /// every loser tree breaks ties by stream index — reproduces the
+    /// blocking k-way merge's output exactly, duplicates included.
+    fn exchange_merge_pipelined(
+        &mut self,
+        comm: &Comm,
+        payload: &ExchangePayload<'_>,
+        bounds: &[usize],
+        merge_phase: Option<&str>,
+    ) -> SortedRun {
+        let p = comm.size();
+        let lcp_merge = !matches!(self.codec, ExchangeCodec::Plain);
+        self.ensure_runs(p);
+        let mut acc = SegmentAccumulator::new(lcp_merge);
+        let mut ex = comm.begin_alltoallv();
+        let r = comm.rank();
+        for i in 0..p {
+            let dest = (r + i) % p;
+            let buf = self.encode_bucket(payload, bounds[dest], bounds[dest + 1]);
+            ex.send(comm, dest, buf);
+            while let Some((src, buf)) = ex.poll_any(comm) {
+                self.decode_one(src, &buf);
+                acc.on_arrival(src, &self.runs);
+            }
+        }
+        while let Some((src, buf)) = ex.recv_any(comm) {
+            self.decode_one(src, &buf);
+            acc.on_arrival(src, &self.runs);
+        }
+        ex.finish(comm);
+        if let Some(phase) = merge_phase {
+            comm.set_phase(phase);
+        }
+        acc.finish(&self.runs)
     }
 
     /// Plain scatter: string `i` of (unsorted) `set` travels to
@@ -161,17 +352,38 @@ impl StringAllToAll {
         for (i, &d) in dest_of.iter().enumerate() {
             idxs[d].push(i);
         }
-        let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(p);
-        for list in &idxs {
+        let encode = |list: &[usize]| -> Vec<u8> {
             let strings = || ExactIter::new(list.iter().map(|&i| set.get(i)), list.len());
             let exact = wire::encoded_len_plain(strings(), None);
             let mut buf = Vec::with_capacity(exact);
             wire::encode_plain(strings(), None, &mut buf);
             debug_assert_eq!(buf.len(), exact);
-            msgs.push(buf);
+            buf
+        };
+        match self.mode {
+            ExchangeMode::Blocking => {
+                let msgs: Vec<Vec<u8>> = idxs.iter().map(|list| encode(list)).collect();
+                let received = comm.alltoallv(msgs);
+                self.decode_received(&received)
+            }
+            ExchangeMode::Pipelined => {
+                self.ensure_runs(p);
+                let mut ex = comm.begin_alltoallv();
+                let r = comm.rank();
+                for i in 0..p {
+                    let dest = (r + i) % p;
+                    ex.send(comm, dest, encode(&idxs[dest]));
+                    while let Some((src, buf)) = ex.poll_any(comm) {
+                        self.decode_one(src, &buf);
+                    }
+                }
+                while let Some((src, buf)) = ex.recv_any(comm) {
+                    self.decode_one(src, &buf);
+                }
+                ex.finish(comm);
+                &self.runs[..p]
+            }
         }
-        let received = comm.alltoallv(msgs);
-        self.decode_received(&received)
     }
 
     /// Serializes one bucket with the engine codec, reserved to its exact
@@ -216,23 +428,194 @@ impl StringAllToAll {
         }
     }
 
+    /// Grows the pooled scratch ring to its high-water mark.
+    fn ensure_runs(&mut self, p: usize) {
+        if self.runs.len() < p {
+            self.runs.resize_with(p, DecodedRun::default);
+        }
+    }
+
+    /// Decodes one received buffer into ring entry `src`.
+    fn decode_one(&mut self, src: usize, buf: &[u8]) {
+        let run = &mut self.runs[src];
+        let mut pos = 0;
+        match self.codec {
+            ExchangeCodec::Plain => wire::decode_plain_into(buf, &mut pos, run),
+            _ => wire::decode_lcp_into(buf, &mut pos, run),
+        }
+        .expect("well-formed exchange run");
+        debug_assert_eq!(pos, buf.len());
+    }
+
     /// Decodes the received buffers into the pooled scratch ring, growing
     /// it only on its high-water mark.
     fn decode_received(&mut self, received: &[Vec<u8>]) -> &[DecodedRun] {
         let p = received.len();
-        if self.runs.len() < p {
-            self.runs.resize_with(p, DecodedRun::default);
-        }
-        for (run, buf) in self.runs.iter_mut().zip(received) {
-            let mut pos = 0;
-            match self.codec {
-                ExchangeCodec::Plain => wire::decode_plain_into(buf, &mut pos, run),
-                _ => wire::decode_lcp_into(buf, &mut pos, run),
-            }
-            .expect("well-formed exchange run");
-            debug_assert_eq!(pos, buf.len());
+        self.ensure_runs(p);
+        for (src, buf) in received.iter().enumerate() {
+            self.decode_one(src, buf);
         }
         &self.runs[..p]
+    }
+}
+
+/// Incremental-merge state of one pipelined exchange: every decoded
+/// source run becomes a leaf segment, adjacent segments of equal width
+/// merge as soon as both are available (a binary-counter cascade, so
+/// total merge work stays at the k-way tree's `O(n log p)`), and
+/// [`SegmentAccumulator::finish`] k-way merges whatever remains.
+///
+/// Segments always cover disjoint source-rank ranges and merges only
+/// ever combine *adjacent* ranges with the lower range as the lower
+/// stream index. Since both loser trees break ties by stream index, the
+/// accumulated sequence — strings, LCP array and origin tags alike — is
+/// exactly what the blocking path's single k-way merge over all `p` runs
+/// produces, duplicates included.
+struct SegmentAccumulator {
+    lcp_merge: bool,
+    /// Available segments, ordered by `lo`, ranges pairwise disjoint.
+    segs: Vec<Segment>,
+}
+
+struct Segment {
+    /// Covered source-rank range `[lo, hi)`.
+    lo: usize,
+    hi: usize,
+    data: SegData,
+}
+
+enum SegData {
+    /// The decoded run of source `lo`, still in the engine's ring.
+    Leaf,
+    /// An owned merge result of two or more adjacent sources.
+    Merged {
+        set: StringSet,
+        /// Exact LCP array of `set` (left empty for plain merges).
+        lcps: Vec<u32>,
+        origins: Option<Vec<u64>>,
+    },
+}
+
+impl SegmentAccumulator {
+    fn new(lcp_merge: bool) -> Self {
+        Self {
+            lcp_merge,
+            segs: Vec::new(),
+        }
+    }
+
+    /// Registers the freshly decoded run of `src` and performs every
+    /// merge the equal-width cascade allows before returning to the wait
+    /// loop.
+    fn on_arrival(&mut self, src: usize, runs: &[DecodedRun]) {
+        let at = self.segs.partition_point(|s| s.lo < src);
+        debug_assert!(
+            at == self.segs.len() || self.segs[at].lo != src,
+            "duplicate arrival"
+        );
+        self.segs.insert(
+            at,
+            Segment {
+                lo: src,
+                hi: src + 1,
+                data: SegData::Leaf,
+            },
+        );
+        loop {
+            let adjacent_equal = (0..self.segs.len().saturating_sub(1)).find(|&i| {
+                let (a, b) = (&self.segs[i], &self.segs[i + 1]);
+                a.hi == b.lo && a.hi - a.lo == b.hi - b.lo
+            });
+            let Some(i) = adjacent_equal else { break };
+            let data = merge_segments(&self.segs[i..i + 2], runs, self.lcp_merge);
+            let (lo, hi) = (self.segs[i].lo, self.segs[i + 1].hi);
+            self.segs.splice(i..i + 2, [Segment { lo, hi, data }]);
+        }
+    }
+
+    /// Merges the remaining segments into the final [`SortedRun`].
+    fn finish(mut self, runs: &[DecodedRun]) -> SortedRun {
+        let data = if self.segs.len() == 1 && matches!(self.segs[0].data, SegData::Merged { .. }) {
+            // Everything already merged incrementally: hand it over
+            // without one more copy (a 1-way tree merge would reproduce
+            // the identical sequence).
+            self.segs.pop().expect("single segment").data
+        } else {
+            merge_segments(&self.segs, runs, self.lcp_merge)
+        };
+        let SegData::Merged { set, lcps, origins } = data else {
+            unreachable!("merge_segments always yields an owned segment");
+        };
+        SortedRun {
+            set,
+            lcps: self.lcp_merge.then_some(lcps),
+            origins,
+            local_store: None,
+        }
+    }
+}
+
+/// K-way merges adjacent segments (ordered by `lo`) into one owned
+/// segment, with the same loser trees — and therefore the same
+/// stream-index tie-breaking — as `merge_received_lcp`/`_plain`.
+fn merge_segments(segs: &[Segment], runs: &[DecodedRun], lcp_merge: bool) -> SegData {
+    let leaf_refs: Vec<Option<Vec<StrRef>>> = segs
+        .iter()
+        .map(|s| match &s.data {
+            SegData::Leaf => Some(run_refs(&runs[s.lo])),
+            SegData::Merged { .. } => None,
+        })
+        .collect();
+    let views: Vec<MergeRun<'_>> = segs
+        .iter()
+        .zip(&leaf_refs)
+        .map(|(s, lr)| match &s.data {
+            SegData::Leaf => {
+                let run = &runs[s.lo];
+                MergeRun {
+                    arena: &run.data,
+                    refs: lr.as_ref().expect("leaf refs materialized"),
+                    lcps: &run.lcps,
+                }
+            }
+            SegData::Merged { set, lcps, .. } => MergeRun {
+                arena: set.arena(),
+                refs: set.refs(),
+                lcps,
+            },
+        })
+        .collect();
+    let mut out = StringSet::new();
+    let merged = if lcp_merge {
+        LcpLoserTree::new(views).merge_into(&mut out)
+    } else {
+        LoserTree::new(views).merge_into(&mut out)
+    };
+    let have_origins = segs.iter().all(|s| match &s.data {
+        SegData::Leaf => runs[s.lo].origins.is_some(),
+        SegData::Merged { origins, .. } => origins.is_some(),
+    });
+    let origins = have_origins.then(|| {
+        merged
+            .sources
+            .iter()
+            .map(|&(si, idx)| match &segs[si as usize].data {
+                SegData::Leaf => runs[segs[si as usize].lo]
+                    .origins
+                    .as_ref()
+                    .expect("checked")[idx as usize],
+                SegData::Merged { origins, .. } => origins.as_ref().expect("checked")[idx as usize],
+            })
+            .collect()
+    });
+    SegData::Merged {
+        set: out,
+        lcps: if lcp_merge {
+            merged.lcps.expect("LCP tree yields LCPs")
+        } else {
+            Vec::new()
+        },
+        origins,
     }
 }
 

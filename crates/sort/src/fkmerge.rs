@@ -12,7 +12,7 @@
 //! strings and p−1 message latencies on PE 0 — the bottleneck the paper
 //! holds responsible for FKmerge's scalability collapse beyond ~320 cores.
 
-use crate::exchange::{merge_received_plain, ExchangeCodec, ExchangePayload, StringAllToAll};
+use crate::exchange::{ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll};
 use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig, SamplingPolicy};
 use crate::DistSorter;
@@ -22,7 +22,12 @@ use dss_strkit::StringSet;
 
 /// The FKmerge baseline (deterministic sampling; centralized sample sort).
 #[derive(Debug, Default, Clone, Copy)]
-pub struct FkMerge;
+pub struct FkMerge {
+    /// Blocking or pipelined exchange (defaults to the
+    /// `DSS_EXCHANGE_MODE` knob). The centralized sample sort itself is
+    /// FKmerge's defining bottleneck and stays as-is.
+    pub mode: ExchangeMode,
+}
 
 impl DistSorter for FkMerge {
     fn name(&self) -> &'static str {
@@ -41,12 +46,13 @@ impl DistSorter for FkMerge {
             // Deterministic sampling needs p−1 samples per PE ([15]).
             oversampling: comm.size() - 1,
             central_sample_sort: true,
+            mode: self.mode,
             ..PartitionConfig::default()
         };
         let splitters = partition::determine_splitters(comm, &input, &cfg, None, None);
         comm.set_phase("exchange");
-        let mut engine = StringAllToAll::new(ExchangeCodec::Plain);
-        let runs = engine.exchange_by_splitters(
+        let mut engine = StringAllToAll::with_mode(ExchangeCodec::Plain, self.mode);
+        engine.exchange_merge_by_splitters(
             comm,
             &ExchangePayload {
                 set: &input,
@@ -56,9 +62,8 @@ impl DistSorter for FkMerge {
             },
             &splitters,
             false,
-        );
-        comm.set_phase("merge");
-        merge_received_plain(runs)
+            Some("merge"),
+        )
     }
 }
 
@@ -83,7 +88,7 @@ mod tests {
         let res = run_spmd(p, cfg_run(), move |comm| {
             let set =
                 StringSet::from_iter_bytes(shards_ref[comm.rank()].iter().map(|s| s.as_slice()));
-            FkMerge.sort(comm, set).set.to_vecs()
+            FkMerge::default().sort(comm, set).set.to_vecs()
         });
         let got: Vec<Vec<u8>> = res.values.into_iter().flatten().collect();
         assert_eq!(got, expect);
@@ -136,7 +141,7 @@ mod tests {
             for i in 0..40u32 {
                 set.push(format!("k{}{}", comm.rank(), i).as_bytes());
             }
-            let _ = FkMerge.sort(comm, set);
+            let _ = FkMerge::default().sort(comm, set);
         });
         let part = res
             .stats

@@ -32,9 +32,14 @@ use dss_strkit::StringSet;
 /// Candidates kept per reduction step of the pivot selection.
 const PIVOT_FANOUT: usize = 3;
 
-/// The hQuick sorter (no tunables; the paper runs it as-is).
+/// The hQuick sorter (the paper runs it as-is; the only knob is the
+/// exchange mode of its random-placement scatter).
 #[derive(Debug, Default, Clone, Copy)]
-pub struct HQuick;
+pub struct HQuick {
+    /// Blocking or pipelined placement scatter (defaults to the
+    /// `DSS_EXCHANGE_MODE` knob).
+    pub mode: crate::exchange::ExchangeMode,
+}
 
 impl DistSorter for HQuick {
     fn name(&self) -> &'static str {
@@ -42,7 +47,7 @@ impl DistSorter for HQuick {
     }
 
     fn sort(&self, comm: &Comm, input: StringSet) -> SortedRun {
-        let (mut set, _) = hquick_sort(comm, input, true);
+        let (mut set, _) = hquick_sort(comm, input, true, self.mode);
         comm.set_phase("local_sort");
         let (lcps, _) = sort_with_lcp(&mut set);
         SortedRun {
@@ -58,9 +63,15 @@ impl DistSorter for HQuick {
 /// slice of the global sample (empty on PEs outside the hypercube).
 ///
 /// Does **not** touch the metrics phase — all traffic stays attributed to
-/// the caller's current phase (the partitioning step it serves).
-pub fn sort_for_samples(comm: &Comm, sample: StringSet) -> StringSet {
-    let (mut set, _) = hquick_sort(comm, sample, false);
+/// the caller's current phase (the partitioning step it serves). `mode`
+/// drives the placement scatter, so a caller-selected exchange mode
+/// reaches every byte the partitioning moves.
+pub fn sort_for_samples(
+    comm: &Comm,
+    sample: StringSet,
+    mode: crate::exchange::ExchangeMode,
+) -> StringSet {
+    let (mut set, _) = hquick_sort(comm, sample, false, mode);
     let (_, _) = sort_with_lcp(&mut set);
     set
 }
@@ -68,8 +79,13 @@ pub fn sort_for_samples(comm: &Comm, sample: StringSet) -> StringSet {
 /// Runs placement + d partition/exchange levels. Returns the local
 /// fragment (unsorted) and its tie-breaker ids. `set_phases` labels the
 /// metrics phases (top-level runs only; subroutine use keeps the caller's
-/// phase).
-fn hquick_sort(comm: &Comm, input: StringSet, set_phases: bool) -> (StringSet, Vec<u64>) {
+/// phase); `mode` drives the placement scatter.
+fn hquick_sort(
+    comm: &Comm,
+    input: StringSet,
+    set_phases: bool,
+    mode: crate::exchange::ExchangeMode,
+) -> (StringSet, Vec<u64>) {
     let p = comm.size();
     if p == 1 {
         let ids = (0..input.len() as u64).collect();
@@ -85,7 +101,8 @@ fn hquick_sort(comm: &Comm, input: StringSet, set_phases: bool) -> (StringSet, V
         comm.set_phase("hq_place");
     }
     let dest_of: Vec<usize> = (0..input.len()).map(|_| rng.next_index(q)).collect();
-    let mut engine = crate::exchange::StringAllToAll::new(crate::exchange::ExchangeCodec::Plain);
+    let mut engine =
+        crate::exchange::StringAllToAll::with_mode(crate::exchange::ExchangeCodec::Plain, mode);
     let runs = engine.scatter_plain(comm, &input, &dest_of);
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let total_chars: usize = runs.iter().map(|r| r.data.len()).sum();
@@ -256,7 +273,7 @@ mod tests {
         let res = run_spmd(p, cfg_run(), move |comm| {
             let set =
                 StringSet::from_iter_bytes(shards_ref[comm.rank()].iter().map(|s| s.as_slice()));
-            let out = HQuick.sort(comm, set);
+            let out = HQuick::default().sort(comm, set);
             if let Some(lcps) = &out.lcps {
                 dss_strkit::lcp::verify_lcp_array(&out.set, lcps).expect("lcp array");
             }
@@ -330,7 +347,7 @@ mod tests {
                 set.push(&s);
             }
             let input = set.to_vecs();
-            let sorted = sort_for_samples(comm, set);
+            let sorted = sort_for_samples(comm, set, crate::exchange::ExchangeMode::default());
             (input, sorted.to_vecs())
         });
         let mut expect: Vec<Vec<u8>> = res.values.iter().flat_map(|(i, _)| i.clone()).collect();

@@ -53,7 +53,7 @@ pub mod output;
 pub mod partition;
 pub mod pdms;
 
-pub use exchange::{ExchangeCodec, ExchangePayload, StringAllToAll};
+pub use exchange::{ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll};
 pub use fkmerge::FkMerge;
 pub use hquick::HQuick;
 pub use ms::{Ms, MsConfig};
@@ -114,16 +114,42 @@ impl Algorithm {
         ]
     }
 
-    /// Instantiates the sorter with its paper-default configuration.
+    /// Instantiates the sorter with its paper-default configuration (the
+    /// exchange mode follows the `DSS_EXCHANGE_MODE` knob, see
+    /// [`ExchangeMode::from_env`]).
     pub fn instance(&self) -> Box<dyn DistSorter> {
+        self.instance_with_mode(ExchangeMode::default())
+    }
+
+    /// Instantiates the sorter with an explicit [`ExchangeMode`],
+    /// overriding the environment knob — the handle harnesses use to
+    /// compare the blocking and pipelined paths inside one process.
+    pub fn instance_with_mode(&self, mode: ExchangeMode) -> Box<dyn DistSorter> {
         match self {
-            Algorithm::FkMerge => Box::new(FkMerge),
-            Algorithm::HQuick => Box::new(HQuick),
-            Algorithm::MsSimple => Box::new(Ms::simple()),
-            Algorithm::Ms => Box::new(Ms::default()),
-            Algorithm::PdmsGolomb => Box::new(Pdms::golomb()),
-            Algorithm::Pdms => Box::new(Pdms::default()),
-            Algorithm::Ms2l => Box::new(Ms2l::default()),
+            Algorithm::FkMerge => Box::new(FkMerge { mode }),
+            Algorithm::HQuick => Box::new(HQuick { mode }),
+            Algorithm::MsSimple => Box::new(Ms::with_config(MsConfig {
+                lcp: false,
+                mode,
+                ..MsConfig::default()
+            })),
+            Algorithm::Ms => Box::new(Ms::with_config(MsConfig {
+                mode,
+                ..MsConfig::default()
+            })),
+            Algorithm::PdmsGolomb => {
+                let mut cfg = Pdms::golomb().cfg;
+                cfg.mode = mode;
+                Box::new(Pdms::with_config(cfg))
+            }
+            Algorithm::Pdms => Box::new(Pdms::with_config(PdmsConfig {
+                mode,
+                ..PdmsConfig::default()
+            })),
+            Algorithm::Ms2l => Box::new(Ms2l::with_config(Ms2lConfig {
+                mode,
+                ..Ms2lConfig::default()
+            })),
         }
     }
 

@@ -13,9 +13,7 @@
 //! 4. **multiway merge** with the LCP loser tree (MS) or a plain loser
 //!    tree (MS-simple).
 
-use crate::exchange::{
-    merge_received_lcp, merge_received_plain, ExchangeCodec, ExchangePayload, StringAllToAll,
-};
+use crate::exchange::{ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll};
 use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig};
 use crate::DistSorter;
@@ -30,6 +28,9 @@ pub struct MsConfig {
     pub lcp: bool,
     /// Difference-code the LCP values on the wire (§VI-B extension).
     pub delta_lcps: bool,
+    /// Blocking or pipelined exchange (defaults to the
+    /// `DSS_EXCHANGE_MODE` knob).
+    pub mode: ExchangeMode,
     /// Sampling/splitter policy.
     pub partition: PartitionConfig,
 }
@@ -39,6 +40,7 @@ impl Default for MsConfig {
         Self {
             lcp: true,
             delta_lcps: false,
+            mode: ExchangeMode::default(),
             partition: PartitionConfig::default(),
         }
     }
@@ -88,16 +90,19 @@ impl DistSorter for Ms {
             };
         }
         comm.set_phase("partition");
-        let splitters =
-            partition::determine_splitters(comm, &input, &self.cfg.partition, None, None);
+        // One mode for every byte this run moves: the sample sort's
+        // scatter follows the algorithm's exchange mode.
+        let mut pcfg = self.cfg.partition;
+        pcfg.mode = self.cfg.mode;
+        let splitters = partition::determine_splitters(comm, &input, &pcfg, None, None);
         comm.set_phase("exchange");
         let codec = match (self.cfg.lcp, self.cfg.delta_lcps) {
             (false, _) => ExchangeCodec::Plain,
             (true, false) => ExchangeCodec::LcpCompressed,
             (true, true) => ExchangeCodec::LcpDelta,
         };
-        let mut engine = StringAllToAll::new(codec);
-        let runs = engine.exchange_by_splitters(
+        let mut engine = StringAllToAll::with_mode(codec, self.cfg.mode);
+        engine.exchange_merge_by_splitters(
             comm,
             &ExchangePayload {
                 set: &input,
@@ -107,13 +112,8 @@ impl DistSorter for Ms {
             },
             &splitters,
             self.cfg.partition.duplicate_tie_break,
-        );
-        comm.set_phase("merge");
-        if self.cfg.lcp {
-            merge_received_lcp(runs)
-        } else {
-            merge_received_plain(runs)
-        }
+            Some("merge"),
+        )
     }
 }
 

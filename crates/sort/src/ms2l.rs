@@ -34,7 +34,7 @@
 //! When `p` admits no `r×c` grid with `r, c ≥ 2` (`p < 4` or `p` prime),
 //! MS2L falls back to single-level [`Ms`] with the same codec settings.
 
-use crate::exchange::{merge_received_lcp, ExchangeCodec, ExchangePayload, StringAllToAll};
+use crate::exchange::{ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll};
 use crate::ms::{Ms, MsConfig};
 use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig};
@@ -49,6 +49,9 @@ use dss_strkit::StringSet;
 pub struct Ms2lConfig {
     /// Difference-code the LCP values on the wire (§VI-B extension).
     pub delta_lcps: bool,
+    /// Blocking or pipelined exchange, applied to **both** grid levels
+    /// (defaults to the `DSS_EXCHANGE_MODE` knob).
+    pub mode: ExchangeMode,
     /// Grid rows `r` (`0` ⇒ auto: the near-square [`topology::grid_dims`]
     /// choice). Must divide `p` with a quotient ≥ 2, else MS2L falls back
     /// to single-level MS.
@@ -85,6 +88,7 @@ impl Ms2l {
         Ms::with_config(MsConfig {
             lcp: true,
             delta_lcps: self.cfg.delta_lcps,
+            mode: self.cfg.mode,
             partition: self.cfg.partition,
         })
     }
@@ -110,20 +114,23 @@ impl DistSorter for Ms2l {
             ExchangeCodec::LcpCompressed
         };
         let tie_break = self.cfg.partition.duplicate_tie_break;
+        // One mode for every byte this run moves: both levels' sample
+        // sorts scatter in the algorithm's exchange mode.
+        let mut pcfg = self.cfg.partition;
+        pcfg.mode = self.cfg.mode;
         // The two counted splits of the grid view are communication —
         // keep them out of the local_sort phase.
         comm.set_phase("grid_setup");
         let grid = topology::grid_view(comm, r, c);
-        let mut engine = StringAllToAll::new(codec);
+        let mut engine = StringAllToAll::with_mode(codec, self.cfg.mode);
 
         // Level 1: c − 1 global splitters cut the global order into the
         // c column ranges; the sample sort runs over the *world*
         // communicator so the splitters are true global order statistics.
         comm.set_phase("partition_row");
-        let row_splitters =
-            partition::determine_splitters_for(comm, &input, c, &self.cfg.partition, None, None);
+        let row_splitters = partition::determine_splitters_for(comm, &input, c, &pcfg, None, None);
         comm.set_phase("exchange_row");
-        let runs = engine.exchange_by_splitters(
+        let mid = engine.exchange_merge_by_splitters(
             &grid.row,
             &ExchangePayload {
                 set: &input,
@@ -133,19 +140,17 @@ impl DistSorter for Ms2l {
             },
             &row_splitters,
             tie_break,
+            Some("merge_row"),
         );
-        comm.set_phase("merge_row");
-        let mid = merge_received_lcp(runs);
         drop(input);
         let mid_lcps = mid.lcps.as_deref().expect("LCP merge yields LCPs");
 
         // Level 2: an ordinary single-level MS round within the column,
         // which now holds one contiguous global range.
         comm.set_phase("partition_col");
-        let col_splitters =
-            partition::determine_splitters(&grid.col, &mid.set, &self.cfg.partition, None, None);
+        let col_splitters = partition::determine_splitters(&grid.col, &mid.set, &pcfg, None, None);
         comm.set_phase("exchange_col");
-        let runs = engine.exchange_by_splitters(
+        engine.exchange_merge_by_splitters(
             &grid.col,
             &ExchangePayload {
                 set: &mid.set,
@@ -155,9 +160,8 @@ impl DistSorter for Ms2l {
             },
             &col_splitters,
             tie_break,
-        );
-        comm.set_phase("merge_col");
-        merge_received_lcp(runs)
+            Some("merge_col"),
+        )
     }
 }
 

@@ -18,6 +18,7 @@
 //! with hQuick, after which the p−1 order statistics at ranks v, 2v, … are
 //! extracted and gossiped to everyone.
 
+use crate::exchange::ExchangeMode;
 use crate::hquick;
 use dss_codec::wire;
 use dss_net::Comm;
@@ -55,6 +56,11 @@ pub struct PartitionConfig {
     /// breaking techniques". Sortedness is preserved because the spread
     /// strings are all equal.
     pub duplicate_tie_break: bool,
+    /// Exchange mode of the distributed sample sort's placement scatter
+    /// (defaults to the `DSS_EXCHANGE_MODE` knob). The `DistSorter`
+    /// implementations keep this in lockstep with their own `mode`, so
+    /// one algorithm run moves *all* its data in a single mode.
+    pub mode: ExchangeMode,
 }
 
 impl Default for PartitionConfig {
@@ -65,6 +71,7 @@ impl Default for PartitionConfig {
             central_sample_sort: false,
             random_sampling: false,
             duplicate_tie_break: false,
+            mode: ExchangeMode::default(),
         }
     }
 }
@@ -168,8 +175,13 @@ fn decode_set(buf: &[u8]) -> StringSet {
 /// Sorts the global sample and selects + gossips the p−1 splitters.
 ///
 /// Returns the splitters as a sorted `StringSet` (identical on every PE).
-pub fn select_splitters(comm: &Comm, local_sample: StringSet, central: bool) -> StringSet {
-    select_k_splitters(comm, local_sample, comm.size(), central)
+pub fn select_splitters(
+    comm: &Comm,
+    local_sample: StringSet,
+    central: bool,
+    mode: ExchangeMode,
+) -> StringSet {
+    select_k_splitters(comm, local_sample, comm.size(), central, mode)
 }
 
 /// k-way generalization of [`select_splitters`]: sorts the global sample
@@ -185,6 +197,7 @@ pub fn select_k_splitters(
     local_sample: StringSet,
     k: usize,
     central: bool,
+    mode: ExchangeMode,
 ) -> StringSet {
     if k <= 1 {
         return StringSet::new();
@@ -215,7 +228,7 @@ pub fn select_k_splitters(
     } else {
         // Distributed: hQuick-sort the sample, then extract the order
         // statistics at global ranks j·s/k and gossip them.
-        let sorted = hquick::sort_for_samples(comm, local_sample);
+        let sorted = hquick::sort_for_samples(comm, local_sample, mode);
         let (prefix, total) = comm.exclusive_scan_sum_u64(sorted.len() as u64);
         let mut mine = StringSet::new();
         let mut ranks: Vec<u64> = Vec::new();
@@ -370,7 +383,7 @@ pub fn determine_splitters_for(
     // When sampling truncated strings (PDMS), comparing full local strings
     // against truncated splitters is safe since truncation preserves order
     // (splitters are distinguishing prefixes).
-    select_k_splitters(comm, sample, k, cfg.central_sample_sort)
+    select_k_splitters(comm, sample, k, cfg.central_sample_sort, cfg.mode)
 }
 
 /// Full partitioning step: sample, sort sample, select splitters, compute
@@ -579,7 +592,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(55 + comm.rank() as u64);
             let set = sorted_set(&mut rng, 64, 6);
             let sample = draw_sample(&set, 4, SamplingPolicy::Strings, None, None, None);
-            let splitters = select_splitters(comm, sample, false);
+            let splitters = select_splitters(comm, sample, false, ExchangeMode::default());
             splitters.to_vecs()
         });
         for v in &res.values {

@@ -17,7 +17,7 @@
 //! PDMS-Golomb Golomb-codes the fingerprint traffic of the duplicate
 //! detection; plain PDMS ships raw fingerprints (§VII-C).
 
-use crate::exchange::{merge_received_lcp, ExchangeCodec, ExchangePayload, StringAllToAll};
+use crate::exchange::{ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll};
 use crate::output::{origin_tag, SortedRun};
 use crate::partition::{self, PartitionConfig};
 use crate::DistSorter;
@@ -39,6 +39,9 @@ pub struct PdmsConfig {
     pub partition: PartitionConfig,
     /// Difference-code LCPs on the wire (§VI-B extension).
     pub delta_lcps: bool,
+    /// Blocking or pipelined exchange (defaults to the
+    /// `DSS_EXCHANGE_MODE` knob).
+    pub mode: ExchangeMode,
 }
 
 /// Distributed Prefix-Doubling String Merge Sort.
@@ -100,13 +103,12 @@ impl DistSorter for Pdms {
         // approximate distinguishing prefix lengths when requested.
         comm.set_phase("partition");
         let weights = approx.clone();
-        let splitters = partition::determine_splitters(
-            comm,
-            &input,
-            &self.cfg.partition,
-            Some(&weights),
-            Some(&trunc),
-        );
+        // One mode for every byte this run moves: the sample sort's
+        // scatter follows the algorithm's exchange mode.
+        let mut pcfg = self.cfg.partition;
+        pcfg.mode = self.cfg.mode;
+        let splitters =
+            partition::determine_splitters(comm, &input, &pcfg, Some(&weights), Some(&trunc));
 
         // Step 3: exchange only the distinguishing prefixes, tagged with
         // their origin, LCP-compressed.
@@ -119,8 +121,10 @@ impl DistSorter for Pdms {
         } else {
             ExchangeCodec::LcpCompressed
         };
-        let mut engine = StringAllToAll::new(codec);
-        let runs = engine.exchange_by_splitters(
+        let mut engine = StringAllToAll::with_mode(codec, self.cfg.mode);
+        // Step 4 rides along: the LCP loser-tree merge of the prefix runs
+        // (overlapped with the transfers in pipelined mode).
+        let mut out = engine.exchange_merge_by_splitters(
             comm,
             &ExchangePayload {
                 set: &input,
@@ -130,11 +134,8 @@ impl DistSorter for Pdms {
             },
             &splitters,
             self.cfg.partition.duplicate_tie_break,
+            Some("merge"),
         );
-
-        // Step 4: LCP loser-tree merge of the prefix runs.
-        comm.set_phase("merge");
-        let mut out = merge_received_lcp(runs);
         out.local_store = Some(input);
         out
     }

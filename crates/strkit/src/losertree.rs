@@ -74,6 +74,37 @@ pub struct MergeOutput {
 
 const NONE_STREAM: u32 = u32::MAX;
 
+/// Minimum leaf count at which the loser trees precompute the per-leaf
+/// replay paths (the node indices from each leaf's parent to the root).
+/// Below it the division chain in [`LcpLoserTree::pop`]/[`LoserTree::pop`]
+/// is computed on the fly — a path of ≤ 1 node is cheaper to derive than
+/// to look up.
+///
+/// Single source of truth for this guard, like
+/// [`crate::sort::RADIX16_MIN`]: change the constant here, never inline
+/// the value at a use site.
+pub const LOSER_PATH_CACHE_MIN: usize = 4;
+
+/// Flat per-leaf replay paths: entry `w·d + i` is the `i`-th internal
+/// node on leaf `w`'s leaf-to-root path (`d = log₂ k`; `k` is a power of
+/// two, so every path has exactly `d` nodes). Empty below
+/// [`LOSER_PATH_CACHE_MIN`].
+fn build_paths(k: usize) -> Vec<u32> {
+    if k < LOSER_PATH_CACHE_MIN {
+        return Vec::new();
+    }
+    let d = k.trailing_zeros() as usize;
+    let mut paths = Vec::with_capacity(k * d);
+    for w in 0..k {
+        let mut v = (k + w) / 2;
+        for _ in 0..d {
+            paths.push(v as u32);
+            v /= 2;
+        }
+    }
+    paths
+}
+
 /// The LCP-aware K-way loser tree.
 pub struct LcpLoserTree<'a> {
     runs: Vec<MergeRun<'a>>,
@@ -87,6 +118,8 @@ pub struct LcpLoserTree<'a> {
     pos: Vec<usize>,
     /// Per-stream candidate LCP (see module invariant).
     h: Vec<u32>,
+    /// Cached leaf-to-root replay paths (see [`build_paths`]).
+    paths: Vec<u32>,
     stats: MergeStats,
     total: usize,
     total_chars: usize,
@@ -118,6 +151,7 @@ impl<'a> LcpLoserTree<'a> {
             winner: NONE_STREAM,
             pos: vec![0; k],
             h: vec![0; k],
+            paths: build_paths(k),
             runs,
             stats: MergeStats::default(),
             total,
@@ -202,22 +236,38 @@ impl<'a> LcpLoserTree<'a> {
         } else {
             0
         };
-        // Replay the path from w's leaf to the root.
+        // Replay the path from w's leaf to the root (cached above
+        // `LOSER_PATH_CACHE_MIN` leaves, derived on the fly below it).
         let mut cur = w;
-        let mut v = (self.k + w as usize) / 2;
-        while v >= 1 {
-            let challenger = self.loser[v];
-            let (win, lose) = if challenger == NONE_STREAM {
-                (cur, challenger)
-            } else {
-                self.play(cur, challenger)
-            };
-            self.loser[v] = lose;
-            cur = win;
-            v /= 2;
+        if self.paths.is_empty() {
+            let mut v = (self.k + w as usize) / 2;
+            while v >= 1 {
+                cur = self.replay_node(cur, v);
+                v /= 2;
+            }
+        } else {
+            let d = self.k.trailing_zeros() as usize;
+            let base = w as usize * d;
+            for i in base..base + d {
+                let v = self.paths[i] as usize;
+                cur = self.replay_node(cur, v);
+            }
         }
         self.winner = cur;
         Some((out, out_h, w, idx as u32))
+    }
+
+    /// One replay comparison at internal node `v`; returns the winner.
+    #[inline]
+    fn replay_node(&mut self, cur: u32, v: usize) -> u32 {
+        let challenger = self.loser[v];
+        let (win, lose) = if challenger == NONE_STREAM {
+            (cur, challenger)
+        } else {
+            self.play(cur, challenger)
+        };
+        self.loser[v] = lose;
+        win
     }
 
     /// Drains the tree, appending every string to `out` (pre-reserved to
@@ -251,6 +301,8 @@ pub struct LoserTree<'a> {
     loser: Vec<u32>,
     winner: u32,
     pos: Vec<usize>,
+    /// Cached leaf-to-root replay paths (see [`build_paths`]).
+    paths: Vec<u32>,
     stats: MergeStats,
     total: usize,
     total_chars: usize,
@@ -266,6 +318,7 @@ impl<'a> LoserTree<'a> {
             loser: vec![NONE_STREAM; k],
             winner: NONE_STREAM,
             pos: vec![0; k],
+            paths: build_paths(k),
             runs,
             stats: MergeStats::default(),
             total,
@@ -321,20 +374,35 @@ impl<'a> LoserTree<'a> {
         let idx = self.pos[w as usize];
         self.pos[w as usize] += 1;
         let mut cur = w;
-        let mut v = (self.k + w as usize) / 2;
-        while v >= 1 {
-            let challenger = self.loser[v];
-            let (win, lose) = if challenger == NONE_STREAM {
-                (cur, challenger)
-            } else {
-                self.play(cur, challenger)
-            };
-            self.loser[v] = lose;
-            cur = win;
-            v /= 2;
+        if self.paths.is_empty() {
+            let mut v = (self.k + w as usize) / 2;
+            while v >= 1 {
+                cur = self.replay_node(cur, v);
+                v /= 2;
+            }
+        } else {
+            let d = self.k.trailing_zeros() as usize;
+            let base = w as usize * d;
+            for i in base..base + d {
+                let v = self.paths[i] as usize;
+                cur = self.replay_node(cur, v);
+            }
         }
         self.winner = cur;
         Some((out, w, idx as u32))
+    }
+
+    /// One replay comparison at internal node `v`; returns the winner.
+    #[inline]
+    fn replay_node(&mut self, cur: u32, v: usize) -> u32 {
+        let challenger = self.loser[v];
+        let (win, lose) = if challenger == NONE_STREAM {
+            (cur, challenger)
+        } else {
+            self.play(cur, challenger)
+        };
+        self.loser[v] = lose;
+        win
     }
 
     /// Drains the tree, appending every string to `out` (pre-reserved to
@@ -456,6 +524,55 @@ mod tests {
         ];
         let (_, res) = merge_groups(groups, true);
         assert_eq!(res.sources, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    /// The cached replay paths must be exactly the division chain the
+    /// uncached `pop` walks, for every leaf — and must stay off below the
+    /// threshold (where they would cost more than they save).
+    #[test]
+    fn path_cache_matches_division_chain() {
+        for k in [1usize, 2, 4, 8, 16, 64] {
+            let paths = build_paths(k);
+            if k < LOSER_PATH_CACHE_MIN {
+                assert!(paths.is_empty(), "k={k} below threshold must not cache");
+                continue;
+            }
+            let d = k.trailing_zeros() as usize;
+            assert_eq!(paths.len(), k * d, "k={k}");
+            for w in 0..k {
+                let mut expect = Vec::new();
+                let mut v = (k + w) / 2;
+                while v >= 1 {
+                    expect.push(v as u32);
+                    v /= 2;
+                }
+                assert_eq!(&paths[w * d..(w + 1) * d], &expect[..], "k={k} leaf {w}");
+            }
+        }
+    }
+
+    /// A merge wide enough to engage the path cache in both trees (16
+    /// runs ⇒ k = 16 ≥ `LOSER_PATH_CACHE_MIN`) still sorts and produces
+    /// an exact LCP array.
+    #[test]
+    fn wide_merge_exercises_cached_paths() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let groups: Vec<Vec<Vec<u8>>> = (0..16)
+            .map(|_| {
+                (0..40)
+                    .map(|_| {
+                        let len = rng.gen_range(0..9);
+                        (0..len).map(|_| rng.gen_range(b'a'..=b'd')).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let expect = expect_sorted(&groups);
+        let (out_lcp, res_lcp) = merge_groups(groups.clone(), true);
+        let (out_plain, _) = merge_groups(groups, false);
+        assert_eq!(out_lcp.to_vecs(), expect);
+        assert_eq!(out_plain.to_vecs(), expect);
+        verify_lcp_array(&out_lcp, res_lcp.lcps.as_ref().unwrap()).unwrap();
     }
 
     #[test]

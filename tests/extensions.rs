@@ -102,6 +102,7 @@ fn pdms_with_all_extensions_sorts() {
             ..PartitionConfig::default()
         },
         delta_lcps: true,
+        ..PdmsConfig::default()
     });
     sort_and_check(&sorter, &shards);
 }

@@ -1,0 +1,164 @@
+//! Pipelined vs blocking equivalence: for every algorithm, the pipelined
+//! exchange must produce *byte-identical* per-PE output — strings, LCP
+//! arrays and origin tags alike — and, for the acceptance pin, identical
+//! wire accounting on the MS2L 4×4 grid.
+
+use distributed_string_sorting::prelude::*;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        recv_timeout: Duration::from_secs(60),
+        ..RunConfig::default()
+    }
+}
+
+/// Runs `alg` over the given shards in the given mode and returns every
+/// observable output component per PE.
+type PeOutput = (
+    Vec<Vec<u8>>,
+    Option<Vec<u32>>,
+    Option<Vec<u64>>,
+    Option<Vec<Vec<u8>>>,
+);
+
+fn run_mode(alg: Algorithm, shards: &[Vec<Vec<u8>>], mode: ExchangeMode) -> Vec<PeOutput> {
+    let res = run_spmd(shards.len(), cfg(), move |comm| {
+        let set = StringSet::from_iter_bytes(shards[comm.rank()].iter().map(|s| s.as_slice()));
+        let input = set.clone();
+        let out = alg.instance_with_mode(mode).sort(comm, set);
+        check_distributed_sort(comm, &input, &out)
+            .unwrap_or_else(|e| panic!("{} ({}) checker: {e}", alg.label(), mode.label()));
+        (
+            out.set.to_vecs(),
+            out.lcps,
+            out.origins,
+            out.local_store.map(|s| s.to_vecs()),
+        )
+    });
+    res.values
+}
+
+fn assert_equivalent(alg: Algorithm, shards: &[Vec<Vec<u8>>]) {
+    let blocking = run_mode(alg, shards, ExchangeMode::Blocking);
+    let pipelined = run_mode(alg, shards, ExchangeMode::Pipelined);
+    for (pe, (b, p)) in blocking.iter().zip(&pipelined).enumerate() {
+        assert_eq!(b.0, p.0, "{}: strings differ on PE {pe}", alg.label());
+        assert_eq!(b.1, p.1, "{}: LCP arrays differ on PE {pe}", alg.label());
+        assert_eq!(b.2, p.2, "{}: origins differ on PE {pe}", alg.label());
+        assert_eq!(b.3, p.3, "{}: local stores differ on PE {pe}", alg.label());
+    }
+}
+
+/// Deterministic shard builder driven by a proptest-drawn seed, covering
+/// duplicates, empties and shared prefixes.
+fn build_shards(p: usize, n_per_pe: usize, seed: u64) -> Vec<Vec<Vec<u8>>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..p)
+        .map(|_| {
+            (0..n_per_pe)
+                .map(|_| {
+                    let kind = next() % 10;
+                    if kind < 2 {
+                        // Duplicate-heavy hot strings (tie-break stress).
+                        format!("dup{}", next() % 3).into_bytes()
+                    } else if kind < 3 {
+                        Vec::new()
+                    } else {
+                        let len = (next() % 12) as usize;
+                        (0..len).map(|_| b'a' + (next() % 5) as u8).collect()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every algorithm that supports the mode switch (all seven) yields
+    /// identical output in both modes, on random duplicate- and
+    /// empty-laden shard sets over several PE counts.
+    #[test]
+    fn pipelined_output_equals_blocking_for_every_algorithm(
+        seed in any::<u64>(),
+        p in 2usize..7,
+        n_per_pe in 10usize..40,
+    ) {
+        let shards = build_shards(p, n_per_pe, seed);
+        for alg in Algorithm::all_extended() {
+            assert_equivalent(alg, &shards);
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_on_degenerate_inputs() {
+    // All-duplicate and all-empty inputs, the classic tie-break traps.
+    let dup: Vec<Vec<Vec<u8>>> = (0..4).map(|_| vec![b"boiler".to_vec(); 40]).collect();
+    let empty: Vec<Vec<Vec<u8>>> = (0..4).map(|_| Vec::new()).collect();
+    for alg in Algorithm::all_extended() {
+        assert_equivalent(alg, &dup);
+        assert_equivalent(alg, &empty);
+    }
+}
+
+/// The acceptance pin: a pipelined MS2L run on a 4×4 grid still contacts
+/// exactly (r − 1) + (c − 1) = 6 exchange partners per PE and puts the
+/// identical number of bytes on the wire as the blocking run.
+#[test]
+fn pipelined_ms2l_4x4_keeps_partner_count_and_total_bytes() {
+    let p = 16usize;
+    let (r, c) = distributed_string_sorting::net::grid_dims(p).expect("16 has a grid");
+    assert_eq!((r, c), (4, 4));
+    let shards = build_shards(p, 50, 0xA11_70A11);
+
+    let stats_of = |mode: ExchangeMode| {
+        let shards = shards.clone();
+        let res = run_spmd(p, cfg(), move |comm| {
+            let set = StringSet::from_iter_bytes(shards[comm.rank()].iter().map(|s| s.as_slice()));
+            let _ = Algorithm::Ms2l.instance_with_mode(mode).sort(comm, set);
+        });
+        res.stats
+    };
+    let blocking = stats_of(ExchangeMode::Blocking);
+    let pipelined = stats_of(ExchangeMode::Pipelined);
+
+    let exchange_partners = |stats: &NetStats| -> u64 {
+        stats
+            .phases
+            .iter()
+            .filter(|ph| matches!(ph.name.as_str(), "exchange_row" | "exchange_col"))
+            .map(|ph| ph.max.msgs_sent)
+            .sum()
+    };
+    assert_eq!(
+        exchange_partners(&pipelined),
+        (r as u64 - 1) + (c as u64 - 1),
+        "pipelined MS2L exchange partners per PE"
+    );
+    assert_eq!(
+        exchange_partners(&pipelined),
+        exchange_partners(&blocking),
+        "partner count must not depend on the mode"
+    );
+    assert_eq!(
+        pipelined.total_bytes_sent(),
+        blocking.total_bytes_sent(),
+        "pipelining must not change a single wire byte"
+    );
+    // Latency-round accounting matches phase by phase, too.
+    for (bp, pp) in blocking.phases.iter().zip(&pipelined.phases) {
+        assert_eq!(bp.name, pp.name, "phase order");
+        assert_eq!(bp.max.rounds, pp.max.rounds, "rounds in {}", bp.name);
+        assert_eq!(bp.max.bytes_sent, pp.max.bytes_sent, "bytes in {}", bp.name);
+    }
+}
