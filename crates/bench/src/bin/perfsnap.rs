@@ -9,7 +9,9 @@
 //! Flags: `--label STR`, `--out FILE` (default `BENCH_perfsnap.json`),
 //! `--smoke` (tiny cells, no file write unless `--out` given),
 //! `--mode blocking|pipelined` (forces the exchange mode for the whole
-//! run, recorded in the snapshot's `config.exchange_mode`), plus the
+//! run, recorded in the snapshot's `config.exchange_mode`),
+//! `--threads N` (forces `DSS_THREADS` for the whole run and sizes the
+//! `par-sort`/`par-merge` cells, recorded in `config.threads`), plus the
 //! sizing overrides `--seq-n`, `--dist-n`, `--pes`, `--reps`, `--seed`.
 //!
 //! The binary installs a counting global allocator so every cell reports
@@ -69,6 +71,17 @@ fn main() {
             "--mode must be 'blocking' or 'pipelined', got '{mode}'"
         );
         std::env::set_var("DSS_EXCHANGE_MODE", &mode);
+    }
+    // Same discipline for the thread knob: validate and export before the
+    // first `threads_from_env` call caches it, so the distributed cells'
+    // default-configured sorters run at the requested thread count too.
+    let threads = args.get_str("threads", "");
+    if !threads.is_empty() {
+        assert!(
+            threads.trim().parse::<usize>().is_ok_and(|t| t >= 1),
+            "--threads must be a positive integer, got '{threads}'"
+        );
+        std::env::set_var("DSS_THREADS", threads.trim());
     }
     let cfg = SnapConfig::from_args(&args);
     let label = args.get_str(

@@ -21,7 +21,8 @@ use dss_gen::Workload;
 use dss_net::runner::{run_spmd, RunConfig};
 use dss_sort::exchange::{merge_received_lcp, ExchangeCodec, ExchangePayload, StringAllToAll};
 use dss_sort::Algorithm;
-use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::losertree::{parallel_lcp_merge_into, MergeRun};
+use dss_strkit::sort::{par_sort_with_lcp, sort_with_lcp};
 use dss_strkit::StringSet;
 use std::time::{Duration, Instant};
 
@@ -177,6 +178,11 @@ pub struct SnapConfig {
     /// many characters before sorting (0 = off). Isolates the cost of the
     /// first sort levels when chasing a regression.
     pub truncate: u32,
+    /// Shared-memory threads of the `par-sort` / `par-merge` cells (the
+    /// `seq-sort` / `merge` cells always run at 1 thread, so every
+    /// snapshot carries a 1-vs-N comparison). Recorded in the snapshot
+    /// config.
+    pub threads: usize,
 }
 
 impl SnapConfig {
@@ -189,6 +195,7 @@ impl SnapConfig {
             reps: 3,
             seed: 0xBA5E,
             truncate: 0,
+            threads: default_threads(),
         }
     }
 
@@ -201,11 +208,12 @@ impl SnapConfig {
             reps: 1,
             seed: 0xBA5E,
             truncate: 0,
+            threads: default_threads(),
         }
     }
 
     /// Builds the config from command-line flags (`--smoke`, `--seq-n`,
-    /// `--dist-n`, `--pes`, `--reps`, `--seed`).
+    /// `--dist-n`, `--pes`, `--reps`, `--seed`, `--threads`).
     pub fn from_args(args: &Args) -> Self {
         let base = if args.has("smoke") {
             Self::smoke()
@@ -219,8 +227,20 @@ impl SnapConfig {
             reps: args.get("reps", base.reps).max(1),
             seed: args.get("seed", base.seed),
             truncate: args.get("truncate", base.truncate),
+            threads: args.get("threads", base.threads).max(1),
         }
     }
+}
+
+/// Default N for the parallel cells: the host's core count, at least 2 so
+/// the 1-vs-N comparison is never degenerate (on a 1-core host the
+/// parallel cells still exercise the work-stealing scheduler, they just
+/// cannot be faster — snapshot labels should carry the caveat).
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
 }
 
 fn run_cfg() -> RunConfig {
@@ -259,6 +279,105 @@ pub fn seq_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Cell {
             wall,
             mb_per_s: throughput(chars, wall),
             chars_accessed: Some(stats.chars_accessed),
+            bytes_per_string: None,
+            allocs: a1 - a0,
+            alloc_bytes: b1 - b0,
+        };
+        if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
+            best = Some(cell);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Measures the work-stealing parallel local sort at `cfg.threads` on the
+/// same shard as [`seq_cell`] — the 1-vs-N thread comparison row (output
+/// is byte-identical to `seq-sort`, only the wall time may differ).
+pub fn par_sort_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Cell {
+    let mut best: Option<Cell> = None;
+    for _ in 0..cfg.reps {
+        let mut set = w.generate(0, 1, cfg.seed, cfg.seq_n);
+        if cfg.truncate > 0 {
+            for i in 0..set.len() {
+                set.truncate_str(i, cfg.truncate);
+            }
+        }
+        let (n, chars) = (set.len(), set.num_chars());
+        let (a0, b0) = probe();
+        let t0 = Instant::now();
+        let (lcps, stats) = par_sort_with_lcp(&mut set, cfg.threads);
+        let wall = t0.elapsed();
+        let (a1, b1) = probe();
+        assert_eq!(lcps.len(), n);
+        let cell = Cell {
+            workload: w.label(),
+            algo: "par-sort",
+            n,
+            chars,
+            wall,
+            mb_per_s: throughput(chars, wall),
+            chars_accessed: Some(stats.chars_accessed),
+            bytes_per_string: None,
+            allocs: a1 - a0,
+            alloc_bytes: b1 - b0,
+        };
+        if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
+            best = Some(cell);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Measures a local k-way LCP merge of `cfg.p` pre-sorted runs drawn from
+/// the workload, at the given thread count — `merge` (1 thread, the
+/// sequential loser tree) and `par-merge` (`cfg.threads`, the range-split
+/// parallel tree) rows. No simulator involved: this is the pure merge
+/// kernel both exchange paths route through.
+pub fn merge_cell(
+    w: SnapWorkload,
+    cfg: &SnapConfig,
+    probe: AllocProbe,
+    threads: usize,
+    algo: &'static str,
+) -> Cell {
+    let k = cfg.p.max(2);
+    let runs_data: Vec<(StringSet, Vec<u32>)> = (0..k)
+        .map(|r| {
+            let mut set = w.generate(r, k, cfg.seed ^ 0x3E6, cfg.seq_n / k);
+            let (lcps, _) = sort_with_lcp(&mut set);
+            (set, lcps)
+        })
+        .collect();
+    let views: Vec<MergeRun<'_>> = runs_data
+        .iter()
+        .map(|(set, lcps)| MergeRun {
+            arena: set.arena(),
+            refs: set.refs(),
+            lcps,
+        })
+        .collect();
+    let (n, chars) = (
+        runs_data.iter().map(|(s, _)| s.len()).sum::<usize>(),
+        runs_data.iter().map(|(s, _)| s.num_chars()).sum::<usize>(),
+    );
+    let mut best: Option<Cell> = None;
+    for _ in 0..cfg.reps {
+        let mut out = StringSet::new();
+        let (a0, b0) = probe();
+        let t0 = Instant::now();
+        let merged = parallel_lcp_merge_into(&views, &mut out, threads);
+        let wall = t0.elapsed();
+        let (a1, b1) = probe();
+        assert_eq!(out.len(), n);
+        assert_eq!(merged.lcps.as_ref().map(Vec::len), Some(n));
+        let cell = Cell {
+            workload: w.label(),
+            algo,
+            n,
+            chars,
+            wall,
+            mb_per_s: throughput(chars, wall),
+            chars_accessed: None,
             bytes_per_string: None,
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
@@ -369,7 +488,7 @@ pub fn exchange_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
             let before = (comm.rank() == 0).then(probe);
             let t0 = Instant::now();
             let runs = engine.exchange_by_splitters(comm, &payload, &splitters, false);
-            let merged = merge_received_lcp(runs);
+            let merged = merge_received_lcp(runs, 1);
             let wall = t0.elapsed();
             comm.barrier();
             let (da, db) = match before {
@@ -438,6 +557,18 @@ pub fn run_snapshot_filtered(cfg: &SnapConfig, probe: AllocProbe, filter: &str) 
             eprintln!("perfsnap: {} / seq-sort", w.label());
             cells.push(seq_cell(w, cfg, probe));
         }
+        if want(w, "par-sort") {
+            eprintln!("perfsnap: {} / par-sort (t={})", w.label(), cfg.threads);
+            cells.push(par_sort_cell(w, cfg, probe));
+        }
+        if want(w, "merge") {
+            eprintln!("perfsnap: {} / merge", w.label());
+            cells.push(merge_cell(w, cfg, probe, 1, "merge"));
+        }
+        if want(w, "par-merge") {
+            eprintln!("perfsnap: {} / par-merge (t={})", w.label(), cfg.threads);
+            cells.push(merge_cell(w, cfg, probe, cfg.threads, "par-merge"));
+        }
         for alg in [
             Algorithm::Ms,
             Algorithm::MsSimple,
@@ -477,13 +608,14 @@ pub fn snapshot_json(label: &str, cfg: &SnapConfig, cells: &[Cell]) -> String {
     out.push_str("  {\n");
     out.push_str(&format!("    \"label\": \"{}\",\n", json_escape(label)));
     out.push_str(&format!(
-        "    \"config\": {{\"seq_n\": {}, \"dist_n_per_pe\": {}, \"p\": {}, \"reps\": {}, \"seed\": {}, \"exchange_mode\": \"{}\"}},\n",
+        "    \"config\": {{\"seq_n\": {}, \"dist_n_per_pe\": {}, \"p\": {}, \"reps\": {}, \"seed\": {}, \"exchange_mode\": \"{}\", \"threads\": {}}},\n",
         cfg.seq_n,
         cfg.dist_n_per_pe,
         cfg.p,
         cfg.reps,
         cfg.seed,
-        dss_sort::ExchangeMode::from_env().label()
+        dss_sort::ExchangeMode::from_env().label(),
+        cfg.threads
     ));
     out.push_str("    \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -552,10 +684,12 @@ mod tests {
             reps: 1,
             seed: 1,
             truncate: 0,
+            threads: 2,
         };
         let cells = run_snapshot(&cfg, no_probe);
-        // seq-sort + 6 distributed algorithms + the exchange micro-cell.
-        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 8);
+        // seq-sort + par-sort + merge + par-merge + 6 distributed
+        // algorithms + the exchange micro-cell.
+        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 11);
         for c in &cells {
             assert!(c.n > 0, "{}/{} empty", c.workload, c.algo);
             assert!(c.mb_per_s > 0.0);

@@ -15,18 +15,24 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-/// Oversubscription correction for compute-time accounting: with `p` PE
-/// threads on this host's cores, wall-clock compute spans overstate CPU
-/// use by `p / cores`, so they are scaled by `min(1, cores / p)`.
+/// Oversubscription correction for compute-time accounting: with `p` PEs
+/// of `threads_per_pe` worker threads each on this host's cores,
+/// wall-clock compute spans overstate CPU use by `p·t / cores`, so they
+/// are scaled by `min(1, cores / (p·t))`.
+///
+/// The threads-per-PE factor matters: a PE running a `t`-way parallel
+/// local sort occupies `t` hardware threads for the span's duration, so
+/// assuming one thread per PE (the old signature) would silently
+/// overstate compute the moment PEs go multi-threaded.
 ///
 /// Timing-sensitive tests must scale their compute/overlap assertions by
 /// this factor instead of assuming real concurrency — on a 1-core host
 /// every "parallel" phase is in fact time-sliced.
-pub fn oversub_scale(p: usize) -> f64 {
+pub fn oversub_scale(p: usize, threads_per_pe: usize) -> f64 {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    (cores as f64 / p as f64).min(1.0)
+    (cores as f64 / (p * threads_per_pe.max(1)) as f64).min(1.0)
 }
 
 /// Counters for one phase on one PE.
@@ -310,6 +316,28 @@ impl NetStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pins the oversubscription formula `min(1, cores / (p·t))` against
+    /// the host's actual core count — valid on any machine, including
+    /// 1-core hosts (where every scale with p·t > 1 shrinks below 1).
+    #[test]
+    fn oversub_scale_accounts_for_threads_per_pe() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1) as f64;
+        for (p, t) in [(1, 1), (2, 1), (1, 4), (2, 4), (4, 8), (16, 16)] {
+            let want = (cores / (p * t) as f64).min(1.0);
+            let got = oversub_scale(p, t);
+            assert!((got - want).abs() < 1e-12, "p={p} t={t}: {got} vs {want}");
+        }
+        // t worker threads per PE must shrink the correction exactly as if
+        // there were p·t single-threaded PEs.
+        assert_eq!(oversub_scale(2, 4).to_bits(), oversub_scale(8, 1).to_bits());
+        // A zero thread count is treated as 1 (defensive; validated knobs
+        // never produce it).
+        assert_eq!(oversub_scale(2, 0).to_bits(), oversub_scale(2, 1).to_bits());
+        assert!(oversub_scale(1, 1) <= 1.0 && oversub_scale(1, 1) > 0.0);
+    }
 
     #[test]
     fn phases_accumulate_in_order() {

@@ -22,6 +22,12 @@ pub struct RunConfig {
     pub recv_timeout: Duration,
     /// Stack size per PE thread.
     pub stack_size: usize,
+    /// Worker threads each PE uses for its local phases; feeds the
+    /// oversubscription correction `min(1, cores / (p·t))` applied to
+    /// compute-time accounting (see [`crate::metrics::oversub_scale`]).
+    /// Defaults to the `DSS_THREADS` knob, matching what the sorters'
+    /// default configurations actually spawn.
+    pub threads_per_pe: usize,
 }
 
 impl Default for RunConfig {
@@ -30,6 +36,7 @@ impl Default for RunConfig {
             seed: 0xD55_C0DE,
             recv_timeout: Duration::from_secs(120),
             stack_size: 4 << 20,
+            threads_per_pe: dss_strkit::sort::threads_from_env(),
         }
     }
 }
@@ -64,8 +71,8 @@ where
     }
     let world = Arc::new(WorldShared { senders, size: p });
     // Oversubscription correction for compute-time accounting (see
-    // `metrics::oversub_scale`).
-    let oversub_scale = crate::metrics::oversub_scale(p);
+    // `metrics::oversub_scale`): p PEs × the worker threads each spawns.
+    let oversub_scale = crate::metrics::oversub_scale(p, cfg.threads_per_pe);
     let f = &f;
     let outcome: Vec<(T, PeMetrics)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = receivers
@@ -135,6 +142,9 @@ mod tests {
     fn cfg() -> RunConfig {
         RunConfig {
             recv_timeout: Duration::from_secs(20),
+            // These test closures are single-threaded; pin the accounting
+            // scale so assertions don't depend on the DSS_THREADS default.
+            threads_per_pe: 1,
             ..RunConfig::default()
         }
     }
@@ -419,13 +429,60 @@ mod tests {
             .iter()
             .find(|p| p.name == "spin")
             .expect("phase");
-        // Compute spans are scaled by cores/p when the host oversubscribes;
-        // apply the same scale to the bound so the test is meaningful on
-        // any machine, including 1-core hosts.
-        let want = (15_000_000f64 * crate::metrics::oversub_scale(2)) as u64;
+        // Compute spans are scaled by cores/(p·t) when the host
+        // oversubscribes; apply the same scale to the bound so the test is
+        // meaningful on any machine, including 1-core hosts.
+        let want = (15_000_000f64 * crate::metrics::oversub_scale(2, 1)) as u64;
         assert!(
             phase.max.compute_ns >= want,
             "compute {}ns, want >= {want}ns",
+            phase.max.compute_ns
+        );
+    }
+
+    /// With `threads_per_pe` configured, compute attribution shrinks by
+    /// exactly the extra oversubscription factor: the same single-threaded
+    /// spin is charged `min(1, cores/(p·t))` of its wall time. Scaled
+    /// bounds keep this green on 1-core hosts.
+    #[test]
+    fn compute_attribution_scales_with_threads_per_pe() {
+        let spin = |comm: &mut crate::comm::Comm| {
+            comm.set_phase("spin");
+            let t = Instant::now();
+            while t.elapsed() < Duration::from_millis(20) {
+                std::hint::spin_loop();
+            }
+            comm.barrier();
+        };
+        let threaded = run_spmd(
+            2,
+            RunConfig {
+                threads_per_pe: 4,
+                ..cfg()
+            },
+            spin,
+        );
+        let phase = threaded
+            .stats
+            .phases
+            .iter()
+            .find(|p| p.name == "spin")
+            .expect("phase");
+        let scale = crate::metrics::oversub_scale(2, 4);
+        let want_min = (15_000_000f64 * scale) as u64;
+        // Upper bound uses the single-thread scale: a 4-thread-per-PE run
+        // must be charged at most what a 1-thread run would be (strictly
+        // less whenever the host has fewer than 8 cores), plus slack for
+        // scheduling noise on the 20 ms spin.
+        let want_max = (90_000_000f64 * crate::metrics::oversub_scale(2, 1)) as u64;
+        assert!(
+            phase.max.compute_ns >= want_min,
+            "compute {}ns, want >= {want_min}ns",
+            phase.max.compute_ns
+        );
+        assert!(
+            phase.max.compute_ns <= want_max,
+            "compute {}ns, want <= {want_max}ns",
             phase.max.compute_ns
         );
     }

@@ -46,7 +46,7 @@ use crate::output::SortedRun;
 use crate::partition::{bucket_bounds, bucket_bounds_tie_break};
 use dss_codec::wire::{self, DecodedRun};
 use dss_net::Comm;
-use dss_strkit::losertree::{LcpLoserTree, LoserTree, MergeRun};
+use dss_strkit::losertree::{parallel_lcp_merge_into, parallel_plain_merge_into, MergeRun};
 use dss_strkit::{StrRef, StringSet};
 use std::sync::OnceLock;
 
@@ -62,15 +62,32 @@ pub enum ExchangeMode {
     Pipelined,
 }
 
+/// Parses a `DSS_EXCHANGE_MODE` value: `blocking`/`pipelined`
+/// (case-insensitive) map to their mode, `None` (unset) defaults to
+/// [`ExchangeMode::Blocking`], and anything else **panics** with the
+/// offending value — a typo like `DSS_EXCHANGE_MODE=piplined` must not
+/// silently run the blocking path while CI believes it covered the
+/// pipelined one.
+pub fn parse_exchange_mode(raw: Option<&str>) -> ExchangeMode {
+    match raw {
+        None => ExchangeMode::Blocking,
+        Some(v) if v.eq_ignore_ascii_case("blocking") => ExchangeMode::Blocking,
+        Some(v) if v.eq_ignore_ascii_case("pipelined") => ExchangeMode::Pipelined,
+        Some(v) => panic!("DSS_EXCHANGE_MODE must be 'blocking' or 'pipelined', got '{v}'"),
+    }
+}
+
 impl ExchangeMode {
     /// The process-wide default mode: `DSS_EXCHANGE_MODE=pipelined` (or
-    /// `blocking`, the fallback), read once and cached. This is the knob
-    /// CI uses to force the whole test matrix through either path.
+    /// `blocking`, the unset default), read once and cached. This is the
+    /// knob CI uses to force the whole test matrix through either path;
+    /// unrecognized values panic (see [`parse_exchange_mode`]).
     pub fn from_env() -> ExchangeMode {
         static MODE: OnceLock<ExchangeMode> = OnceLock::new();
-        *MODE.get_or_init(|| match std::env::var("DSS_EXCHANGE_MODE").as_deref() {
-            Ok(v) if v.eq_ignore_ascii_case("pipelined") => ExchangeMode::Pipelined,
-            _ => ExchangeMode::Blocking,
+        *MODE.get_or_init(|| match std::env::var("DSS_EXCHANGE_MODE") {
+            Ok(v) => parse_exchange_mode(Some(&v)),
+            Err(std::env::VarError::NotPresent) => parse_exchange_mode(None),
+            Err(e) => panic!("DSS_EXCHANGE_MODE must be valid unicode: {e}"),
         })
     }
 
@@ -134,6 +151,9 @@ impl<'a> ExchangePayload<'a> {
 pub struct StringAllToAll {
     codec: ExchangeCodec,
     mode: ExchangeMode,
+    /// Merge threads for the fused exchange+merge entry points (routes
+    /// the k-way merges through the range-split parallel trees).
+    threads: usize,
     /// Run-local LCP scratch, reused across destinations.
     run_lcps: Vec<u32>,
     /// Pooled decode scratch ring, indexed by source PE.
@@ -142,19 +162,31 @@ pub struct StringAllToAll {
 
 impl StringAllToAll {
     /// Engine with the given wire codec and the process-default
-    /// [`ExchangeMode`] (the `DSS_EXCHANGE_MODE` knob).
+    /// [`ExchangeMode`] (the `DSS_EXCHANGE_MODE` knob). Merge threads
+    /// default to the `DSS_THREADS` knob.
     pub fn new(codec: ExchangeCodec) -> Self {
         Self::with_mode(codec, ExchangeMode::default())
     }
 
-    /// Engine with an explicit exchange mode.
+    /// Engine with an explicit exchange mode (merge threads still default
+    /// to the `DSS_THREADS` knob).
     pub fn with_mode(codec: ExchangeCodec, mode: ExchangeMode) -> Self {
         Self {
             codec,
             mode,
+            threads: dss_strkit::sort::threads_from_env(),
             run_lcps: Vec::new(),
             runs: Vec::new(),
         }
+    }
+
+    /// Sets the number of threads the fused merge paths use (the
+    /// range-split parallel loser trees; output stays byte-identical for
+    /// every thread count).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive, got 0");
+        self.threads = threads;
+        self
     }
 
     /// The wire codec this engine encodes with.
@@ -165,6 +197,11 @@ impl StringAllToAll {
     /// The exchange mode this engine moves data with.
     pub fn mode(&self) -> ExchangeMode {
         self.mode
+    }
+
+    /// The merge thread count of the fused exchange+merge entry points.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Classifies the sorted payload against `splitters` (`comm.size() − 1`
@@ -275,14 +312,15 @@ impl StringAllToAll {
         let lcp_merge = !matches!(self.codec, ExchangeCodec::Plain);
         match self.mode {
             ExchangeMode::Blocking => {
+                let threads = self.threads;
                 let runs = self.exchange_bounds(comm, payload, bounds);
                 if let Some(phase) = merge_phase {
                     comm.set_phase(phase);
                 }
                 if lcp_merge {
-                    merge_received_lcp(runs)
+                    merge_received_lcp(runs, threads)
                 } else {
-                    merge_received_plain(runs)
+                    merge_received_plain(runs, threads)
                 }
             }
             ExchangeMode::Pipelined => {
@@ -308,7 +346,7 @@ impl StringAllToAll {
         let p = comm.size();
         let lcp_merge = !matches!(self.codec, ExchangeCodec::Plain);
         self.ensure_runs(p);
-        let mut acc = SegmentAccumulator::new(lcp_merge);
+        let mut acc = SegmentAccumulator::new(lcp_merge, self.threads);
         let mut ex = comm.begin_alltoallv();
         let r = comm.rank();
         for i in 0..p {
@@ -473,6 +511,8 @@ impl StringAllToAll {
 /// produces, duplicates included.
 struct SegmentAccumulator {
     lcp_merge: bool,
+    /// Merge threads for every cascade step and the final k-way merge.
+    threads: usize,
     /// Available segments, ordered by `lo`, ranges pairwise disjoint.
     segs: Vec<Segment>,
 }
@@ -497,9 +537,10 @@ enum SegData {
 }
 
 impl SegmentAccumulator {
-    fn new(lcp_merge: bool) -> Self {
+    fn new(lcp_merge: bool, threads: usize) -> Self {
         Self {
             lcp_merge,
+            threads,
             segs: Vec::new(),
         }
     }
@@ -527,7 +568,7 @@ impl SegmentAccumulator {
                 a.hi == b.lo && a.hi - a.lo == b.hi - b.lo
             });
             let Some(i) = adjacent_equal else { break };
-            let data = merge_segments(&self.segs[i..i + 2], runs, self.lcp_merge);
+            let data = merge_segments(&self.segs[i..i + 2], runs, self.lcp_merge, self.threads);
             let (lo, hi) = (self.segs[i].lo, self.segs[i + 1].hi);
             self.segs.splice(i..i + 2, [Segment { lo, hi, data }]);
         }
@@ -541,7 +582,7 @@ impl SegmentAccumulator {
             // the identical sequence).
             self.segs.pop().expect("single segment").data
         } else {
-            merge_segments(&self.segs, runs, self.lcp_merge)
+            merge_segments(&self.segs, runs, self.lcp_merge, self.threads)
         };
         let SegData::Merged { set, lcps, origins } = data else {
             unreachable!("merge_segments always yields an owned segment");
@@ -558,7 +599,14 @@ impl SegmentAccumulator {
 /// K-way merges adjacent segments (ordered by `lo`) into one owned
 /// segment, with the same loser trees — and therefore the same
 /// stream-index tie-breaking — as `merge_received_lcp`/`_plain`.
-fn merge_segments(segs: &[Segment], runs: &[DecodedRun], lcp_merge: bool) -> SegData {
+/// `threads > 1` uses the range-split parallel trees (byte-identical
+/// output).
+fn merge_segments(
+    segs: &[Segment],
+    runs: &[DecodedRun],
+    lcp_merge: bool,
+    threads: usize,
+) -> SegData {
     let leaf_refs: Vec<Option<Vec<StrRef>>> = segs
         .iter()
         .map(|s| match &s.data {
@@ -587,9 +635,9 @@ fn merge_segments(segs: &[Segment], runs: &[DecodedRun], lcp_merge: bool) -> Seg
         .collect();
     let mut out = StringSet::new();
     let merged = if lcp_merge {
-        LcpLoserTree::new(views).merge_into(&mut out)
+        parallel_lcp_merge_into(&views, &mut out, threads)
     } else {
-        LoserTree::new(views).merge_into(&mut out)
+        parallel_plain_merge_into(&views, &mut out, threads)
     };
     let have_origins = segs.iter().all(|s| match &s.data {
         SegData::Leaf => runs[s.lo].origins.is_some(),
@@ -651,11 +699,13 @@ impl<'a, I: Iterator<Item = &'a [u8]>> Iterator for ExactIter<I> {
 
 impl<'a, I: Iterator<Item = &'a [u8]>> ExactSizeIterator for ExactIter<I> {}
 
-/// Merges received runs with the LCP loser tree. Returns the local
-/// output with its exact LCP array (and merged origin tags if present).
-/// The output arena is pre-sized to the exact run totals by `merge_into`
-/// and never reallocates mid-merge.
-pub fn merge_received_lcp(runs: &[DecodedRun]) -> SortedRun {
+/// Merges received runs with the LCP loser tree — the range-split
+/// parallel tree when `threads > 1`, with byte-identical output for
+/// every thread count. Returns the local output with its exact LCP array
+/// (and merged origin tags if present). On the sequential path
+/// (`threads == 1` or small inputs) the output arena is pre-sized to the
+/// exact run totals by `merge_into` and never reallocates mid-merge.
+pub fn merge_received_lcp(runs: &[DecodedRun], threads: usize) -> SortedRun {
     let ref_vecs: Vec<Vec<StrRef>> = runs.iter().map(run_refs).collect();
     let views: Vec<MergeRun<'_>> = runs
         .iter()
@@ -667,7 +717,7 @@ pub fn merge_received_lcp(runs: &[DecodedRun]) -> SortedRun {
         })
         .collect();
     let mut out = StringSet::new();
-    let merged = LcpLoserTree::new(views).merge_into(&mut out);
+    let merged = parallel_lcp_merge_into(&views, &mut out, threads);
     let origins = collect_origins(runs, &merged.sources);
     SortedRun {
         set: out,
@@ -678,8 +728,8 @@ pub fn merge_received_lcp(runs: &[DecodedRun]) -> SortedRun {
 }
 
 /// Merges received runs with the plain loser tree (no LCP information).
-/// Output pre-sizing matches [`merge_received_lcp`].
-pub fn merge_received_plain(runs: &[DecodedRun]) -> SortedRun {
+/// Thread routing and output pre-sizing match [`merge_received_lcp`].
+pub fn merge_received_plain(runs: &[DecodedRun], threads: usize) -> SortedRun {
     let ref_vecs: Vec<Vec<StrRef>> = runs.iter().map(run_refs).collect();
     let views: Vec<MergeRun<'_>> = runs
         .iter()
@@ -691,7 +741,7 @@ pub fn merge_received_plain(runs: &[DecodedRun]) -> SortedRun {
         })
         .collect();
     let mut out = StringSet::new();
-    let merged = LoserTree::new(views).merge_into(&mut out);
+    let merged = parallel_plain_merge_into(&views, &mut out, threads);
     let origins = collect_origins(runs, &merged.sources);
     SortedRun {
         set: out,
@@ -761,9 +811,9 @@ mod tests {
                 false,
             );
             let merged = if lcp_merge {
-                merge_received_lcp(runs)
+                merge_received_lcp(runs, 1)
             } else {
-                merge_received_plain(runs)
+                merge_received_plain(runs, 1)
             };
             if let Some(l) = &merged.lcps {
                 dss_strkit::lcp::verify_lcp_array(&merged.set, l).expect("merged lcps");
@@ -782,6 +832,34 @@ mod tests {
                 .map(|s| s.as_bytes().to_vec())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn parse_mode_accepts_known_values_and_defaults_to_blocking() {
+        assert_eq!(parse_exchange_mode(None), ExchangeMode::Blocking);
+        for v in ["blocking", "Blocking", "BLOCKING"] {
+            assert_eq!(parse_exchange_mode(Some(v)), ExchangeMode::Blocking);
+        }
+        for v in ["pipelined", "Pipelined", "PIPELINED"] {
+            assert_eq!(parse_exchange_mode(Some(v)), ExchangeMode::Pipelined);
+        }
+    }
+
+    /// Regression: an unrecognized mode used to silently coerce to
+    /// `Blocking`, so a typo in `DSS_EXCHANGE_MODE` could run an entire
+    /// CI matrix through the wrong path. It must fail loudly instead.
+    #[test]
+    #[should_panic(
+        expected = "DSS_EXCHANGE_MODE must be 'blocking' or 'pipelined', got 'piplined'"
+    )]
+    fn parse_mode_rejects_unrecognized_values() {
+        parse_exchange_mode(Some("piplined"));
+    }
+
+    #[test]
+    #[should_panic(expected = "got ''")]
+    fn parse_mode_rejects_empty_string() {
+        parse_exchange_mode(Some(""));
     }
 
     #[test]
@@ -872,9 +950,9 @@ mod tests {
         let expect_n: usize = runs.iter().map(|r| r.len()).sum();
         for plain in [false, true] {
             let merged = if plain {
-                merge_received_plain(&runs)
+                merge_received_plain(&runs, 1)
             } else {
-                merge_received_lcp(&runs)
+                merge_received_lcp(&runs, 1)
             };
             assert_eq!(merged.set.len(), expect_n);
             assert_eq!(merged.set.arena_len(), expect_chars);
@@ -917,7 +995,7 @@ mod tests {
                 &splitters,
                 false,
             );
-            let merged = merge_received_lcp(runs);
+            let merged = merge_received_lcp(runs, 1);
             assert!(merged.set.iter().all(|s| s.len() == 3));
             assert_eq!(
                 merged.origins.as_ref().map(Vec::len),

@@ -17,16 +17,37 @@ use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig, SamplingPolicy};
 use crate::DistSorter;
 use dss_net::Comm;
-use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
 use dss_strkit::StringSet;
 
 /// The FKmerge baseline (deterministic sampling; centralized sample sort).
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 pub struct FkMerge {
     /// Blocking or pipelined exchange (defaults to the
     /// `DSS_EXCHANGE_MODE` knob). The centralized sample sort itself is
     /// FKmerge's defining bottleneck and stays as-is.
     pub mode: ExchangeMode,
+    /// Shared-memory threads per PE for the local sort and the k-way
+    /// merge (defaults to the `DSS_THREADS` knob).
+    pub threads: usize,
+}
+
+impl Default for FkMerge {
+    fn default() -> Self {
+        Self {
+            mode: ExchangeMode::default(),
+            threads: threads_from_env(),
+        }
+    }
+}
+
+impl FkMerge {
+    /// Overrides the shared-memory thread count (local sort + merge).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive, got 0");
+        self.threads = threads;
+        self
+    }
 }
 
 impl DistSorter for FkMerge {
@@ -36,7 +57,7 @@ impl DistSorter for FkMerge {
 
     fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
         comm.set_phase("local_sort");
-        let (lcps, _) = sort_with_lcp(&mut input);
+        let (lcps, _) = par_sort_with_lcp(&mut input, self.threads);
         if comm.size() == 1 {
             return SortedRun::plain(input);
         }
@@ -47,11 +68,13 @@ impl DistSorter for FkMerge {
             oversampling: comm.size() - 1,
             central_sample_sort: true,
             mode: self.mode,
+            threads: self.threads,
             ..PartitionConfig::default()
         };
         let splitters = partition::determine_splitters(comm, &input, &cfg, None, None);
         comm.set_phase("exchange");
-        let mut engine = StringAllToAll::with_mode(ExchangeCodec::Plain, self.mode);
+        let mut engine =
+            StringAllToAll::with_mode(ExchangeCodec::Plain, self.mode).with_threads(self.threads);
         engine.exchange_merge_by_splitters(
             comm,
             &ExchangePayload {

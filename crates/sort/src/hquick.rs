@@ -26,19 +26,41 @@ use crate::DistSorter;
 use dss_codec::wire;
 use dss_net::topology;
 use dss_net::{Comm, SplitMix64};
-use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
 use dss_strkit::StringSet;
 
 /// Candidates kept per reduction step of the pivot selection.
 const PIVOT_FANOUT: usize = 3;
 
-/// The hQuick sorter (the paper runs it as-is; the only knob is the
-/// exchange mode of its random-placement scatter).
-#[derive(Debug, Default, Clone, Copy)]
+/// The hQuick sorter (the paper runs it as-is; the knobs are the exchange
+/// mode of its random-placement scatter and the shared-memory thread
+/// count of its final local sort).
+#[derive(Debug, Clone, Copy)]
 pub struct HQuick {
     /// Blocking or pipelined placement scatter (defaults to the
     /// `DSS_EXCHANGE_MODE` knob).
     pub mode: crate::exchange::ExchangeMode,
+    /// Shared-memory threads per PE for the final local sort (defaults to
+    /// the `DSS_THREADS` knob).
+    pub threads: usize,
+}
+
+impl Default for HQuick {
+    fn default() -> Self {
+        Self {
+            mode: crate::exchange::ExchangeMode::default(),
+            threads: threads_from_env(),
+        }
+    }
+}
+
+impl HQuick {
+    /// Overrides the shared-memory thread count (final local sort).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive, got 0");
+        self.threads = threads;
+        self
+    }
 }
 
 impl DistSorter for HQuick {
@@ -49,7 +71,7 @@ impl DistSorter for HQuick {
     fn sort(&self, comm: &Comm, input: StringSet) -> SortedRun {
         let (mut set, _) = hquick_sort(comm, input, true, self.mode);
         comm.set_phase("local_sort");
-        let (lcps, _) = sort_with_lcp(&mut set);
+        let (lcps, _) = par_sort_with_lcp(&mut set, self.threads);
         SortedRun {
             set,
             lcps: Some(lcps),
@@ -65,14 +87,16 @@ impl DistSorter for HQuick {
 /// Does **not** touch the metrics phase — all traffic stays attributed to
 /// the caller's current phase (the partitioning step it serves). `mode`
 /// drives the placement scatter, so a caller-selected exchange mode
-/// reaches every byte the partitioning moves.
+/// reaches every byte the partitioning moves; `threads` drives the local
+/// sample sort the same way.
 pub fn sort_for_samples(
     comm: &Comm,
     sample: StringSet,
     mode: crate::exchange::ExchangeMode,
+    threads: usize,
 ) -> StringSet {
     let (mut set, _) = hquick_sort(comm, sample, false, mode);
-    let (_, _) = sort_with_lcp(&mut set);
+    let (_, _) = par_sort_with_lcp(&mut set, threads);
     set
 }
 
@@ -347,7 +371,7 @@ mod tests {
                 set.push(&s);
             }
             let input = set.to_vecs();
-            let sorted = sort_for_samples(comm, set, crate::exchange::ExchangeMode::default());
+            let sorted = sort_for_samples(comm, set, crate::exchange::ExchangeMode::default(), 1);
             (input, sorted.to_vecs())
         });
         let mut expect: Vec<Vec<u8>> = res.values.iter().flat_map(|(i, _)| i.clone()).collect();

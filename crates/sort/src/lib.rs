@@ -53,7 +53,9 @@ pub mod output;
 pub mod partition;
 pub mod pdms;
 
-pub use exchange::{ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll};
+pub use exchange::{
+    parse_exchange_mode, ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll,
+};
 pub use fkmerge::FkMerge;
 pub use hquick::HQuick;
 pub use ms::{Ms, MsConfig};
@@ -124,30 +126,45 @@ impl Algorithm {
     /// Instantiates the sorter with an explicit [`ExchangeMode`],
     /// overriding the environment knob — the handle harnesses use to
     /// compare the blocking and pipelined paths inside one process.
+    /// Threads stay at the `DSS_THREADS` default.
     pub fn instance_with_mode(&self, mode: ExchangeMode) -> Box<dyn DistSorter> {
+        self.instance_with(mode, dss_strkit::sort::threads_from_env())
+    }
+
+    /// Instantiates the sorter with an explicit [`ExchangeMode`] **and**
+    /// shared-memory thread count, overriding both environment knobs —
+    /// the handle harnesses use to compare configurations inside one
+    /// process without env-var races.
+    pub fn instance_with(&self, mode: ExchangeMode, threads: usize) -> Box<dyn DistSorter> {
+        assert!(threads >= 1, "thread count must be positive, got 0");
         match self {
-            Algorithm::FkMerge => Box::new(FkMerge { mode }),
-            Algorithm::HQuick => Box::new(HQuick { mode }),
+            Algorithm::FkMerge => Box::new(FkMerge { mode, threads }),
+            Algorithm::HQuick => Box::new(HQuick { mode, threads }),
             Algorithm::MsSimple => Box::new(Ms::with_config(MsConfig {
                 lcp: false,
                 mode,
+                threads,
                 ..MsConfig::default()
             })),
             Algorithm::Ms => Box::new(Ms::with_config(MsConfig {
                 mode,
+                threads,
                 ..MsConfig::default()
             })),
             Algorithm::PdmsGolomb => {
                 let mut cfg = Pdms::golomb().cfg;
                 cfg.mode = mode;
+                cfg.threads = threads;
                 Box::new(Pdms::with_config(cfg))
             }
             Algorithm::Pdms => Box::new(Pdms::with_config(PdmsConfig {
                 mode,
+                threads,
                 ..PdmsConfig::default()
             })),
             Algorithm::Ms2l => Box::new(Ms2l::with_config(Ms2lConfig {
                 mode,
+                threads,
                 ..Ms2lConfig::default()
             })),
         }

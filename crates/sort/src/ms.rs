@@ -18,7 +18,7 @@ use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig};
 use crate::DistSorter;
 use dss_net::Comm;
-use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
 use dss_strkit::StringSet;
 
 /// Configuration of Algorithm MS.
@@ -31,6 +31,10 @@ pub struct MsConfig {
     /// Blocking or pipelined exchange (defaults to the
     /// `DSS_EXCHANGE_MODE` knob).
     pub mode: ExchangeMode,
+    /// Shared-memory threads per PE for the local sort and the k-way
+    /// merge (defaults to the `DSS_THREADS` knob). Output is
+    /// byte-identical for every thread count.
+    pub threads: usize,
     /// Sampling/splitter policy.
     pub partition: PartitionConfig,
 }
@@ -41,6 +45,7 @@ impl Default for MsConfig {
             lcp: true,
             delta_lcps: false,
             mode: ExchangeMode::default(),
+            threads: threads_from_env(),
             partition: PartitionConfig::default(),
         }
     }
@@ -67,6 +72,13 @@ impl Ms {
     pub fn with_config(cfg: MsConfig) -> Self {
         Self { cfg }
     }
+
+    /// Overrides the shared-memory thread count (local sort + merge).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive, got 0");
+        self.cfg.threads = threads;
+        self
+    }
 }
 
 impl DistSorter for Ms {
@@ -80,7 +92,7 @@ impl DistSorter for Ms {
 
     fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
         comm.set_phase("local_sort");
-        let (lcps, _) = sort_with_lcp(&mut input);
+        let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
         if comm.size() == 1 {
             return SortedRun {
                 lcps: self.cfg.lcp.then_some(lcps),
@@ -90,10 +102,11 @@ impl DistSorter for Ms {
             };
         }
         comm.set_phase("partition");
-        // One mode for every byte this run moves: the sample sort's
-        // scatter follows the algorithm's exchange mode.
+        // One mode (and thread count) for every byte this run moves: the
+        // sample sort follows the algorithm's exchange mode and threads.
         let mut pcfg = self.cfg.partition;
         pcfg.mode = self.cfg.mode;
+        pcfg.threads = self.cfg.threads;
         let splitters = partition::determine_splitters(comm, &input, &pcfg, None, None);
         comm.set_phase("exchange");
         let codec = match (self.cfg.lcp, self.cfg.delta_lcps) {
@@ -101,7 +114,8 @@ impl DistSorter for Ms {
             (true, false) => ExchangeCodec::LcpCompressed,
             (true, true) => ExchangeCodec::LcpDelta,
         };
-        let mut engine = StringAllToAll::with_mode(codec, self.cfg.mode);
+        let mut engine =
+            StringAllToAll::with_mode(codec, self.cfg.mode).with_threads(self.cfg.threads);
         engine.exchange_merge_by_splitters(
             comm,
             &ExchangePayload {

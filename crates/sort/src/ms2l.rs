@@ -41,23 +41,38 @@ use crate::partition::{self, PartitionConfig};
 use crate::DistSorter;
 use dss_net::topology;
 use dss_net::Comm;
-use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
 use dss_strkit::StringSet;
 
 /// Configuration of MS2L.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct Ms2lConfig {
     /// Difference-code the LCP values on the wire (§VI-B extension).
     pub delta_lcps: bool,
     /// Blocking or pipelined exchange, applied to **both** grid levels
     /// (defaults to the `DSS_EXCHANGE_MODE` knob).
     pub mode: ExchangeMode,
+    /// Shared-memory threads per PE for the local sort and both levels'
+    /// merges (defaults to the `DSS_THREADS` knob).
+    pub threads: usize,
     /// Grid rows `r` (`0` ⇒ auto: the near-square [`topology::grid_dims`]
     /// choice). Must divide `p` with a quotient ≥ 2, else MS2L falls back
     /// to single-level MS.
     pub rows: usize,
     /// Sampling/splitter policy, used by both levels.
     pub partition: PartitionConfig,
+}
+
+impl Default for Ms2lConfig {
+    fn default() -> Self {
+        Self {
+            delta_lcps: false,
+            mode: ExchangeMode::default(),
+            threads: threads_from_env(),
+            rows: 0,
+            partition: PartitionConfig::default(),
+        }
+    }
 }
 
 /// Two-level distributed string mergesort (see module docs).
@@ -70,6 +85,13 @@ impl Ms2l {
     /// MS2L with a custom configuration.
     pub fn with_config(cfg: Ms2lConfig) -> Self {
         Self { cfg }
+    }
+
+    /// Overrides the shared-memory thread count (local sort + merges).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive, got 0");
+        self.cfg.threads = threads;
+        self
     }
 
     /// The grid this configuration yields for `p` PEs (`None` ⇒ fallback
@@ -89,6 +111,7 @@ impl Ms2l {
             lcp: true,
             delta_lcps: self.cfg.delta_lcps,
             mode: self.cfg.mode,
+            threads: self.cfg.threads,
             partition: self.cfg.partition,
         })
     }
@@ -107,22 +130,25 @@ impl DistSorter for Ms2l {
         };
 
         comm.set_phase("local_sort");
-        let (lcps, _) = sort_with_lcp(&mut input);
+        let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
         let codec = if self.cfg.delta_lcps {
             ExchangeCodec::LcpDelta
         } else {
             ExchangeCodec::LcpCompressed
         };
         let tie_break = self.cfg.partition.duplicate_tie_break;
-        // One mode for every byte this run moves: both levels' sample
-        // sorts scatter in the algorithm's exchange mode.
+        // One mode (and thread count) for every byte this run moves: both
+        // levels' sample sorts follow the algorithm's exchange mode and
+        // threads.
         let mut pcfg = self.cfg.partition;
         pcfg.mode = self.cfg.mode;
+        pcfg.threads = self.cfg.threads;
         // The two counted splits of the grid view are communication —
         // keep them out of the local_sort phase.
         comm.set_phase("grid_setup");
         let grid = topology::grid_view(comm, r, c);
-        let mut engine = StringAllToAll::with_mode(codec, self.cfg.mode);
+        let mut engine =
+            StringAllToAll::with_mode(codec, self.cfg.mode).with_threads(self.cfg.threads);
 
         // Level 1: c − 1 global splitters cut the global order into the
         // c column ranges; the sample sort runs over the *world*

@@ -61,6 +61,10 @@ pub struct PartitionConfig {
     /// implementations keep this in lockstep with their own `mode`, so
     /// one algorithm run moves *all* its data in a single mode.
     pub mode: ExchangeMode,
+    /// Shared-memory threads of the sample sort's local sorting steps
+    /// (defaults to the `DSS_THREADS` knob). Kept in lockstep with the
+    /// algorithm's own `threads`, like `mode`.
+    pub threads: usize,
 }
 
 impl Default for PartitionConfig {
@@ -72,6 +76,7 @@ impl Default for PartitionConfig {
             random_sampling: false,
             duplicate_tie_break: false,
             mode: ExchangeMode::default(),
+            threads: dss_strkit::sort::threads_from_env(),
         }
     }
 }
@@ -180,8 +185,9 @@ pub fn select_splitters(
     local_sample: StringSet,
     central: bool,
     mode: ExchangeMode,
+    threads: usize,
 ) -> StringSet {
-    select_k_splitters(comm, local_sample, comm.size(), central, mode)
+    select_k_splitters(comm, local_sample, comm.size(), central, mode, threads)
 }
 
 /// k-way generalization of [`select_splitters`]: sorts the global sample
@@ -198,6 +204,7 @@ pub fn select_k_splitters(
     k: usize,
     central: bool,
     mode: ExchangeMode,
+    threads: usize,
 ) -> StringSet {
     if k <= 1 {
         return StringSet::new();
@@ -228,7 +235,7 @@ pub fn select_k_splitters(
     } else {
         // Distributed: hQuick-sort the sample, then extract the order
         // statistics at global ranks j·s/k and gossip them.
-        let sorted = hquick::sort_for_samples(comm, local_sample, mode);
+        let sorted = hquick::sort_for_samples(comm, local_sample, mode, threads);
         let (prefix, total) = comm.exclusive_scan_sum_u64(sorted.len() as u64);
         let mut mine = StringSet::new();
         let mut ranks: Vec<u64> = Vec::new();
@@ -383,7 +390,14 @@ pub fn determine_splitters_for(
     // When sampling truncated strings (PDMS), comparing full local strings
     // against truncated splitters is safe since truncation preserves order
     // (splitters are distinguishing prefixes).
-    select_k_splitters(comm, sample, k, cfg.central_sample_sort, cfg.mode)
+    select_k_splitters(
+        comm,
+        sample,
+        k,
+        cfg.central_sample_sort,
+        cfg.mode,
+        cfg.threads,
+    )
 }
 
 /// Full partitioning step: sample, sort sample, select splitters, compute
@@ -592,7 +606,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(55 + comm.rank() as u64);
             let set = sorted_set(&mut rng, 64, 6);
             let sample = draw_sample(&set, 4, SamplingPolicy::Strings, None, None, None);
-            let splitters = select_splitters(comm, sample, false, ExchangeMode::default());
+            let splitters = select_splitters(comm, sample, false, ExchangeMode::default(), 1);
             splitters.to_vecs()
         });
         for v in &res.values {

@@ -23,11 +23,11 @@ use crate::partition::{self, PartitionConfig};
 use crate::DistSorter;
 use dss_dedup::prefix_doubling::{approx_dist_prefixes, PrefixDoublingConfig};
 use dss_net::Comm;
-use dss_strkit::sort::sort_with_lcp;
+use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
 use dss_strkit::StringSet;
 
 /// Configuration of PDMS.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct PdmsConfig {
     /// Step 1+ε parameters (growth factor 1+ε, initial guess, fingerprint
     /// width, Golomb coding).
@@ -42,6 +42,21 @@ pub struct PdmsConfig {
     /// Blocking or pipelined exchange (defaults to the
     /// `DSS_EXCHANGE_MODE` knob).
     pub mode: ExchangeMode,
+    /// Shared-memory threads per PE for the local sort and the k-way
+    /// merge (defaults to the `DSS_THREADS` knob).
+    pub threads: usize,
+}
+
+impl Default for PdmsConfig {
+    fn default() -> Self {
+        Self {
+            pd: PrefixDoublingConfig::default(),
+            partition: PartitionConfig::default(),
+            delta_lcps: false,
+            mode: ExchangeMode::default(),
+            threads: threads_from_env(),
+        }
+    }
 }
 
 /// Distributed Prefix-Doubling String Merge Sort.
@@ -68,6 +83,13 @@ impl Pdms {
     pub fn with_config(cfg: PdmsConfig) -> Self {
         Self { cfg }
     }
+
+    /// Overrides the shared-memory thread count (local sort + merge).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive, got 0");
+        self.cfg.threads = threads;
+        self
+    }
 }
 
 impl DistSorter for Pdms {
@@ -81,7 +103,7 @@ impl DistSorter for Pdms {
 
     fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
         comm.set_phase("local_sort");
-        let (lcps, _) = sort_with_lcp(&mut input);
+        let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
         if comm.size() == 1 {
             let origins = (0..input.len()).map(|i| origin_tag(0, i)).collect();
             return SortedRun {
@@ -103,10 +125,11 @@ impl DistSorter for Pdms {
         // approximate distinguishing prefix lengths when requested.
         comm.set_phase("partition");
         let weights = approx.clone();
-        // One mode for every byte this run moves: the sample sort's
-        // scatter follows the algorithm's exchange mode.
+        // One mode (and thread count) for every byte this run moves: the
+        // sample sort follows the algorithm's exchange mode and threads.
         let mut pcfg = self.cfg.partition;
         pcfg.mode = self.cfg.mode;
+        pcfg.threads = self.cfg.threads;
         let splitters =
             partition::determine_splitters(comm, &input, &pcfg, Some(&weights), Some(&trunc));
 
@@ -121,7 +144,8 @@ impl DistSorter for Pdms {
         } else {
             ExchangeCodec::LcpCompressed
         };
-        let mut engine = StringAllToAll::with_mode(codec, self.cfg.mode);
+        let mut engine =
+            StringAllToAll::with_mode(codec, self.cfg.mode).with_threads(self.cfg.threads);
         // Step 4 rides along: the LCP loser-tree merge of the prefix runs
         // (overlapped with the transfers in pipelined mode).
         let mut out = engine.exchange_merge_by_splitters(

@@ -85,7 +85,7 @@ fn exchange_decode_reaches_allocation_steady_state() {
             if round == 0 {
                 caps = now;
                 // The exchanged data is sane (exercises the decoded runs).
-                let merged = merge_received_lcp(runs);
+                let merged = merge_received_lcp(runs, 1);
                 assert!(dss_strkit::checker::is_sorted(&merged.set));
             } else {
                 assert_eq!(caps, now, "pooled scratch grew in round {round}");

@@ -90,6 +90,13 @@ pub const LOSER_PATH_CACHE_MIN: usize = 4;
 /// two, so every path has exactly `d` nodes). Empty below
 /// [`LOSER_PATH_CACHE_MIN`].
 fn build_paths(k: usize) -> Vec<u32> {
+    // A non-power-of-two k would silently build garbage paths: the
+    // division chains would have differing lengths while the flat layout
+    // assumes exactly `trailing_zeros` nodes per leaf.
+    debug_assert!(
+        k.is_power_of_two(),
+        "loser-tree leaf count must be a power of two, got {k}"
+    );
     if k < LOSER_PATH_CACHE_MIN {
         return Vec::new();
     }
@@ -145,6 +152,11 @@ impl<'a> LcpLoserTree<'a> {
         }
         let (total, total_chars) = run_totals(&runs);
         let k = runs.len().max(1).next_power_of_two();
+        debug_assert!(
+            k.is_power_of_two() && k >= runs.len(),
+            "leaf count {k} must be a power of two covering {} runs",
+            runs.len()
+        );
         let mut tree = Self {
             k,
             loser: vec![NONE_STREAM; k],
@@ -313,6 +325,11 @@ impl<'a> LoserTree<'a> {
     pub fn new(runs: Vec<MergeRun<'a>>) -> Self {
         let (total, total_chars) = run_totals(&runs);
         let k = runs.len().max(1).next_power_of_two();
+        debug_assert!(
+            k.is_power_of_two() && k >= runs.len(),
+            "leaf count {k} must be a power of two covering {} runs",
+            runs.len()
+        );
         let mut tree = Self {
             k,
             loser: vec![NONE_STREAM; k],
@@ -420,6 +437,187 @@ impl<'a> LoserTree<'a> {
             stats: self.stats,
         }
     }
+}
+
+/// Range-split parallel k-way LCP merge: splits the merged output into
+/// `threads` independent ranges via splitter selection over the runs,
+/// merges each range with its own [`LcpLoserTree`] on a scoped thread,
+/// and stitches the boundary LCPs.
+///
+/// Output (strings, LCP array, sources) is **byte-identical** to a single
+/// [`LcpLoserTree::merge_into`] over the same runs for every thread
+/// count: each splitter cuts every run at the strict lower bound of the
+/// splitter string, so all copies of any string value land in exactly one
+/// range, and within a range the tree's stream-index tie-break reproduces
+/// the sequential ordering. Interior LCP entries are exact
+/// lcp-with-previous values either way; the `threads - 1` range-boundary
+/// entries are recomputed directly from the adjoining strings.
+/// [`MergeStats`] are summed over the ranges and may differ from a
+/// sequential merge (different tournament trees).
+///
+/// `threads == 1` and outputs of at most [`crate::sort::PAR_TASK_MIN`]
+/// strings take the sequential tree directly.
+pub fn parallel_lcp_merge_into(
+    runs: &[MergeRun<'_>],
+    out: &mut StringSet,
+    threads: usize,
+) -> MergeOutput {
+    parallel_merge_into(runs, out, threads, true)
+}
+
+/// Range-split parallel merge with the plain (atomic) tree; the
+/// non-LCP-aware counterpart of [`parallel_lcp_merge_into`] with the same
+/// byte-identical-output guarantee (`lcps` is `None`). Run LCP arrays are
+/// ignored and may be empty.
+pub fn parallel_plain_merge_into(
+    runs: &[MergeRun<'_>],
+    out: &mut StringSet,
+    threads: usize,
+) -> MergeOutput {
+    parallel_merge_into(runs, out, threads, false)
+}
+
+fn parallel_merge_into(
+    runs: &[MergeRun<'_>],
+    out: &mut StringSet,
+    threads: usize,
+    lcp_aware: bool,
+) -> MergeOutput {
+    assert!(threads >= 1, "thread count must be positive, got 0");
+    let (total, total_chars) = run_totals(runs);
+    if threads == 1 || total <= crate::sort::PAR_TASK_MIN {
+        return if lcp_aware {
+            LcpLoserTree::new(runs.to_vec()).merge_into(out)
+        } else {
+            LoserTree::new(runs.to_vec()).merge_into(out)
+        };
+    }
+    let cuts = select_range_cuts(runs, threads);
+    let parts: Vec<(StringSet, MergeOutput)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|r| {
+                let (lo, hi) = (&cuts[r], &cuts[r + 1]);
+                scope.spawn(move |_| {
+                    let sub: Vec<MergeRun<'_>> = runs
+                        .iter()
+                        .enumerate()
+                        .map(|(j, run)| MergeRun {
+                            arena: run.arena,
+                            refs: &run.refs[lo[j]..hi[j]],
+                            // The tree never reads a run's `lcps[0]` (the
+                            // candidate LCPs start at 0), so the slice is
+                            // valid even though its first entry refers to
+                            // a string outside the range.
+                            lcps: if run.lcps.is_empty() {
+                                &[]
+                            } else {
+                                &run.lcps[lo[j]..hi[j]]
+                            },
+                        })
+                        .collect();
+                    let mut part = StringSet::new();
+                    let res = if lcp_aware {
+                        LcpLoserTree::new(sub).merge_into(&mut part)
+                    } else {
+                        LoserTree::new(sub).merge_into(&mut part)
+                    };
+                    (part, res)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("merge worker panicked"))
+            .collect()
+    })
+    .expect("merge worker scope");
+    // Concatenate the ranges, fixing up each range's first LCP entry
+    // (its merge saw no predecessor) with the true boundary LCP.
+    out.reserve(total, total_chars);
+    let mut lcps = lcp_aware.then(|| Vec::with_capacity(total));
+    let mut sources = Vec::with_capacity(total);
+    let mut stats = MergeStats::default();
+    let mut prev_last: Option<Vec<u8>> = None;
+    for (r, (part, res)) in parts.iter().enumerate() {
+        for s in part.iter() {
+            out.push(s);
+        }
+        if let Some(lcps) = lcps.as_mut() {
+            let part_lcps = res.lcps.as_ref().expect("lcp-aware range merge");
+            lcps.extend_from_slice(part_lcps);
+            if !part.is_empty() {
+                let boundary_at = lcps.len() - part.len();
+                lcps[boundary_at] = match &prev_last {
+                    Some(prev) => crate::lcp::lcp(prev, part.get(0)),
+                    None => 0,
+                };
+                prev_last = Some(part.get(part.len() - 1).to_vec());
+            }
+        }
+        // Source indices are relative to the range's sub-slices; shift
+        // them back to whole-run positions.
+        let lo = &cuts[r];
+        sources.extend(
+            res.sources
+                .iter()
+                .map(|&(run, idx)| (run, idx + lo[run as usize] as u32)),
+        );
+        stats.char_comparisons += res.stats.char_comparisons;
+        stats.chars_inspected += res.stats.chars_inspected;
+        stats.lcp_decided += res.stats.lcp_decided;
+    }
+    MergeOutput {
+        lcps,
+        sources,
+        stats,
+    }
+}
+
+/// Splitter selection over the runs: samples every run at `threads`
+/// evenly spaced positions, sorts the sample, and cuts every run at the
+/// strict lower bound of `threads - 1` evenly ranked splitter strings.
+/// Returns `threads + 1` cut vectors (first all zeros, last the run
+/// lengths); cut positions are non-decreasing across boundaries, so
+/// `cuts[r]..cuts[r + 1]` is a valid sub-run for every range.
+fn select_range_cuts(runs: &[MergeRun<'_>], threads: usize) -> Vec<Vec<usize>> {
+    let k = runs.len();
+    let mut sample: Vec<&[u8]> = Vec::with_capacity(k * threads);
+    for run in runs {
+        let len = run.refs.len();
+        if len == 0 {
+            continue;
+        }
+        for i in 0..threads {
+            sample.push(run.bytes(i * len / threads));
+        }
+    }
+    sample.sort_unstable();
+    let mut cuts = Vec::with_capacity(threads + 1);
+    cuts.push(vec![0; k]);
+    for b in 1..threads {
+        let splitter = sample[b * sample.len() / threads];
+        cuts.push(
+            runs.iter()
+                .map(|run| lower_bound(run, splitter))
+                .collect::<Vec<_>>(),
+        );
+    }
+    cuts.push(runs.iter().map(|r| r.refs.len()).collect());
+    cuts
+}
+
+/// Number of strings in the (sorted) run strictly below `splitter`.
+fn lower_bound(run: &MergeRun<'_>, splitter: &[u8]) -> usize {
+    let (mut lo, mut hi) = (0, run.refs.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if run.bytes(mid) < splitter {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -642,8 +840,103 @@ mod tests {
         );
     }
 
+    /// Builds sorted runs and compares the range-split parallel merge
+    /// against the sequential tree: strings, LCP arrays and sources must
+    /// be byte-identical for every thread count.
+    fn check_parallel_matches_sequential(groups: Vec<Vec<Vec<u8>>>, lcp_aware: bool) {
+        let mut sets: Vec<StringSet> = Vec::new();
+        let mut lcp_arrays: Vec<Vec<u32>> = Vec::new();
+        for g in &groups {
+            let mut set = StringSet::from_iter_bytes(g.iter().map(|s| s.as_slice()));
+            let (lcps, _) = sort_with_lcp(&mut set);
+            sets.push(set);
+            lcp_arrays.push(lcps);
+        }
+        let runs: Vec<MergeRun<'_>> = sets
+            .iter()
+            .zip(&lcp_arrays)
+            .map(|(s, l)| MergeRun {
+                arena: s.arena(),
+                refs: s.refs(),
+                lcps: l,
+            })
+            .collect();
+        let mut seq_out = StringSet::new();
+        let seq = if lcp_aware {
+            LcpLoserTree::new(runs.clone()).merge_into(&mut seq_out)
+        } else {
+            LoserTree::new(runs.clone()).merge_into(&mut seq_out)
+        };
+        for threads in [1usize, 2, 3, 4] {
+            let mut out = StringSet::new();
+            let res = if lcp_aware {
+                parallel_lcp_merge_into(&runs, &mut out, threads)
+            } else {
+                parallel_plain_merge_into(&runs, &mut out, threads)
+            };
+            assert_eq!(out.to_vecs(), seq_out.to_vecs(), "strings at t={threads}");
+            assert_eq!(res.lcps, seq.lcps, "lcps at t={threads}");
+            assert_eq!(res.sources, seq.sources, "sources at t={threads}");
+        }
+    }
+
+    /// Large enough to clear `PAR_TASK_MIN` so the split path actually
+    /// engages, with duplicates crossing the likely splitter positions.
+    #[test]
+    fn parallel_merge_is_byte_identical_above_threshold() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let groups: Vec<Vec<Vec<u8>>> = (0..5)
+            .map(|_| {
+                (0..crate::sort::PAR_TASK_MIN)
+                    .map(|_| {
+                        let len = rng.gen_range(0..10);
+                        (0..len).map(|_| rng.gen_range(b'a'..=b'c')).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        check_parallel_matches_sequential(groups.clone(), true);
+        check_parallel_matches_sequential(groups, false);
+    }
+
+    #[test]
+    fn parallel_merge_all_equal_strings() {
+        // Every range cut lands inside one giant equal-value group; the
+        // strict lower bound must keep them all in a single range.
+        let groups: Vec<Vec<Vec<u8>>> =
+            vec![vec![b"same".to_vec(); 2 * crate::sort::PAR_TASK_MIN]; 3];
+        check_parallel_matches_sequential(groups, true);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Randomized run counts, deliberately covering non-powers of two
+        /// (the trees pad to the next power of two): both trees must sort
+        /// and the LCP tree must produce an exact LCP array.
+        #[test]
+        fn non_power_of_two_run_counts_merge_correctly(
+            k in 1usize..12,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let groups: Vec<Vec<Vec<u8>>> = (0..k)
+                .map(|_| {
+                    (0..rng.gen_range(0..25))
+                        .map(|_| {
+                            let len = rng.gen_range(0..8);
+                            (0..len).map(|_| rng.gen_range(b'a'..=b'd')).collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let expect = expect_sorted(&groups);
+            let (out, res) = merge_groups(groups.clone(), true);
+            prop_assert_eq!(out.to_vecs(), expect.clone());
+            prop_assert!(verify_lcp_array(&out, res.lcps.as_ref().unwrap()).is_ok());
+            let (out_plain, _) = merge_groups(groups, false);
+            prop_assert_eq!(out_plain.to_vecs(), expect);
+        }
 
         #[test]
         fn lcp_merge_matches_global_sort(groups in proptest::collection::vec(

@@ -14,16 +14,34 @@
 
 mod insertion;
 mod mkqs;
+mod parallel;
 mod radix;
 mod samplesort;
 
 pub use insertion::lcp_insertion_sort_standalone;
 pub use mkqs::multikey_quicksort_standalone;
+pub use parallel::{
+    par_sort_refs_with_lcp, par_sort_with_lcp, parse_dss_threads, threads_from_env, PAR_TASK_MIN,
+};
 pub use radix::msd_radix_sort_standalone;
 pub use radix::RADIX16_MIN;
 pub use samplesort::string_sample_sort_standalone;
 
 use crate::arena::{StrRef, StringSet};
+
+/// One pending work item of the task-granular sorter: `refs[begin..end]`
+/// all share `depth` prefix characters, and `lcps[begin]` (the boundary
+/// with the preceding block) has already been written by whoever created
+/// the task. Both the sequential driver ([`radix::msd_radix_sort`]'s LIFO
+/// stack) and the work-stealing parallel driver (`parallel.rs`) schedule
+/// these items over the same partition kernel,
+/// [`radix::partition_task`] — the two differ only in scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SortTask {
+    pub begin: usize,
+    pub end: usize,
+    pub depth: u32,
+}
 
 /// Block sizes below this use multikey quicksort instead of radix passes.
 pub(crate) const RADIX_THRESHOLD: usize = 64;
@@ -89,8 +107,8 @@ pub(crate) struct Ctx<'a> {
     /// Cached bucket keys so each radix pass gathers characters once.
     pub key_scratch: Vec<u8>,
     /// Caching mkqs: per-string depth-characters, swapped along with the
-    /// handles (see `mkqs.rs`). Kept out of `key_scratch`, which radix
-    /// indexes by absolute position mid-pass.
+    /// handles (see `mkqs.rs`). Kept out of `key_scratch`, which the
+    /// radix passes use for their own gathered bucket keys.
     pub mkqs_cache: Vec<u8>,
     /// Caching mkqs task stack, reused across the thousands of small
     /// blocks one radix sort hands over.

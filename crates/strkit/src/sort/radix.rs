@@ -22,7 +22,7 @@
 //! buffer (ping-pong would save a copy but complicates LCP bookkeeping
 //! for negligible gain at these block sizes).
 
-use super::{mkqs, Ctx, RADIX_THRESHOLD};
+use super::{mkqs, Ctx, SortTask, RADIX_THRESHOLD};
 use crate::arena::StrRef;
 
 /// Minimum block size for a 16-bit radix pass. Below this the occupied
@@ -33,101 +33,126 @@ use crate::arena::StrRef;
 /// hard-codes the value.
 pub const RADIX16_MIN: usize = 128;
 
-struct Task {
-    begin: usize,
-    end: usize,
-    depth: u32,
-}
-
 /// Sorts `refs`, writing LCP entries into `lcps[1..]`. Precondition: all
 /// strings share `depth` prefix characters; `lcps[0]` belongs to the caller.
+///
+/// This is the *sequential scheduler* over [`partition_task`]: a plain
+/// LIFO stack of [`SortTask`] items. The work-stealing driver in
+/// `parallel.rs` runs the identical kernel under a different scheduler.
 pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut [u32], depth: u32) {
     debug_assert_eq!(refs.len(), lcps.len());
-    let n = refs.len();
+    let mut queue = vec![SortTask {
+        begin: 0,
+        end: refs.len(),
+        depth,
+    }];
+    while let Some(task) = queue.pop() {
+        partition_task(ctx, refs, lcps, task, &mut queue);
+    }
+}
+
+/// The shared partition kernel: performs exactly one scheduling step of
+/// the MSD sorter on `refs[task.begin..task.end]` and appends the emitted
+/// subtasks to `out`.
+///
+/// One step is either terminal (blocks of fewer than 2 strings; blocks up
+/// to [`RADIX_THRESHOLD`] handed to multikey quicksort, which finishes
+/// them in place) or one radix pass (16-bit at [`RADIX16_MIN`] and above,
+/// 8-bit otherwise) that partitions the block and emits one subtask per
+/// unfinished bucket.
+///
+/// Determinism contract (what makes parallel runs byte-identical): the
+/// kernel mutates only `refs`/`lcps` *inside* the task's range, writes
+/// every subtask's boundary entry `lcps[subtask.begin]` before emitting
+/// it, and never writes its own `lcps[task.begin]`. All values derive
+/// from the block contents and `depth` alone, so any execution order of
+/// the emitted (disjoint) subtasks yields the same output.
+pub(crate) fn partition_task(
+    ctx: &mut Ctx<'_>,
+    refs: &mut [StrRef],
+    lcps: &mut [u32],
+    task: SortTask,
+    out: &mut Vec<SortTask>,
+) {
+    let SortTask { begin, end, depth } = task;
+    let n = end - begin;
+    if n < 2 {
+        return;
+    }
+    if n <= RADIX_THRESHOLD {
+        mkqs::multikey_quicksort(ctx, &mut refs[begin..end], &mut lcps[begin..end], depth);
+        return;
+    }
+    // Scratch is indexed task-relative (`[..n]`), so a per-worker `Ctx`
+    // only ever needs scratch for its largest block, not the whole array.
     if ctx.ref_scratch.len() < n {
         ctx.ref_scratch.resize(n, StrRef::default());
         ctx.key_scratch.resize(n, 0);
     }
-    let mut stack = vec![Task {
-        begin: 0,
-        end: n,
-        depth,
-    }];
+    if n >= RADIX16_MIN {
+        radix16_pass(ctx, refs, lcps, begin, end, depth, out);
+        return;
+    }
+    // Pass 1: gather keys once, counting bucket sizes. Slice iteration
+    // keeps the loop free of per-element bounds checks; the stats are
+    // charged once per pass (n fetches), not per call.
     let mut count = [0usize; 256];
-    while let Some(Task { begin, end, depth }) = stack.pop() {
-        let n = end - begin;
-        if n < 2 {
+    let arena = ctx.arena;
+    let block = &refs[begin..end];
+    let keys = &mut ctx.key_scratch[..n];
+    for i in 0..n {
+        if i + super::PREFETCH_DIST < n {
+            super::prefetch_str_char(arena, block[i + super::PREFETCH_DIST], depth);
+        }
+        let r = block[i];
+        let c = if depth < r.len {
+            arena[(r.begin + depth) as usize]
+        } else {
+            0
+        };
+        keys[i] = c;
+        count[c as usize] += 1;
+    }
+    ctx.stats.chars_accessed += n as u64;
+    // Exclusive prefix sums → bucket write cursors (block-relative).
+    let mut cursor = [0usize; 256];
+    let mut sum = 0usize;
+    for (cur, &cnt) in cursor.iter_mut().zip(count.iter()) {
+        *cur = sum;
+        sum += cnt;
+    }
+    // Pass 2: stable scatter into scratch, copy back.
+    let scratch = &mut ctx.ref_scratch[..n];
+    for (&r, &c) in refs[begin..end].iter().zip(ctx.key_scratch[..n].iter()) {
+        let cur = &mut cursor[c as usize];
+        scratch[*cur] = r;
+        *cur += 1;
+    }
+    refs[begin..end].copy_from_slice(scratch);
+    // Emit boundary LCPs and enqueue bucket subtasks.
+    let mut pos = begin;
+    for (b, &sz) in count.iter().enumerate() {
+        if sz == 0 {
             continue;
         }
-        if n <= RADIX_THRESHOLD {
-            mkqs::multikey_quicksort(ctx, &mut refs[begin..end], &mut lcps[begin..end], depth);
-            continue;
+        if pos > begin {
+            // First string of this bucket vs last of the previous one:
+            // they differ exactly at `depth`.
+            lcps[pos] = depth;
         }
-        if n >= RADIX16_MIN {
-            radix16_pass(ctx, refs, lcps, begin, end, depth, &mut stack);
-            continue;
-        }
-        // Pass 1: gather keys once, counting bucket sizes. Slice iteration
-        // keeps the loop free of per-element bounds checks; the stats are
-        // charged once per pass (n fetches), not per call.
-        count.fill(0);
-        let arena = ctx.arena;
-        let block = &refs[begin..end];
-        let keys = &mut ctx.key_scratch[begin..end];
-        for i in 0..n {
-            if i + super::PREFETCH_DIST < n {
-                super::prefetch_str_char(arena, block[i + super::PREFETCH_DIST], depth);
-            }
-            let r = block[i];
-            let c = if depth < r.len {
-                arena[(r.begin + depth) as usize]
+        if sz >= 2 {
+            if b == 0 {
+                // Finished strings: all equal, of length `depth`.
+                lcps[pos + 1..pos + sz].fill(depth);
             } else {
-                0
-            };
-            keys[i] = c;
-            count[c as usize] += 1;
-        }
-        ctx.stats.chars_accessed += n as u64;
-        // Exclusive prefix sums → bucket write cursors (block-relative).
-        let mut cursor = [0usize; 256];
-        let mut sum = 0usize;
-        for (cur, &cnt) in cursor.iter_mut().zip(count.iter()) {
-            *cur = sum;
-            sum += cnt;
-        }
-        // Pass 2: stable scatter into scratch, copy back.
-        let scratch = &mut ctx.ref_scratch[begin..end];
-        for (&r, &c) in refs[begin..end].iter().zip(&ctx.key_scratch[begin..end]) {
-            let cur = &mut cursor[c as usize];
-            scratch[*cur] = r;
-            *cur += 1;
-        }
-        refs[begin..end].copy_from_slice(scratch);
-        // Emit boundary LCPs and enqueue bucket subtasks.
-        let mut pos = begin;
-        for (b, &sz) in count.iter().enumerate() {
-            if sz == 0 {
-                continue;
+                out.push(SortTask {
+                    begin: pos,
+                    end: pos + sz,
+                    depth: depth + 1,
+                });
             }
-            if pos > begin {
-                // First string of this bucket vs last of the previous one:
-                // they differ exactly at `depth`.
-                lcps[pos] = depth;
-            }
-            if sz >= 2 {
-                if b == 0 {
-                    // Finished strings: all equal, of length `depth`.
-                    lcps[pos + 1..pos + sz].fill(depth);
-                } else {
-                    stack.push(Task {
-                        begin: pos,
-                        end: pos + sz,
-                        depth: depth + 1,
-                    });
-                }
-            }
-            pos += sz;
         }
+        pos += sz;
     }
 }
 
@@ -146,7 +171,7 @@ fn radix16_pass(
     begin: usize,
     end: usize,
     depth: u32,
-    stack: &mut Vec<Task>,
+    out: &mut Vec<SortTask>,
 ) {
     let n = end - begin;
     if ctx.count16.is_empty() {
@@ -200,7 +225,7 @@ fn radix16_pass(
     }
     debug_assert_eq!(cum as usize, n);
     // Pass 2: stable scatter into scratch, copy back.
-    let scratch = &mut ctx.ref_scratch[begin..end];
+    let scratch = &mut ctx.ref_scratch[..n];
     for (&r, &k) in block.iter().zip(keys.iter()) {
         let cur = &mut count16[k as usize];
         scratch[*cur as usize] = r;
@@ -238,7 +263,7 @@ fn radix16_pass(
                 // All equal, of length `depth + 1` (shared c0, sentinel).
                 lcps[pos + 1..pos + size].fill(depth + 1);
             } else {
-                stack.push(Task {
+                out.push(SortTask {
                     begin: pos,
                     end: pos + size,
                     depth: depth + 2,

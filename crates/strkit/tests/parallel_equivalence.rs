@@ -1,0 +1,213 @@
+//! Cross-thread-count equivalence of the shared-memory parallel kernels:
+//! for every workload family and every tested thread count, the
+//! work-stealing parallel sort and the range-split parallel merge must be
+//! **byte-identical** to their sequential counterparts — strings, LCP
+//! arrays, source tags and (for the sort) work statistics alike.
+//!
+//! This is the determinism contract the distributed algorithms rely on:
+//! `DSS_THREADS` must never change any output, only wall time.
+
+use dss_strkit::losertree::{
+    parallel_lcp_merge_into, parallel_plain_merge_into, LcpLoserTree, LoserTree, MergeRun,
+};
+use dss_strkit::sort::{par_sort_with_lcp, sort_with_lcp, PAR_TASK_MIN};
+use dss_strkit::StringSet;
+use proptest::prelude::*;
+use rand::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// The workload families of the equivalence matrix.
+#[derive(Debug, Clone, Copy)]
+enum Family {
+    /// Uniform random strings over a..=z.
+    Random,
+    /// 20% of the strings are 4× longer than the rest.
+    Skewed,
+    /// σ = 4 (ACGT): deep radix recursion, heavy 16-bit passes.
+    Dna,
+    /// 90% drawn from a 16-string hot pool.
+    DupHeavy,
+    /// Every string equal: the all-ties adversary.
+    AllEqual,
+}
+
+const FAMILIES: [Family; 5] = [
+    Family::Random,
+    Family::Skewed,
+    Family::Dna,
+    Family::DupHeavy,
+    Family::AllEqual,
+];
+
+fn generate(family: Family, n: usize, seed: u64) -> StringSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = StringSet::new();
+    match family {
+        Family::Random => {
+            for _ in 0..n {
+                let len = rng.gen_range(0..16);
+                let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+                set.push(&s);
+            }
+        }
+        Family::Skewed => {
+            for i in 0..n {
+                let len = if i % 5 == 0 { 40 } else { 10 };
+                let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'f')).collect();
+                set.push(&s);
+            }
+        }
+        Family::Dna => {
+            const ACGT: [u8; 4] = [b'a', b'c', b'g', b't'];
+            for _ in 0..n {
+                let len = rng.gen_range(8..20);
+                let s: Vec<u8> = (0..len).map(|_| ACGT[rng.gen_range(0..4usize)]).collect();
+                set.push(&s);
+            }
+        }
+        Family::DupHeavy => {
+            let pool: Vec<Vec<u8>> = (0..16u32)
+                .map(|i| format!("hot_{i:02}_{}", "y".repeat((i % 4) as usize)).into_bytes())
+                .collect();
+            for _ in 0..n {
+                if rng.gen_range(0..10) < 9 {
+                    set.push(&pool[rng.gen_range(0..16usize)]);
+                } else {
+                    let len = rng.gen_range(0..8);
+                    let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'c')).collect();
+                    set.push(&s);
+                }
+            }
+        }
+        Family::AllEqual => {
+            for _ in 0..n {
+                set.push(b"same_same_same");
+            }
+        }
+    }
+    set
+}
+
+/// Asserts the parallel sort reproduces the sequential sort exactly for
+/// every thread count: permutation, LCP array and stats.
+fn check_sort_equivalence(family: Family, n: usize, seed: u64) {
+    let input = generate(family, n, seed);
+    let mut seq = input.clone();
+    let (seq_lcps, seq_stats) = sort_with_lcp(&mut seq);
+    for t in THREADS {
+        let mut par = input.clone();
+        let (par_lcps, par_stats) = par_sort_with_lcp(&mut par, t);
+        assert_eq!(
+            par.to_vecs(),
+            seq.to_vecs(),
+            "{family:?} strings differ at t={t}"
+        );
+        assert_eq!(par_lcps, seq_lcps, "{family:?} LCP array differs at t={t}");
+        assert_eq!(
+            par_stats, seq_stats,
+            "{family:?} sort stats differ at t={t}"
+        );
+    }
+}
+
+/// Splits a family's data into `k` independently sorted runs and asserts
+/// the range-split parallel merge reproduces the sequential loser tree
+/// exactly — strings, LCP array and source tags — for every thread count,
+/// for both the LCP-aware and the plain tree.
+fn check_merge_equivalence(family: Family, per_run: usize, k: usize, seed: u64) {
+    let runs_data: Vec<(StringSet, Vec<u32>)> = (0..k)
+        .map(|r| {
+            let mut set = generate(family, per_run, seed.wrapping_add(r as u64));
+            let (lcps, _) = sort_with_lcp(&mut set);
+            (set, lcps)
+        })
+        .collect();
+    let views: Vec<MergeRun<'_>> = runs_data
+        .iter()
+        .map(|(set, lcps)| MergeRun {
+            arena: set.arena(),
+            refs: set.refs(),
+            lcps,
+        })
+        .collect();
+    for lcp_aware in [true, false] {
+        let mut seq_out = StringSet::new();
+        let seq = if lcp_aware {
+            LcpLoserTree::new(views.clone()).merge_into(&mut seq_out)
+        } else {
+            LoserTree::new(views.clone()).merge_into(&mut seq_out)
+        };
+        for t in THREADS {
+            let mut par_out = StringSet::new();
+            let par = if lcp_aware {
+                parallel_lcp_merge_into(&views, &mut par_out, t)
+            } else {
+                parallel_plain_merge_into(&views, &mut par_out, t)
+            };
+            assert_eq!(
+                par_out.to_vecs(),
+                seq_out.to_vecs(),
+                "{family:?} merged strings differ at t={t} (lcp={lcp_aware})"
+            );
+            assert_eq!(
+                par.lcps, seq.lcps,
+                "{family:?} merged LCP array differs at t={t} (lcp={lcp_aware})"
+            );
+            assert_eq!(
+                par.sources, seq.sources,
+                "{family:?} merged sources differ at t={t} (lcp={lcp_aware})"
+            );
+        }
+    }
+}
+
+/// The full deterministic matrix: every family, above the parallel
+/// threshold so the multi-threaded paths genuinely engage (odd size, so
+/// ranges never split evenly).
+#[test]
+fn sort_matches_sequential_for_every_family_and_thread_count() {
+    for family in FAMILIES {
+        check_sort_equivalence(family, 2 * PAR_TASK_MIN + 37, 0xA11CE);
+    }
+}
+
+#[test]
+fn merge_matches_sequential_for_every_family_and_thread_count() {
+    for family in FAMILIES {
+        check_merge_equivalence(family, PAR_TASK_MIN + 11, 3, 0xB0B);
+    }
+}
+
+/// Below-threshold inputs short-circuit to the sequential kernels; the
+/// equivalence must hold there too (trivially, but the dispatch is code).
+#[test]
+fn small_inputs_stay_equivalent() {
+    for family in FAMILIES {
+        check_sort_equivalence(family, 100, 7);
+        check_merge_equivalence(family, 50, 4, 9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized seeds and sizes across the family × thread matrix.
+    #[test]
+    fn randomized_sort_equivalence(
+        seed in 0u64..1000,
+        fam in 0usize..FAMILIES.len(),
+        extra in 0usize..512,
+    ) {
+        check_sort_equivalence(FAMILIES[fam], PAR_TASK_MIN + extra, seed);
+    }
+
+    #[test]
+    fn randomized_merge_equivalence(
+        seed in 0u64..1000,
+        fam in 0usize..FAMILIES.len(),
+        k in 2usize..6,
+    ) {
+        check_merge_equivalence(FAMILIES[fam], PAR_TASK_MIN / 2 + 777, k, seed);
+    }
+}

@@ -1,8 +1,8 @@
 //! Minimal offline stand-in for the `crossbeam` facade crate.
 //!
 //! The build environment has no network access to crates.io, so the
-//! workspace vendors the two pieces `dss_net` uses, both delegating to
-//! `std`:
+//! workspace vendors the three pieces `dss_net`/`dss_strkit` use, all
+//! delegating to `std`:
 //!
 //! * [`channel`] — unbounded MPSC channels (`unbounded`, `Sender`,
 //!   `Receiver`, `RecvTimeoutError`) over `std::sync::mpsc`. The real
@@ -13,6 +13,12 @@
 //!   Matching crossbeam, the spawn closure receives the scope as an
 //!   argument and `scope` returns a `Result` (always `Ok` here: panics
 //!   from joined child threads propagate exactly as with `std`).
+//! * [`deque`] — the work-stealing `Worker`/`Stealer`/`Injector` trio of
+//!   `crossbeam-deque`, backed by mutex-guarded `VecDeque`s instead of
+//!   the lock-free Chase–Lev deque (this crate forbids `unsafe`). The
+//!   semantics match: workers push/pop at one end, stealers and the
+//!   injector take from the other, and `steal` returns the three-valued
+//!   [`deque::Steal`] verdict.
 
 #![forbid(unsafe_code)]
 
@@ -164,9 +170,194 @@ pub mod thread {
     }
 }
 
+pub mod deque {
+    //! Work-stealing deques over mutex-guarded `VecDeque`s.
+    //!
+    //! API-compatible subset of `crossbeam-deque`: a [`Worker`] owns one
+    //! end of a deque (LIFO or FIFO pops), hands out [`Stealer`] handles
+    //! that take single items from the opposite end, and an [`Injector`]
+    //! is a shared FIFO queue for seeding and overflow. The real crate's
+    //! lock-free implementation can observe transient contention and
+    //! reports it as [`Steal::Retry`]; the mutex version never does, but
+    //! callers must still handle the variant to stay source-compatible.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// True if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// True if a task was stolen.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// True if the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// Extracts the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    enum Flavor {
+        Lifo,
+        Fifo,
+    }
+
+    /// Owner side of a work-stealing deque. Pushes go to the back;
+    /// `pop` takes from the back (LIFO flavor) or front (FIFO flavor),
+    /// while stealers always take from the front.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a deque whose owner pops most-recently-pushed first.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Creates a deque whose owner pops oldest-first.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// Enqueues a task on the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Dequeues the owner's next task.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().unwrap();
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        /// Creates a handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// True if the deque holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+
+    /// Thief side of a [`Worker`]'s deque; steals oldest tasks first.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one task from the front of the deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if the deque holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+
+    /// Shared FIFO injector queue: any thread may push or steal.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Attempts to steal the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if the injector holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{unbounded, RecvTimeoutError};
+    use super::deque::{Injector, Steal, Worker};
     use super::thread;
     use std::time::Duration;
 
@@ -200,6 +391,81 @@ mod tests {
         })
         .unwrap();
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn worker_lifo_pop_and_fifo_steal_order() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        // Owner pops newest first; stealer takes oldest first.
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn worker_fifo_pops_oldest_first() {
+        let w = Worker::new_fifo();
+        w.push(10);
+        w.push(20);
+        assert_eq!(w.pop(), Some(10));
+        assert_eq!(w.pop(), Some(20));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_is_shared_fifo() {
+        let inj = Injector::new();
+        inj.push(7u32);
+        inj.push(8);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal().success(), Some(7));
+        assert_eq!(inj.steal().success(), Some(8));
+        assert!(inj.steal().is_empty());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn stealing_across_threads_drains_everything() {
+        let inj = Injector::new();
+        let workers: Vec<Worker<u64>> = (0..3).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<_> = workers.iter().map(|w| w.stealer()).collect();
+        for v in 0..300u64 {
+            inj.push(v);
+        }
+        let total: u64 = thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter()
+                .map(|w| {
+                    let inj = &inj;
+                    let stealers = &stealers;
+                    scope.spawn(move |_| {
+                        let mut sum = 0u64;
+                        loop {
+                            let task = w.pop().or_else(|| {
+                                inj.steal()
+                                    .success()
+                                    .or_else(|| stealers.iter().find_map(|s| s.steal().success()))
+                            });
+                            match task {
+                                Some(v) => sum += v,
+                                None => break,
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, (0..300u64).sum());
     }
 
     #[test]

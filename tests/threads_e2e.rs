@@ -1,0 +1,132 @@
+//! Multi-threaded-PE end-to-end matrix: every algorithm with 4
+//! shared-memory threads per PE, in both exchange modes, against a
+//! sequential oracle. The `DSS_THREADS`-style configuration is set
+//! explicitly through [`Algorithm::instance_with`] so the test is immune
+//! to env-var races and runs the same everywhere.
+//!
+//! The load-bearing claim: the thread count must never change any output
+//! byte — the work-stealing local sort and the range-split parallel
+//! merges are deterministic, so `threads = 4` output equals `threads = 1`
+//! output equals the oracle.
+
+use distributed_string_sorting::prelude::*;
+use distributed_string_sorting::sort::output::origin_parts;
+use distributed_string_sorting::sort::ExchangeMode;
+
+const THREADS: usize = 4;
+
+fn oracle_check_threads(alg: Algorithm, mode: ExchangeMode, w: &Workload, p: usize, seed: u64) {
+    let mut expect: Vec<Vec<u8>> = (0..p)
+        .flat_map(|r| w.generate(r, p, seed).to_vecs())
+        .collect();
+    expect.sort();
+
+    let result = run_spmd(p, RunConfig::default(), move |comm| {
+        let shard = w.generate(comm.rank(), comm.size(), seed);
+        let input = shard.clone();
+        let out = alg.instance_with(mode, THREADS).sort(comm, shard);
+        check_distributed_sort(comm, &input, &out)
+            .unwrap_or_else(|e| panic!("{} ({}) checker: {e}", alg.label(), mode.label()));
+        (
+            out.set.to_vecs(),
+            out.origins,
+            out.local_store.map(|s| s.to_vecs()),
+        )
+    });
+
+    let got: Vec<Vec<u8>> = match result.values[0].1 {
+        None => result
+            .values
+            .iter()
+            .flat_map(|(s, _, _)| s.clone())
+            .collect(),
+        Some(_) => {
+            // PDMS: map origins back to full strings.
+            let stores: Vec<&Vec<Vec<u8>>> = result
+                .values
+                .iter()
+                .map(|(_, _, st)| st.as_ref().expect("pdms keeps store"))
+                .collect();
+            result
+                .values
+                .iter()
+                .flat_map(|(prefixes, origins, _)| {
+                    let origins = origins.as_ref().expect("pdms origins");
+                    prefixes.iter().zip(origins).map(|(pref, &tag)| {
+                        let (pe, idx) = origin_parts(tag);
+                        let full = stores[pe][idx].clone();
+                        assert!(
+                            full.starts_with(pref),
+                            "{}: prefix/origin mismatch",
+                            alg.label()
+                        );
+                        full
+                    })
+                })
+                .collect()
+        }
+    };
+    assert_eq!(
+        got,
+        expect,
+        "{} ({}) with {THREADS} threads/PE on {} p={p} does not sort",
+        alg.label(),
+        mode.label(),
+        w.label()
+    );
+}
+
+/// Big enough shards that the parallel local sort genuinely engages
+/// (above `PAR_TASK_MIN = 2048` strings per PE).
+fn workload() -> Workload {
+    Workload::DnRatio {
+        n_per_pe: 3000,
+        len: 24,
+        r: 0.5,
+        sigma: 6,
+    }
+}
+
+#[test]
+fn all_algorithms_sort_with_threads_blocking() {
+    for alg in Algorithm::all_extended() {
+        oracle_check_threads(alg, ExchangeMode::Blocking, &workload(), 4, 11);
+    }
+}
+
+#[test]
+fn all_algorithms_sort_with_threads_pipelined() {
+    for alg in Algorithm::all_extended() {
+        oracle_check_threads(alg, ExchangeMode::Pipelined, &workload(), 4, 12);
+    }
+}
+
+/// Byte-for-byte: the threaded run's per-PE outputs (including LCP
+/// arrays) must equal the single-threaded run's, for every algorithm and
+/// both modes.
+#[test]
+fn threaded_output_identical_to_single_threaded() {
+    let w = workload();
+    for alg in Algorithm::all_extended() {
+        for mode in [ExchangeMode::Blocking, ExchangeMode::Pipelined] {
+            let run = |threads: usize| {
+                let w = &w;
+                run_spmd(4, RunConfig::default(), move |comm| {
+                    let shard = w.generate(comm.rank(), comm.size(), 13);
+                    let out = alg.instance_with(mode, threads).sort(comm, shard);
+                    (out.set.to_vecs(), out.lcps, out.origins)
+                })
+                .values
+            };
+            let single = run(1);
+            let threaded = run(THREADS);
+            assert_eq!(
+                single,
+                threaded,
+                "{} ({}) per-PE outputs differ between 1 and {THREADS} threads",
+                alg.label(),
+                mode.label()
+            );
+        }
+    }
+}
