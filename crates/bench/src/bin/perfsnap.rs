@@ -98,12 +98,12 @@ fn main() {
 
     eprintln!();
     eprintln!(
-        "{:<10} {:<10} {:>9} {:>11} {:>13} {:>14} {:>10}",
-        "workload", "algo", "n", "wall_ms", "MB/s", "chars_accessed", "allocs"
+        "{:<10} {:<10} {:>9} {:>11} {:>13} {:>14} {:>10} {:>13}",
+        "workload", "algo", "n", "wall_ms", "MB/s", "chars_accessed", "allocs", "bytes_copied"
     );
     for c in &cells {
         eprintln!(
-            "{:<10} {:<10} {:>9} {:>11.2} {:>13.2} {:>14} {:>10}",
+            "{:<10} {:<10} {:>9} {:>11.2} {:>13.2} {:>14} {:>10} {:>13}",
             c.workload,
             c.algo,
             c.n,
@@ -112,6 +112,7 @@ fn main() {
             c.chars_accessed
                 .map_or_else(|| "-".into(), |v| v.to_string()),
             c.allocs,
+            c.bytes_copied,
         );
     }
 

@@ -19,8 +19,9 @@
 use crate::cli::Args;
 use dss_gen::Workload;
 use dss_net::runner::{run_spmd, RunConfig};
-use dss_sort::exchange::{merge_received_lcp, ExchangeCodec, ExchangePayload, StringAllToAll};
+use dss_sort::exchange::{ExchangeCodec, ExchangePayload, StringAllToAll};
 use dss_sort::Algorithm;
+use dss_strkit::copyvol;
 use dss_strkit::losertree::{parallel_lcp_merge_into, MergeRun};
 use dss_strkit::sort::{par_sort_with_lcp, sort_with_lcp};
 use dss_strkit::StringSet;
@@ -159,6 +160,10 @@ pub struct Cell {
     pub allocs: u64,
     /// Bytes requested from the allocator in the measured region.
     pub alloc_bytes: u64,
+    /// Payload/handle bytes memcpy'd by the instrumented hot paths in the
+    /// measured region (`dss_strkit::copyvol` delta). Deterministic per
+    /// input — the drift-immune companion to the throughput column.
+    pub bytes_copied: u64,
 }
 
 /// Sizing knobs for one snapshot run.
@@ -266,6 +271,7 @@ pub fn seq_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Cell {
         }
         let (n, chars) = (set.len(), set.num_chars());
         let (a0, b0) = probe();
+        let c0 = copyvol::bytes_copied();
         let t0 = Instant::now();
         let (lcps, stats) = sort_with_lcp(&mut set);
         let wall = t0.elapsed();
@@ -282,6 +288,7 @@ pub fn seq_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Cell {
             bytes_per_string: None,
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
+            bytes_copied: copyvol::bytes_copied() - c0,
         };
         if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
             best = Some(cell);
@@ -304,6 +311,7 @@ pub fn par_sort_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
         }
         let (n, chars) = (set.len(), set.num_chars());
         let (a0, b0) = probe();
+        let c0 = copyvol::bytes_copied();
         let t0 = Instant::now();
         let (lcps, stats) = par_sort_with_lcp(&mut set, cfg.threads);
         let wall = t0.elapsed();
@@ -320,6 +328,7 @@ pub fn par_sort_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
             bytes_per_string: None,
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
+            bytes_copied: copyvol::bytes_copied() - c0,
         };
         if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
             best = Some(cell);
@@ -364,6 +373,7 @@ pub fn merge_cell(
     for _ in 0..cfg.reps {
         let mut out = StringSet::new();
         let (a0, b0) = probe();
+        let c0 = copyvol::bytes_copied();
         let t0 = Instant::now();
         let merged = parallel_lcp_merge_into(&views, &mut out, threads);
         let wall = t0.elapsed();
@@ -381,6 +391,7 @@ pub fn merge_cell(
             bytes_per_string: None,
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
+            bytes_copied: copyvol::bytes_copied() - c0,
         };
         if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
             best = Some(cell);
@@ -401,7 +412,14 @@ pub fn dist_cell(w: SnapWorkload, alg: Algorithm, cfg: &SnapConfig, probe: Alloc
             let shard = w.generate(comm.rank(), comm.size(), seed, n_per_pe);
             let (n, chars) = (shard.len(), shard.num_chars());
             comm.barrier();
-            let before = (comm.rank() == 0).then(probe);
+            let before = (comm.rank() == 0).then(|| (probe(), copyvol::bytes_copied()));
+            // Second fence: barrier exits are not synchronized, so
+            // without it a fast PE could run ahead and do part of its
+            // sort before rank 0 (still waking from the barrier) reads
+            // the counters, sliding that work out of the window. No PE
+            // can leave this barrier until rank 0 has entered it — i.e.
+            // until the `before` reading is taken.
+            comm.barrier();
             let t0 = Instant::now();
             comm.set_phase("sort");
             let sorter = alg.instance();
@@ -409,14 +427,14 @@ pub fn dist_cell(w: SnapWorkload, alg: Algorithm, cfg: &SnapConfig, probe: Alloc
             let wall = t0.elapsed();
             comm.set_phase("drain");
             comm.barrier();
-            let (da, db) = match before {
-                Some((a0, b0)) => {
+            let (da, db, dc) = match before {
+                Some(((a0, b0), c0)) => {
                     let (a1, b1) = probe();
-                    (a1 - a0, b1 - b0)
+                    (a1 - a0, b1 - b0, copyvol::bytes_copied() - c0)
                 }
-                None => (0, 0),
+                None => (0, 0, 0),
             };
-            (n, chars, out.set.len(), wall, da, db)
+            (n, chars, out.set.len(), wall, da, db, dc)
         });
         let n: usize = res.values.iter().map(|v| v.0).sum();
         let chars: usize = res.values.iter().map(|v| v.1).sum();
@@ -425,6 +443,7 @@ pub fn dist_cell(w: SnapWorkload, alg: Algorithm, cfg: &SnapConfig, probe: Alloc
         let wall = res.values.iter().map(|v| v.3).max().expect("p >= 1");
         let allocs: u64 = res.values.iter().map(|v| v.4).sum();
         let alloc_bytes: u64 = res.values.iter().map(|v| v.5).sum();
+        let bytes_copied: u64 = res.values.iter().map(|v| v.6).sum();
         // The sorter renames the phase internally; count everything that
         // is not generation or the barrier fences.
         let bytes_sent: u64 = res
@@ -445,6 +464,7 @@ pub fn dist_cell(w: SnapWorkload, alg: Algorithm, cfg: &SnapConfig, probe: Alloc
             bytes_per_string: Some(bytes_sent as f64 / n.max(1) as f64),
             allocs,
             alloc_bytes,
+            bytes_copied,
         };
         if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
             best = Some(cell);
@@ -455,10 +475,13 @@ pub fn dist_cell(w: SnapWorkload, alg: Algorithm, cfg: &SnapConfig, probe: Alloc
 
 /// Measures the exchange+merge micro-cell: local sort (untimed), one
 /// untimed warmup exchange that brings the engine's pooled decode scratch
-/// to steady state, then a barrier-fenced [`StringAllToAll`] exchange +
-/// `merge_received_lcp` region. The allocation delta is read on rank 0
-/// across the fences, so it covers every PE's steady-state exchange-path
-/// allocations and nothing else.
+/// to steady state, then a barrier-fenced fused
+/// [`StringAllToAll::exchange_merge_by_splitters`] region — the same
+/// entry point the merge-based algorithms use, so in pipelined mode the
+/// cell exercises the rope-backed incremental cascade, and in blocking
+/// mode the k-way loser-tree merge. The allocation and copy-volume
+/// deltas are read on rank 0 across the fences, so they cover every
+/// PE's steady-state exchange-path traffic and nothing else.
 pub fn exchange_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Cell {
     let mut best: Option<Cell> = None;
     for _ in 0..cfg.reps {
@@ -481,30 +504,36 @@ pub fn exchange_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
                 origins: None,
                 truncate: None,
             };
-            let mut engine = StringAllToAll::new(ExchangeCodec::LcpCompressed);
+            // Merge threads pinned to 1 so the cell isolates the
+            // exchange path itself from `DSS_THREADS` scaling.
+            let mut engine = StringAllToAll::new(ExchangeCodec::LcpCompressed).with_threads(1);
             // Warmup: populate the pooled decode scratch (untimed).
-            let _ = engine.exchange_by_splitters(comm, &payload, &splitters, false);
+            let _ = engine.exchange_merge_by_splitters(comm, &payload, &splitters, false, None);
             comm.barrier();
-            let before = (comm.rank() == 0).then(probe);
+            let before = (comm.rank() == 0).then(|| (probe(), copyvol::bytes_copied()));
+            // Second fence: no PE may start the measured exchange until
+            // rank 0 has taken the `before` reading (see `dist_cell`).
+            comm.barrier();
             let t0 = Instant::now();
-            let runs = engine.exchange_by_splitters(comm, &payload, &splitters, false);
-            let merged = merge_received_lcp(runs, 1);
+            let merged =
+                engine.exchange_merge_by_splitters(comm, &payload, &splitters, false, None);
             let wall = t0.elapsed();
             comm.barrier();
-            let (da, db) = match before {
-                Some((a0, b0)) => {
+            let (da, db, dc) = match before {
+                Some(((a0, b0), c0)) => {
                     let (a1, b1) = probe();
-                    (a1 - a0, b1 - b0)
+                    (a1 - a0, b1 - b0, copyvol::bytes_copied() - c0)
                 }
-                None => (0, 0),
+                None => (0, 0, 0),
             };
-            (merged.set.len(), merged.set.num_chars(), wall, da, db)
+            (merged.set.len(), merged.set.num_chars(), wall, da, db, dc)
         });
         let n: usize = res.values.iter().map(|v| v.0).sum();
         let chars: usize = res.values.iter().map(|v| v.1).sum();
         let wall = res.values.iter().map(|v| v.2).max().expect("p >= 1");
         let allocs: u64 = res.values.iter().map(|v| v.3).sum();
         let alloc_bytes: u64 = res.values.iter().map(|v| v.4).sum();
+        let bytes_copied: u64 = res.values.iter().map(|v| v.5).sum();
         let cell = Cell {
             workload: w.label(),
             algo: "exchange",
@@ -516,19 +545,22 @@ pub fn exchange_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
             bytes_per_string: None,
             allocs,
             alloc_bytes,
+            bytes_copied,
         };
-        // Like every cell, wall time is best-of-reps; the allocation
-        // fields independently keep their minimum (a slow rep can still
-        // be the least noisy allocation observation).
+        // Like every cell, wall time is best-of-reps; the allocation and
+        // copy-volume fields independently keep their minimum (a slow rep
+        // can still be the least noisy observation).
         best = Some(match best.take() {
             None => cell,
             Some(mut b) => {
                 b.allocs = b.allocs.min(cell.allocs);
                 b.alloc_bytes = b.alloc_bytes.min(cell.alloc_bytes);
+                b.bytes_copied = b.bytes_copied.min(cell.bytes_copied);
                 if cell.wall < b.wall {
                     Cell {
                         allocs: b.allocs,
                         alloc_bytes: b.alloc_bytes,
+                        bytes_copied: b.bytes_copied,
                         ..cell
                     }
                 } else {
@@ -626,7 +658,8 @@ pub fn snapshot_json(label: &str, cfg: &SnapConfig, cells: &[Cell]) -> String {
         out.push_str(&format!(
             "      {{\"workload\": \"{}\", \"algo\": \"{}\", \"n\": {}, \"chars\": {}, \
              \"wall_ms\": {}, \"throughput_mb_s\": {}, \"chars_accessed\": {}, \
-             \"bytes_per_string\": {}, \"allocs\": {}, \"alloc_bytes\": {}}}{}\n",
+             \"bytes_per_string\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \
+             \"bytes_copied\": {}}}{}\n",
             c.workload,
             c.algo,
             c.n,
@@ -637,6 +670,7 @@ pub fn snapshot_json(label: &str, cfg: &SnapConfig, cells: &[Cell]) -> String {
             bps,
             c.allocs,
             c.alloc_bytes,
+            c.bytes_copied,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
@@ -708,6 +742,17 @@ mod tests {
                 "{algo} cells must report wire volume"
             );
         }
+        // Every cell exercises at least one instrumented copy site, so the
+        // copy-volume column must be populated across the whole matrix (in
+        // whichever exchange mode this test runs under).
+        for c in &cells {
+            assert!(
+                c.bytes_copied > 0,
+                "{}/{} reported zero bytes_copied",
+                c.workload,
+                c.algo
+            );
+        }
     }
 
     #[test]
@@ -724,6 +769,7 @@ mod tests {
             bytes_per_string: None,
             allocs: 7,
             alloc_bytes: 512,
+            bytes_copied: 4096,
         }];
         let snap = snapshot_json("test", &cfg, &cells);
         let dir = std::env::temp_dir().join(format!("perfsnap_test_{}", std::process::id()));
@@ -737,6 +783,7 @@ mod tests {
         assert!(body.ends_with("]\n"));
         assert_eq!(body.matches("\"label\": \"test\"").count(), 2);
         assert_eq!(body.matches("\"chars_accessed\": 123").count(), 2);
+        assert_eq!(body.matches("\"bytes_copied\": 4096").count(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

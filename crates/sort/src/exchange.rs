@@ -46,6 +46,7 @@ use crate::output::SortedRun;
 use crate::partition::{bucket_bounds, bucket_bounds_tie_break};
 use dss_codec::wire::{self, DecodedRun};
 use dss_net::Comm;
+use dss_strkit::lcp::lcp_compare;
 use dss_strkit::losertree::{parallel_lcp_merge_into, parallel_plain_merge_into, MergeRun};
 use dss_strkit::{StrRef, StringSet};
 use std::sync::OnceLock;
@@ -332,10 +333,13 @@ impl StringAllToAll {
     /// The overlapped path: receives posted up front, buckets encoded and
     /// shipped one at a time, arrivals decoded and incrementally merged
     /// between sends. Incremental merges combine only *adjacent* source
-    /// ranges of equal width (a binary-counter cascade), which keeps the
-    /// total merge work at the k-way tree's `O(n log p)` and — because
-    /// every loser tree breaks ties by stream index — reproduces the
-    /// blocking k-way merge's output exactly, duplicates included.
+    /// ranges of equal width (a binary-counter cascade) and move handles
+    /// only — characters stay in the decoded runs' arenas until
+    /// [`SegmentAccumulator::finish`] copies each exactly once into the
+    /// pre-sized output arena. Because every merge resolves equal strings
+    /// to the lower source range — the loser trees' stream-index
+    /// tie-break — the output reproduces the blocking k-way merge
+    /// exactly, duplicates included.
     fn exchange_merge_pipelined(
         &mut self,
         comm: &Comm,
@@ -346,7 +350,7 @@ impl StringAllToAll {
         let p = comm.size();
         let lcp_merge = !matches!(self.codec, ExchangeCodec::Plain);
         self.ensure_runs(p);
-        let mut acc = SegmentAccumulator::new(lcp_merge, self.threads);
+        let mut acc = SegmentAccumulator::new(lcp_merge);
         let mut ex = comm.begin_alltoallv();
         let r = comm.rank();
         for i in 0..p {
@@ -396,6 +400,7 @@ impl StringAllToAll {
             let mut buf = Vec::with_capacity(exact);
             wire::encode_plain(strings(), None, &mut buf);
             debug_assert_eq!(buf.len(), exact);
+            dss_strkit::copyvol::record_copied(buf.len());
             buf
         };
         match self.mode {
@@ -441,6 +446,7 @@ impl StringAllToAll {
                 let mut buf = Vec::with_capacity(exact);
                 wire::encode_plain(strings(), origins_slice, &mut buf);
                 debug_assert_eq!(buf.len(), exact);
+                dss_strkit::copyvol::record_copied(buf.len());
                 buf
             }
             ExchangeCodec::LcpCompressed | ExchangeCodec::LcpDelta => {
@@ -461,6 +467,7 @@ impl StringAllToAll {
                 let mut buf = Vec::with_capacity(exact);
                 wire::encode_lcp(strings(), &self.run_lcps, origins_slice, delta, &mut buf);
                 debug_assert_eq!(buf.len(), exact);
+                dss_strkit::copyvol::record_copied(buf.len());
                 buf
             }
         }
@@ -483,6 +490,7 @@ impl StringAllToAll {
         }
         .expect("well-formed exchange run");
         debug_assert_eq!(pos, buf.len());
+        dss_strkit::copyvol::record_copied(run.data.len());
     }
 
     /// Decodes the received buffers into the pooled scratch ring, growing
@@ -501,18 +509,28 @@ impl StringAllToAll {
 /// source run becomes a leaf segment, adjacent segments of equal width
 /// merge as soon as both are available (a binary-counter cascade, so
 /// total merge work stays at the k-way tree's `O(n log p)`), and
-/// [`SegmentAccumulator::finish`] k-way merges whatever remains.
+/// [`SegmentAccumulator::finish`] folds whatever remains and materializes
+/// the output.
+///
+/// Merged segments are **ropes**, not copies: a merge produces only the
+/// output *order* — `(source rank, index)` pairs into the engine's
+/// decoded-run ring — plus the exact merged LCP array. The character
+/// payload stays in the runs' arenas untouched through every cascade
+/// level and is copied exactly once, at [`SegmentAccumulator::finish`],
+/// into an output arena pre-sized to the exact total. The old cascade
+/// re-copied every string once per level (`O(n log p)` chars); the rope
+/// cascade moves `O(n log p)` *handles* but `O(n)` chars.
 ///
 /// Segments always cover disjoint source-rank ranges and merges only
-/// ever combine *adjacent* ranges with the lower range as the lower
-/// stream index. Since both loser trees break ties by stream index, the
-/// accumulated sequence — strings, LCP array and origin tags alike — is
+/// ever combine *adjacent* ranges, the lower range on the left with
+/// equal strings resolved to the left. Since the loser trees of the
+/// blocking path break ties by stream index — and stable two-way merges
+/// of adjacent ranges compose associatively under that rule — the
+/// accumulated sequence (strings, LCP array and origin tags alike) is
 /// exactly what the blocking path's single k-way merge over all `p` runs
 /// produces, duplicates included.
 struct SegmentAccumulator {
     lcp_merge: bool,
-    /// Merge threads for every cascade step and the final k-way merge.
-    threads: usize,
     /// Available segments, ordered by `lo`, ranges pairwise disjoint.
     segs: Vec<Segment>,
 }
@@ -527,20 +545,80 @@ struct Segment {
 enum SegData {
     /// The decoded run of source `lo`, still in the engine's ring.
     Leaf,
-    /// An owned merge result of two or more adjacent sources.
-    Merged {
-        set: StringSet,
-        /// Exact LCP array of `set` (left empty for plain merges).
+    /// Merge result of two or more adjacent sources: the output order
+    /// over the (unmoved) decoded runs, not a copy of their bytes.
+    Rope {
+        /// Output position `k` holds string `idx` of `runs[src]`.
+        order: Vec<(u32, u32)>,
+        /// Exact LCP array of the merged sequence, first entry 0 (left
+        /// empty for plain merges).
         lcps: Vec<u32>,
-        origins: Option<Vec<u64>>,
     },
 }
 
+/// Read-only merge view of one segment: a leaf resolves through the
+/// decoded run directly, a rope through its `(src, idx)` order.
+struct SegView<'a> {
+    runs: &'a [DecodedRun],
+    kind: SegViewKind<'a>,
+}
+
+enum SegViewKind<'a> {
+    Leaf {
+        src: u32,
+    },
+    Rope {
+        order: &'a [(u32, u32)],
+        lcps: &'a [u32],
+    },
+}
+
+impl<'a> SegView<'a> {
+    fn new(seg: &'a Segment, runs: &'a [DecodedRun]) -> Self {
+        let kind = match &seg.data {
+            SegData::Leaf => SegViewKind::Leaf {
+                src: u32::try_from(seg.lo).expect("rank fits u32"),
+            },
+            SegData::Rope { order, lcps } => SegViewKind::Rope { order, lcps },
+        };
+        Self { runs, kind }
+    }
+
+    fn len(&self) -> usize {
+        match &self.kind {
+            SegViewKind::Leaf { src } => self.runs[*src as usize].len(),
+            SegViewKind::Rope { order, .. } => order.len(),
+        }
+    }
+
+    /// `(src, idx)` of output position `i`.
+    fn item(&self, i: usize) -> (u32, u32) {
+        match &self.kind {
+            SegViewKind::Leaf { src } => (*src, i as u32),
+            SegViewKind::Rope { order, .. } => order[i],
+        }
+    }
+
+    fn bytes(&self, i: usize) -> &'a [u8] {
+        let (src, idx) = self.item(i);
+        let run = &self.runs[src as usize];
+        let (off, len) = run.bounds[idx as usize];
+        &run.data[off..off + len]
+    }
+
+    /// LCP of position `i` with position `i - 1` (0 at position 0).
+    fn lcp(&self, i: usize) -> u32 {
+        match &self.kind {
+            SegViewKind::Leaf { src } => self.runs[*src as usize].lcps[i],
+            SegViewKind::Rope { lcps, .. } => lcps[i],
+        }
+    }
+}
+
 impl SegmentAccumulator {
-    fn new(lcp_merge: bool, threads: usize) -> Self {
+    fn new(lcp_merge: bool) -> Self {
         Self {
             lcp_merge,
-            threads,
             segs: Vec::new(),
         }
     }
@@ -568,103 +646,167 @@ impl SegmentAccumulator {
                 a.hi == b.lo && a.hi - a.lo == b.hi - b.lo
             });
             let Some(i) = adjacent_equal else { break };
-            let data = merge_segments(&self.segs[i..i + 2], runs, self.lcp_merge, self.threads);
+            let data = merge_pair(&self.segs[i], &self.segs[i + 1], runs, self.lcp_merge);
             let (lo, hi) = (self.segs[i].lo, self.segs[i + 1].hi);
             self.segs.splice(i..i + 2, [Segment { lo, hi, data }]);
         }
     }
 
-    /// Merges the remaining segments into the final [`SortedRun`].
+    /// Folds the remaining segments into one rope and materializes the
+    /// final [`SortedRun`] — the only point where character payload is
+    /// copied, once, into an arena pre-sized to the exact totals.
     fn finish(mut self, runs: &[DecodedRun]) -> SortedRun {
-        let data = if self.segs.len() == 1 && matches!(self.segs[0].data, SegData::Merged { .. }) {
-            // Everything already merged incrementally: hand it over
-            // without one more copy (a 1-way tree merge would reproduce
-            // the identical sequence).
-            self.segs.pop().expect("single segment").data
-        } else {
-            merge_segments(&self.segs, runs, self.lcp_merge, self.threads)
+        // Leftover segments have strictly decreasing widths (binary
+        // counter), so folding right-to-left always merges the two
+        // smallest first and keeps total handle movement at O(n log p).
+        while self.segs.len() > 1 {
+            let b = self.segs.pop().expect("len > 1");
+            let a = self.segs.pop().expect("len > 1");
+            debug_assert_eq!(a.hi, b.lo, "segments cover adjacent ranges");
+            let data = merge_pair(&a, &b, runs, self.lcp_merge);
+            self.segs.push(Segment {
+                lo: a.lo,
+                hi: b.hi,
+                data,
+            });
+        }
+        let Some(seg) = self.segs.pop() else {
+            return SortedRun {
+                set: StringSet::new(),
+                lcps: self.lcp_merge.then(Vec::new),
+                origins: Some(Vec::new()),
+                local_store: None,
+            };
         };
-        let SegData::Merged { set, lcps, origins } = data else {
-            unreachable!("merge_segments always yields an owned segment");
-        };
-        SortedRun {
-            set,
-            lcps: self.lcp_merge.then_some(lcps),
-            origins,
-            local_store: None,
+        let total_chars: usize = (seg.lo..seg.hi).map(|s| runs[s].data.len()).sum();
+        let have_origins = (seg.lo..seg.hi).all(|s| runs[s].origins.is_some());
+        match seg.data {
+            // A single leaf (p == 1, or one non-empty run): wholesale
+            // handover with no merge walk — the run is already sorted
+            // with run-local LCPs, first entry 0.
+            SegData::Leaf => {
+                let run = &runs[seg.lo];
+                let mut set = StringSet::with_capacity(run.len(), total_chars);
+                for &(off, len) in &run.bounds {
+                    set.push(&run.data[off..off + len]);
+                }
+                dss_strkit::copyvol::record_copied(total_chars);
+                SortedRun {
+                    set,
+                    lcps: self.lcp_merge.then(|| run.lcps.clone()),
+                    origins: run.origins.clone(),
+                    local_store: None,
+                }
+            }
+            SegData::Rope { order, lcps } => {
+                let mut set = StringSet::with_capacity(order.len(), total_chars);
+                for &(src, idx) in &order {
+                    let run = &runs[src as usize];
+                    let (off, len) = run.bounds[idx as usize];
+                    set.push(&run.data[off..off + len]);
+                }
+                dss_strkit::copyvol::record_copied(total_chars);
+                let origins = have_origins.then(|| {
+                    order
+                        .iter()
+                        .map(|&(src, idx)| {
+                            runs[src as usize].origins.as_ref().expect("checked")[idx as usize]
+                        })
+                        .collect()
+                });
+                SortedRun {
+                    set,
+                    lcps: self.lcp_merge.then_some(lcps),
+                    origins,
+                    local_store: None,
+                }
+            }
         }
     }
 }
 
-/// K-way merges adjacent segments (ordered by `lo`) into one owned
-/// segment, with the same loser trees — and therefore the same
-/// stream-index tie-breaking — as `merge_received_lcp`/`_plain`.
-/// `threads > 1` uses the range-split parallel trees (byte-identical
-/// output).
-fn merge_segments(
-    segs: &[Segment],
-    runs: &[DecodedRun],
-    lcp_merge: bool,
-    threads: usize,
-) -> SegData {
-    let leaf_refs: Vec<Option<Vec<StrRef>>> = segs
-        .iter()
-        .map(|s| match &s.data {
-            SegData::Leaf => Some(run_refs(&runs[s.lo])),
-            SegData::Merged { .. } => None,
-        })
-        .collect();
-    let views: Vec<MergeRun<'_>> = segs
-        .iter()
-        .zip(&leaf_refs)
-        .map(|(s, lr)| match &s.data {
-            SegData::Leaf => {
-                let run = &runs[s.lo];
-                MergeRun {
-                    arena: &run.data,
-                    refs: lr.as_ref().expect("leaf refs materialized"),
-                    lcps: &run.lcps,
+/// Two-way merges adjacent segments `a` (lower range) and `b` into a
+/// rope, moving handles and LCP values only — no character payload.
+///
+/// The LCP path carries the classic invariant: each side's head keeps
+/// its LCP with the last *emitted* string (`ha`/`hb`, both 0 before the
+/// first emission). Unequal values decide without touching a byte — the
+/// longer-prefix side is smaller, and the loser's value is already the
+/// LCP with the new output string. Equal values fall through to
+/// [`lcp_compare`] from the common prefix, which also yields the loser's
+/// updated LCP. Equal strings resolve to `a` — the lower source range,
+/// matching the loser trees' tie-break by stream index, so the cascade
+/// reproduces the blocking k-way merge byte-for-byte.
+fn merge_pair(a: &Segment, b: &Segment, runs: &[DecodedRun], lcp_merge: bool) -> SegData {
+    let a = SegView::new(a, runs);
+    let b = SegView::new(b, runs);
+    let (na, nb) = (a.len(), b.len());
+    let mut order = Vec::with_capacity(na + nb);
+    let mut lcps = Vec::with_capacity(if lcp_merge { na + nb } else { 0 });
+    let (mut i, mut j) = (0usize, 0usize);
+    if lcp_merge {
+        let (mut ha, mut hb) = (0u32, 0u32);
+        while i < na && j < nb {
+            let take_a = match ha.cmp(&hb) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => {
+                    let (ord, full) = lcp_compare(a.bytes(i), b.bytes(j), ha);
+                    if ord != std::cmp::Ordering::Greater {
+                        hb = full;
+                        true
+                    } else {
+                        ha = full;
+                        false
+                    }
+                }
+            };
+            if take_a {
+                order.push(a.item(i));
+                lcps.push(ha);
+                i += 1;
+                if i < na {
+                    ha = a.lcp(i);
+                }
+            } else {
+                order.push(b.item(j));
+                lcps.push(hb);
+                j += 1;
+                if j < nb {
+                    hb = b.lcp(j);
                 }
             }
-            SegData::Merged { set, lcps, .. } => MergeRun {
-                arena: set.arena(),
-                refs: set.refs(),
-                lcps,
-            },
-        })
-        .collect();
-    let mut out = StringSet::new();
-    let merged = if lcp_merge {
-        parallel_lcp_merge_into(&views, &mut out, threads)
+        }
+        while i < na {
+            order.push(a.item(i));
+            lcps.push(ha);
+            i += 1;
+            if i < na {
+                ha = a.lcp(i);
+            }
+        }
+        while j < nb {
+            order.push(b.item(j));
+            lcps.push(hb);
+            j += 1;
+            if j < nb {
+                hb = b.lcp(j);
+            }
+        }
     } else {
-        parallel_plain_merge_into(&views, &mut out, threads)
-    };
-    let have_origins = segs.iter().all(|s| match &s.data {
-        SegData::Leaf => runs[s.lo].origins.is_some(),
-        SegData::Merged { origins, .. } => origins.is_some(),
-    });
-    let origins = have_origins.then(|| {
-        merged
-            .sources
-            .iter()
-            .map(|&(si, idx)| match &segs[si as usize].data {
-                SegData::Leaf => runs[segs[si as usize].lo]
-                    .origins
-                    .as_ref()
-                    .expect("checked")[idx as usize],
-                SegData::Merged { origins, .. } => origins.as_ref().expect("checked")[idx as usize],
-            })
-            .collect()
-    });
-    SegData::Merged {
-        set: out,
-        lcps: if lcp_merge {
-            merged.lcps.expect("LCP tree yields LCPs")
-        } else {
-            Vec::new()
-        },
-        origins,
+        while i < na && j < nb {
+            if a.bytes(i) <= b.bytes(j) {
+                order.push(a.item(i));
+                i += 1;
+            } else {
+                order.push(b.item(j));
+                j += 1;
+            }
+        }
+        order.extend((i..na).map(|k| a.item(k)));
+        order.extend((j..nb).map(|k| b.item(k)));
     }
+    SegData::Rope { order, lcps }
 }
 
 /// Adapter: attach an exact size to any iterator (the wire encoder needs

@@ -5,13 +5,20 @@
 //! side once the scratch ring has reached its high-water mark.
 
 use dss_net::runner::{run_spmd, RunConfig};
-use dss_sort::exchange::{merge_received_lcp, ExchangePayload};
+use dss_sort::exchange::{merge_received_lcp, ExchangeMode, ExchangePayload};
 use dss_sort::{ExchangeCodec, StringAllToAll};
 use dss_strkit::sort::sort_with_lcp;
-use dss_strkit::StringSet;
+use dss_strkit::{copyvol, StringSet};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// Both tests read process-wide counters (allocator calls, copied
+/// bytes) in barrier-fenced windows; running them concurrently would
+/// leak one test's traffic into the other's window. Each test holds
+/// this lock for its whole measured region.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -47,6 +54,7 @@ fn allocs() -> u64 {
 /// rebuilds) and never grow the pooled buffers.
 #[test]
 fn exchange_decode_reaches_allocation_steady_state() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let p = 4usize;
     let cfg = RunConfig {
         recv_timeout: Duration::from_secs(60),
@@ -77,6 +85,11 @@ fn exchange_decode_reaches_allocation_steady_state() {
         for round in 0..rounds {
             comm.barrier();
             let before = (comm.rank() == 0).then(allocs);
+            // Barrier exits are not synchronized: without this second
+            // fence a fast PE could start (and partly finish) its
+            // exchange before rank 0 reads the counter, sliding that
+            // traffic out of the window.
+            comm.barrier();
             let runs = engine.exchange_by_splitters(comm, &payload, &splitters, false);
             let now: Vec<(usize, usize, usize)> = runs
                 .iter()
@@ -115,4 +128,82 @@ fn exchange_decode_reaches_allocation_steady_state() {
             "steady-state round should allocate < half of the cold round: {deltas:?}"
         );
     }
+}
+
+/// One whole SPMD run for [`pipelined_copy_volume_not_above_blocking`]:
+/// `rounds` fused exchange+merges in the given mode through one engine
+/// (cold round plus steady-state rounds), returning the process-wide
+/// [`copyvol`] delta for the entire run and rank 0's last merged output.
+///
+/// The delta is read on the test thread around the whole `run_spmd` —
+/// the thread join makes every PE's recording visible and fully
+/// contained, with no window-fencing races — and every recorded copy
+/// (local sort handle scatter, encode, decode, merge/materialize) is
+/// deterministic per input, so same-input runs are exactly comparable.
+/// Rank 0's merged output: the arena bytes plus the merged LCP array.
+type MergedOutput = (Vec<u8>, Vec<u32>);
+
+fn copy_volume_run(mode: ExchangeMode, rounds: usize) -> (u64, Vec<MergedOutput>) {
+    let cfg = RunConfig {
+        recv_timeout: Duration::from_secs(60),
+        ..RunConfig::default()
+    };
+    let before = copyvol::bytes_copied();
+    let res = run_spmd(4, cfg, move |comm| {
+        let mut set = StringSet::new();
+        for i in 0..2000u32 {
+            set.push(format!("copy_volume_{:05}_{}", i * 7 % 2000, comm.rank()).as_bytes());
+        }
+        let lcps = sort_with_lcp(&mut set).0;
+        let mut splitters = StringSet::new();
+        for j in 1..comm.size() {
+            splitters.push(set.get(j * set.len() / comm.size()));
+        }
+        let payload = ExchangePayload {
+            set: &set,
+            lcps: &lcps,
+            origins: None,
+            truncate: None,
+        };
+        let mut engine =
+            StringAllToAll::with_mode(ExchangeCodec::LcpCompressed, mode).with_threads(1);
+        let mut last = None;
+        for _ in 0..rounds {
+            last =
+                Some(engine.exchange_merge_by_splitters(comm, &payload, &splitters, false, None));
+        }
+        let run = last.expect("at least one round");
+        if comm.rank() == 0 {
+            (run.set.arena().to_vec(), run.lcps.expect("LCP merge"))
+        } else {
+            (Vec::new(), Vec::new())
+        }
+    });
+    (copyvol::bytes_copied() - before, res.values)
+}
+
+/// Copy-volume regression guard: the fused exchange+merge must not copy
+/// more character payload in pipelined mode than in blocking mode.
+///
+/// [`dss_strkit::copyvol`] counts deterministically per input (local
+/// sort handle scatter + encode buffers + decoded run arenas + merge
+/// appends), so the comparison of two same-input runs is exact, not a
+/// timing heuristic. The blocking path copies each character three
+/// times (encode, decode, k-way merge append); the rope-backed cascade
+/// also copies exactly three (encode, decode, one materialization at
+/// `finish`). A cascade that re-copies strings at every merge level —
+/// one extra full pass per level — fails this immediately at `p = 4`,
+/// and the repeated rounds amplify any per-round regression.
+#[test]
+fn pipelined_copy_volume_not_above_blocking() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let rounds = 3;
+    let (blocking, out_b) = copy_volume_run(ExchangeMode::Blocking, rounds);
+    let (pipelined, out_p) = copy_volume_run(ExchangeMode::Pipelined, rounds);
+    assert_eq!(out_b, out_p, "modes must produce byte-identical output");
+    assert!(blocking > 0 && pipelined > 0, "copy volume untracked");
+    assert!(
+        pipelined <= blocking,
+        "pipelined copied more than blocking: {pipelined} > {blocking}"
+    );
 }

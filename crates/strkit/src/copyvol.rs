@@ -1,0 +1,64 @@
+//! Process-wide copy-volume accounting for the merge/exchange hot paths.
+//!
+//! The paper's premise is that *communication* volume is the scarce
+//! resource, but locally the analogous quantity is memory traffic: every
+//! byte a merge or scatter moves costs bandwidth that wall-clock
+//! measurements only show through ±40% host drift. This module keeps a
+//! single process-wide counter — the same design as the counting global
+//! allocator behind the `allocs` perfsnap column — that the hot paths
+//! bump with the number of bytes they memcpy:
+//!
+//! * character payload written by the wire codecs (encode and decode),
+//! * character payload appended to an output arena by the loser-tree
+//!   merges, the parallel range-split merges and the pipelined cascade's
+//!   final materialisation,
+//! * `StrRef` handle bytes scattered by the MSD radix passes (including
+//!   any copy-backs between the handle array and its scratch buffer).
+//!
+//! Metadata arrays that every path builds identically (LCP arrays,
+//! per-string source/origin tags) are *not* counted — they would add the
+//! same constant to every variant and dilute the signal. Because the
+//! counter only tracks deterministic copy sites, two runs over the same
+//! input report identical values regardless of host load, which makes
+//! `bytes_copied` the drift-immune companion to the throughput columns.
+//!
+//! Recording is a single relaxed `fetch_add` per *bulk* copy (never per
+//! byte), so the counter stays on permanently instead of hiding behind a
+//! feature gate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// Record `bytes` of payload/handle traffic copied by a hot path.
+///
+/// Call once per bulk copy with the total size; the accounting cost is a
+/// single relaxed atomic add.
+#[inline]
+pub fn record_copied(bytes: usize) {
+    BYTES_COPIED.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+/// Total bytes copied by instrumented hot paths since process start.
+///
+/// Monotonically increasing; callers interested in a region take a
+/// before/after delta exactly like the allocation probes.
+#[inline]
+pub fn bytes_copied() -> u64 {
+    BYTES_COPIED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic_and_counts_exact_bytes() {
+        let before = bytes_copied();
+        record_copied(0);
+        assert_eq!(bytes_copied() - before, 0);
+        record_copied(17);
+        record_copied(4096);
+        assert_eq!(bytes_copied() - before, 17 + 4096);
+    }
+}

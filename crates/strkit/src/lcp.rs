@@ -9,24 +9,22 @@
 use crate::arena::StringSet;
 
 /// Length of the longest common prefix of two byte strings.
+///
+/// Word-at-a-time: 8-byte chunks are compared as `u64`s with a scalar
+/// tail for the last `< 8` bytes. Interpreting each chunk with
+/// `from_le_bytes` puts slice byte `j` into bits `8j..8j+8`, so the first
+/// differing byte of a mismatching pair is `trailing_zeros / 8` on every
+/// host — no endianness branch, no unsafe reads.
 #[inline]
 pub fn lcp(a: &[u8], b: &[u8]) -> u32 {
     let n = a.len().min(b.len());
-    let mut i = 0;
-    // Word-at-a-time comparison: compare 8-byte chunks, then finish
-    // byte-wise. Keeps the O(D) scans cheap on long common prefixes.
-    while i + 8 <= n {
-        let wa = u64::from_ne_bytes(a[i..i + 8].try_into().expect("8 bytes"));
-        let wb = u64::from_ne_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut i = 0usize;
+    for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+        let wa = u64::from_le_bytes(ca.try_into().expect("8-byte chunk"));
+        let wb = u64::from_le_bytes(cb.try_into().expect("8-byte chunk"));
         if wa != wb {
-            let diff = wa ^ wb;
-            // First differing byte index depends on endianness.
-            let byte = if cfg!(target_endian = "little") {
-                diff.trailing_zeros() / 8
-            } else {
-                diff.leading_zeros() / 8
-            };
-            return (i as u32) + byte;
+            return (i as u32) + (wa ^ wb).trailing_zeros() / 8;
         }
         i += 8;
     }
@@ -168,6 +166,41 @@ mod tests {
         assert_eq!(lcp_compare(b"al", b"alp", 1), (Less, 2));
     }
 
+    /// Byte-at-a-time reference for [`lcp_compare`]: same contract, no
+    /// word tricks. The proptests below pin the word-at-a-time path to
+    /// this, ordering *and* returned LCP.
+    fn lcp_compare_scalar(a: &[u8], b: &[u8], h: u32) -> (std::cmp::Ordering, u32) {
+        let mut i = (h as usize).min(a.len()).min(b.len());
+        while i < a.len() && i < b.len() && a[i] == b[i] {
+            i += 1;
+        }
+        (a.get(i).cmp(&b.get(i)), i as u32)
+    }
+
+    #[test]
+    fn lcp_compare_word_boundary_and_extreme_bytes() {
+        use std::cmp::Ordering::*;
+        // Mismatches and prefix relations placed on, before and after the
+        // 8-byte word boundaries, with the extreme byte values 0x00/0xFF
+        // that a signed or native-endian word compare would mishandle.
+        for m in [0usize, 1, 6, 7, 8, 9, 15, 16, 17, 31, 32] {
+            let base = vec![0xABu8; m];
+            let mut lo = base.clone();
+            lo.push(0x00);
+            let mut hi = base.clone();
+            hi.push(0xFF);
+            assert_eq!(lcp(&lo, &hi), m as u32, "mismatch at {m}");
+            assert_eq!(lcp_compare(&lo, &hi, 0), (Less, m as u32));
+            assert_eq!(lcp_compare(&hi, &lo, 0), (Greater, m as u32));
+            // Strict prefix: shorter < longer regardless of the next byte.
+            assert_eq!(lcp_compare(&base, &lo, 0), (Less, m as u32));
+            assert_eq!(lcp_compare(&base, &hi, 0), (Less, m as u32));
+            // Equal strings, from every valid starting prefix.
+            assert_eq!(lcp_compare(&base, &base, m as u32), (Equal, m as u32));
+        }
+        assert_eq!(lcp_compare(b"", b"", 0), (Equal, 0));
+    }
+
     #[test]
     fn dist_prefix_of_paper_example() {
         // Sorted set from Fig. 2 step 4.
@@ -221,6 +254,35 @@ mod tests {
                 prop_assert_eq!(ord, a.cmp(&b));
                 prop_assert_eq!(full, h);
             }
+        }
+
+        /// Adversarial pin of the word-at-a-time compare against the
+        /// scalar reference: full byte alphabet (0x00 and 0xFF included),
+        /// unaligned lengths, shared prefixes crossing word boundaries,
+        /// strict-prefix pairs and equal strings all arise from the
+        /// shared-prefix + suffix construction.
+        #[test]
+        fn lcp_compare_matches_scalar_reference(
+            prefix in proptest::collection::vec(any::<u8>(), 0..40),
+            sa in proptest::collection::vec(any::<u8>(), 0..24),
+            sb in proptest::collection::vec(any::<u8>(), 0..24),
+        ) {
+            let a: Vec<u8> = prefix.iter().chain(sa.iter()).copied().collect();
+            let b: Vec<u8> = prefix.iter().chain(sb.iter()).copied().collect();
+            let h = lcp(&a, &b);
+            let naive = a.iter().zip(&b).take_while(|(x, y)| x == y).count() as u32;
+            prop_assert_eq!(h, naive);
+            // Every valid known-prefix starting point must agree with the
+            // scalar reference on ordering and returned LCP.
+            for start in [0, h / 2, h] {
+                prop_assert_eq!(
+                    lcp_compare(&a, &b, start),
+                    lcp_compare_scalar(&a, &b, start),
+                    "start={} a={:?} b={:?}", start, &a, &b
+                );
+            }
+            let (ord, full) = lcp_compare(&a, &a, h.min(a.len() as u32));
+            prop_assert_eq!((ord, full), (std::cmp::Ordering::Equal, a.len() as u32));
         }
 
         #[test]

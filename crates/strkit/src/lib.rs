@@ -15,6 +15,9 @@
 //!   plain (atomic) loser tree used by the FKmerge baseline.
 //! * [`checker`] — order/LCP/permutation validators used across the test
 //!   suites.
+//! * [`copyvol`] — process-wide copy-volume counter (`bytes_copied`)
+//!   bumped by the merge/scatter hot paths, surfaced as a drift-immune
+//!   perfsnap column.
 //!
 //! Strings are arbitrary byte sequences **not containing the byte 0**,
 //! which acts as the implicit end-of-string sentinel exactly as in the
@@ -22,6 +25,7 @@
 
 pub mod arena;
 pub mod checker;
+pub mod copyvol;
 pub mod lcp;
 pub mod losertree;
 pub mod sort;

@@ -286,6 +286,7 @@ impl<'a> LcpLoserTree<'a> {
     /// the exact output size, so the appends never reallocate).
     pub fn merge_into(mut self, out: &mut StringSet) -> MergeOutput {
         out.reserve(self.total, self.total_chars);
+        crate::copyvol::record_copied(self.total_chars);
         let mut lcps = Vec::with_capacity(self.total);
         let mut sources = Vec::with_capacity(self.total);
         while let Some((s, h, run, idx)) = self.pop() {
@@ -426,6 +427,7 @@ impl<'a> LoserTree<'a> {
     /// the exact output size, so the appends never reallocate).
     pub fn merge_into(mut self, out: &mut StringSet) -> MergeOutput {
         out.reserve(self.total, self.total_chars);
+        crate::copyvol::record_copied(self.total_chars);
         let mut sources = Vec::with_capacity(self.total);
         while let Some((s, run, idx)) = self.pop() {
             out.push(s);
@@ -532,8 +534,11 @@ fn parallel_merge_into(
     })
     .expect("merge worker scope");
     // Concatenate the ranges, fixing up each range's first LCP entry
-    // (its merge saw no predecessor) with the true boundary LCP.
+    // (its merge saw no predecessor) with the true boundary LCP. The
+    // per-range merges already recorded their own arena appends; the
+    // concatenation moves every character a second time.
     out.reserve(total, total_chars);
+    crate::copyvol::record_copied(total_chars);
     let mut lcps = lcp_aware.then(|| Vec::with_capacity(total));
     let mut sources = Vec::with_capacity(total);
     let mut stats = MergeStats::default();

@@ -29,18 +29,26 @@ pub use samplesort::string_sample_sort_standalone;
 
 use crate::arena::{StrRef, StringSet};
 
-/// One pending work item of the task-granular sorter: `refs[begin..end]`
-/// all share `depth` prefix characters, and `lcps[begin]` (the boundary
-/// with the preceding block) has already been written by whoever created
-/// the task. Both the sequential driver ([`radix::msd_radix_sort`]'s LIFO
-/// stack) and the work-stealing parallel driver (`parallel.rs`) schedule
-/// these items over the same partition kernel,
-/// [`radix::partition_task`] — the two differ only in scheduling.
+/// One pending work item of the task-granular sorter: the block's handles
+/// live in `refs[begin..end]` (or, when `flipped`, in the same range of
+/// the ping-pong scratch buffer), all share `depth` prefix characters,
+/// and `lcps[begin]` (the boundary with the preceding block) has already
+/// been written by whoever created the task. Both the sequential driver
+/// ([`radix::msd_radix_sort`]'s LIFO stack) and the work-stealing
+/// parallel driver (`parallel.rs`) schedule these items over the same
+/// partition kernel, [`radix::partition_task`] — the two differ only in
+/// scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct SortTask {
     pub begin: usize,
     pub end: usize,
     pub depth: u32,
+    /// Ping-pong orientation: `false` = the block's current handles are
+    /// in `refs`, `true` = in the scratch buffer (the parent's radix pass
+    /// scattered them there and skipped the copy-back). The final sorted
+    /// handles always land back in `refs` — terminal steps restore the
+    /// orientation. See `radix.rs`.
+    pub flipped: bool,
 }
 
 /// Block sizes below this use multikey quicksort instead of radix passes.
@@ -52,8 +60,15 @@ pub(crate) const RADIX_THRESHOLD: usize = 64;
 /// reference it, nothing hard-codes the value.
 pub const INSERTION_THRESHOLD: usize = 8;
 
-/// Gather-loop lookahead distance for [`prefetch_str_char`].
-pub(crate) const PREFETCH_DIST: usize = 16;
+/// Gather-loop lookahead distance of the software prefetches issued by
+/// the radix passes (see `prefetch_str_char`): while processing string
+/// `i`, the depth-character of string `i + PREFETCH_DIST` is pulled
+/// towards L1 so the arena misses overlap instead of serializing.
+///
+/// Tuned on a 1-core host together with [`RADIX16_MIN`] (see the ROADMAP
+/// tuning note); this constant is the single source of truth — all gather
+/// loops reference it, nothing hard-codes the value.
+pub const PREFETCH_DIST: usize = 16;
 
 /// Hints the CPU to pull the depth-character of `r` into L1 ahead of the
 /// gather loop's read. The arena fetches of a radix/mkqs pass are the
@@ -102,7 +117,9 @@ impl SortStats {
 pub(crate) struct Ctx<'a> {
     pub arena: &'a [u8],
     pub stats: SortStats,
-    /// Scratch handles for the out-of-place radix scatter.
+    /// Scratch handles for sample sort's out-of-place bucket scatter.
+    /// (The radix passes ping-pong between the handle array and a
+    /// dedicated full-length scratch buffer instead — see `radix.rs`.)
     pub ref_scratch: Vec<StrRef>,
     /// Cached bucket keys so each radix pass gathers characters once.
     pub key_scratch: Vec<u8>,
@@ -165,7 +182,8 @@ pub fn sort_refs_with_lcp(arena: &[u8], refs: &mut [StrRef], lcps: &mut [u32]) -
         return SortStats::default();
     }
     let mut ctx = Ctx::new(arena);
-    radix::msd_radix_sort(&mut ctx, refs, lcps, 0);
+    let mut scratch = radix::scratch_for(refs.len());
+    radix::msd_radix_sort(&mut ctx, refs, &mut scratch, lcps, 0);
     lcps[0] = 0;
     ctx.stats
 }

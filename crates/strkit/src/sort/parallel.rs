@@ -68,11 +68,16 @@ pub fn threads_from_env() -> usize {
     })
 }
 
-/// Raw views of the `refs`/`lcps` arrays shared by all workers. Safe use
-/// rests on the scheduler invariant that queued tasks have disjoint
-/// ranges and each task is materialized by exactly one worker at a time.
+/// Raw views of the `refs`/`scratch`/`lcps` arrays shared by all workers.
+/// Safe use rests on the scheduler invariant that queued tasks have
+/// disjoint ranges and each task is materialized by exactly one worker at
+/// a time. The ping-pong scratch buffer must be shared (not per-worker):
+/// a flipped task's handles live in the scratch range written by its
+/// parent, which may have run on a different worker — the deque transfer
+/// provides the happens-before edge, exactly as for `refs`.
 struct SharedSlices {
     refs: *mut StrRef,
+    scratch: *mut StrRef,
     lcps: *mut u32,
     len: usize,
 }
@@ -97,10 +102,11 @@ impl SharedSlices {
     // The `&self -> &mut` shape is the whole point of the wrapper: shared
     // handle, caller-proven disjoint exclusive ranges.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn range(&self, begin: usize, end: usize) -> (&mut [StrRef], &mut [u32]) {
+    unsafe fn range(&self, begin: usize, end: usize) -> (&mut [StrRef], &mut [StrRef], &mut [u32]) {
         debug_assert!(begin <= end && end <= self.len);
         (
             std::slice::from_raw_parts_mut(self.refs.add(begin), end - begin),
+            std::slice::from_raw_parts_mut(self.scratch.add(begin), end - begin),
             std::slice::from_raw_parts_mut(self.lcps.add(begin), end - begin),
         )
     }
@@ -125,8 +131,12 @@ pub fn par_sort_refs_with_lcp(
     if threads == 1 || n <= PAR_TASK_MIN {
         return super::sort_refs_with_lcp(arena, refs, lcps);
     }
+    // Full-length ping-pong scatter buffer, shared across workers (see
+    // `SharedSlices`); the sequential path allocates the same buffer.
+    let mut scratch = vec![StrRef::default(); n];
     let shared = SharedSlices {
         refs: refs.as_mut_ptr(),
+        scratch: scratch.as_mut_ptr(),
         lcps: lcps.as_mut_ptr(),
         len: n,
     };
@@ -135,6 +145,7 @@ pub fn par_sort_refs_with_lcp(
         begin: 0,
         end: n,
         depth: 0,
+        flipped: false,
     });
     // Tasks queued or in flight; workers retire when this reaches zero.
     let pending = AtomicUsize::new(1);
@@ -225,21 +236,22 @@ fn process_task(
     let n = task.end - task.begin;
     // SAFETY: `task` came off a queue, so this worker holds the exclusive
     // right to its range (see `SharedSlices::range`).
-    let (refs, lcps) = unsafe { shared.range(task.begin, task.end) };
+    let (refs, scratch, lcps) = unsafe { shared.range(task.begin, task.end) };
     let rel = SortTask {
         begin: 0,
         end: n,
         depth: task.depth,
+        flipped: task.flipped,
     };
     if n <= PAR_TASK_MIN {
         debug_assert!(seq_queue.is_empty());
         seq_queue.push(rel);
         while let Some(t) = seq_queue.pop() {
-            radix::partition_task(ctx, refs, lcps, t, seq_queue);
+            radix::partition_task(ctx, refs, scratch, lcps, t, seq_queue);
         }
     } else {
         debug_assert!(out.is_empty());
-        radix::partition_task(ctx, refs, lcps, rel, out);
+        radix::partition_task(ctx, refs, scratch, lcps, rel, out);
         for t in out.iter_mut() {
             t.begin += task.begin;
             t.end += task.begin;

@@ -18,9 +18,22 @@
 //! zeroing only the touched counters afterwards.
 //!
 //! Bucket keys are gathered once per pass into a scratch array; the
-//! scatter is a stable counting sort through a reusable `StrRef` scratch
-//! buffer (ping-pong would save a copy but complicates LCP bookkeeping
-//! for negligible gain at these block sizes).
+//! scatter is a stable counting sort that **ping-pongs** between the
+//! handle array and a full-length `StrRef` scratch buffer. A pass reads
+//! the block from one side and scatters into the other; instead of
+//! copying everything back it emits its subtasks with the orientation
+//! flipped ([`SortTask::flipped`]), so the next pass scatters straight
+//! back. Only *terminal* buckets (singletons and finished all-equal
+//! buckets) that land on the scratch side are copied to `refs` — the
+//! handles of a finished string are moved back exactly once over the
+//! whole sort instead of once per pass. The LCP bookkeeping is untouched:
+//! boundary entries are absolute positions in `lcps`, which never
+//! ping-pongs.
+//!
+//! The scatter cannot mix destinations within a pass (it reads the source
+//! side sequentially; writing terminal buckets into the source would
+//! clobber unread elements), hence scatter-everything-then-copy-terminals
+//! rather than a per-bucket destination choice.
 
 use super::{mkqs, Ctx, SortTask, RADIX_THRESHOLD};
 use crate::arena::StrRef;
@@ -33,78 +46,121 @@ use crate::arena::StrRef;
 /// hard-codes the value.
 pub const RADIX16_MIN: usize = 128;
 
+/// Allocates the ping-pong scratch buffer for an `n`-string sort: same
+/// length as the handle array (the scatter addresses it with absolute
+/// positions), or empty when the whole input goes straight to multikey
+/// quicksort and no radix pass will ever touch it.
+pub(crate) fn scratch_for(n: usize) -> Vec<StrRef> {
+    if n > RADIX_THRESHOLD {
+        vec![StrRef::default(); n]
+    } else {
+        Vec::new()
+    }
+}
+
 /// Sorts `refs`, writing LCP entries into `lcps[1..]`. Precondition: all
-/// strings share `depth` prefix characters; `lcps[0]` belongs to the caller.
+/// strings share `depth` prefix characters; `lcps[0]` belongs to the
+/// caller. `scratch` is the ping-pong buffer, `refs.len()` long (see
+/// [`scratch_for`]).
 ///
 /// This is the *sequential scheduler* over [`partition_task`]: a plain
 /// LIFO stack of [`SortTask`] items. The work-stealing driver in
 /// `parallel.rs` runs the identical kernel under a different scheduler.
-pub(crate) fn msd_radix_sort(ctx: &mut Ctx<'_>, refs: &mut [StrRef], lcps: &mut [u32], depth: u32) {
+pub(crate) fn msd_radix_sort(
+    ctx: &mut Ctx<'_>,
+    refs: &mut [StrRef],
+    scratch: &mut [StrRef],
+    lcps: &mut [u32],
+    depth: u32,
+) {
     debug_assert_eq!(refs.len(), lcps.len());
     let mut queue = vec![SortTask {
         begin: 0,
         end: refs.len(),
         depth,
+        flipped: false,
     }];
     while let Some(task) = queue.pop() {
-        partition_task(ctx, refs, lcps, task, &mut queue);
+        partition_task(ctx, refs, scratch, lcps, task, &mut queue);
     }
 }
 
 /// The shared partition kernel: performs exactly one scheduling step of
-/// the MSD sorter on `refs[task.begin..task.end]` and appends the emitted
-/// subtasks to `out`.
+/// the MSD sorter on the block at `task.begin..task.end` and appends the
+/// emitted subtasks to `out`. The block's current handles live in `refs`
+/// or, when `task.flipped`, in the same positions of `scratch` (the
+/// ping-pong buffer, `refs.len()` long).
 ///
 /// One step is either terminal (blocks of fewer than 2 strings; blocks up
 /// to [`RADIX_THRESHOLD`] handed to multikey quicksort, which finishes
-/// them in place) or one radix pass (16-bit at [`RADIX16_MIN`] and above,
-/// 8-bit otherwise) that partitions the block and emits one subtask per
-/// unfinished bucket.
+/// them in place — both first restore a flipped block into `refs`) or one
+/// radix pass (16-bit at [`RADIX16_MIN`] and above, 8-bit otherwise) that
+/// scatters the block into the *other* side, emits one orientation-
+/// flipped subtask per unfinished bucket, and copies only the terminal
+/// buckets back to `refs` when they landed in `scratch`.
 ///
 /// Determinism contract (what makes parallel runs byte-identical): the
-/// kernel mutates only `refs`/`lcps` *inside* the task's range, writes
-/// every subtask's boundary entry `lcps[subtask.begin]` before emitting
-/// it, and never writes its own `lcps[task.begin]`. All values derive
-/// from the block contents and `depth` alone, so any execution order of
+/// kernel mutates only `refs`/`scratch`/`lcps` *inside* the task's range,
+/// writes every subtask's boundary entry `lcps[subtask.begin]` before
+/// emitting it, and never writes its own `lcps[task.begin]`. All written
+/// values (and each subtask's `flipped` orientation) derive from the
+/// block contents, `depth` and `flipped` alone, so any execution order of
 /// the emitted (disjoint) subtasks yields the same output.
 pub(crate) fn partition_task(
     ctx: &mut Ctx<'_>,
     refs: &mut [StrRef],
+    scratch: &mut [StrRef],
     lcps: &mut [u32],
     task: SortTask,
     out: &mut Vec<SortTask>,
 ) {
-    let SortTask { begin, end, depth } = task;
+    let SortTask {
+        begin,
+        end,
+        depth,
+        flipped,
+    } = task;
     let n = end - begin;
     if n < 2 {
+        if flipped && n == 1 {
+            refs[begin] = scratch[begin];
+            crate::copyvol::record_copied(std::mem::size_of::<StrRef>());
+        }
         return;
     }
     if n <= RADIX_THRESHOLD {
+        if flipped {
+            refs[begin..end].copy_from_slice(&scratch[begin..end]);
+            crate::copyvol::record_copied(n * std::mem::size_of::<StrRef>());
+        }
         mkqs::multikey_quicksort(ctx, &mut refs[begin..end], &mut lcps[begin..end], depth);
         return;
     }
-    // Scratch is indexed task-relative (`[..n]`), so a per-worker `Ctx`
-    // only ever needs scratch for its largest block, not the whole array.
-    if ctx.ref_scratch.len() < n {
-        ctx.ref_scratch.resize(n, StrRef::default());
+    debug_assert!(scratch.len() == refs.len(), "ping-pong scratch too short");
+    if ctx.key_scratch.len() < n {
         ctx.key_scratch.resize(n, 0);
     }
     if n >= RADIX16_MIN {
-        radix16_pass(ctx, refs, lcps, begin, end, depth, out);
+        radix16_pass(ctx, refs, scratch, lcps, task, out);
         return;
     }
-    // Pass 1: gather keys once, counting bucket sizes. Slice iteration
-    // keeps the loop free of per-element bounds checks; the stats are
-    // charged once per pass (n fetches), not per call.
+    // Pass 1: gather keys once from the source side, counting bucket
+    // sizes. Slice iteration keeps the loop free of per-element bounds
+    // checks; the stats are charged once per pass (n fetches), not per
+    // call.
     let mut count = [0usize; 256];
     let arena = ctx.arena;
-    let block = &refs[begin..end];
+    let (src, dst): (&[StrRef], &mut [StrRef]) = if flipped {
+        (&scratch[begin..end], &mut refs[begin..end])
+    } else {
+        (&refs[begin..end], &mut scratch[begin..end])
+    };
     let keys = &mut ctx.key_scratch[..n];
     for i in 0..n {
         if i + super::PREFETCH_DIST < n {
-            super::prefetch_str_char(arena, block[i + super::PREFETCH_DIST], depth);
+            super::prefetch_str_char(arena, src[i + super::PREFETCH_DIST], depth);
         }
-        let r = block[i];
+        let r = src[i];
         let c = if depth < r.len {
             arena[(r.begin + depth) as usize]
         } else {
@@ -121,16 +177,19 @@ pub(crate) fn partition_task(
         *cur = sum;
         sum += cnt;
     }
-    // Pass 2: stable scatter into scratch, copy back.
-    let scratch = &mut ctx.ref_scratch[..n];
-    for (&r, &c) in refs[begin..end].iter().zip(ctx.key_scratch[..n].iter()) {
+    // Pass 2: stable scatter into the destination side — no copy-back;
+    // continuing buckets simply flip their orientation.
+    for (&r, &c) in src.iter().zip(ctx.key_scratch[..n].iter()) {
         let cur = &mut cursor[c as usize];
-        scratch[*cur] = r;
+        dst[*cur] = r;
         *cur += 1;
     }
-    refs[begin..end].copy_from_slice(scratch);
-    // Emit boundary LCPs and enqueue bucket subtasks.
+    crate::copyvol::record_copied(n * std::mem::size_of::<StrRef>());
+    // Emit boundary LCPs, enqueue flipped bucket subtasks, and restore
+    // terminal buckets into `refs` when the scatter targeted `scratch`.
+    let dst_is_scratch = !flipped;
     let mut pos = begin;
+    let mut restored = 0usize;
     for (b, &sz) in count.iter().enumerate() {
         if sz == 0 {
             continue;
@@ -140,39 +199,52 @@ pub(crate) fn partition_task(
             // they differ exactly at `depth`.
             lcps[pos] = depth;
         }
-        if sz >= 2 {
-            if b == 0 {
-                // Finished strings: all equal, of length `depth`.
+        if sz >= 2 && b != 0 {
+            out.push(SortTask {
+                begin: pos,
+                end: pos + sz,
+                depth: depth + 1,
+                flipped: dst_is_scratch,
+            });
+        } else {
+            // Terminal: a singleton, or a finished bucket (all equal, of
+            // length `depth`).
+            if b == 0 && sz >= 2 {
                 lcps[pos + 1..pos + sz].fill(depth);
-            } else {
-                out.push(SortTask {
-                    begin: pos,
-                    end: pos + sz,
-                    depth: depth + 1,
-                });
+            }
+            if dst_is_scratch {
+                refs[pos..pos + sz].copy_from_slice(&scratch[pos..pos + sz]);
+                restored += sz;
             }
         }
         pos += sz;
     }
+    crate::copyvol::record_copied(restored * std::mem::size_of::<StrRef>());
 }
 
-/// One 16-bit radix pass over `refs[begin..end]` (all sharing `depth`
-/// prefix characters): partitions on the `(depth, depth+1)` character
-/// pair and pushes `depth + 2` subtasks. See the module doc.
+/// One 16-bit radix pass over the block at `task.begin..task.end` (all
+/// sharing `depth` prefix characters): partitions on the
+/// `(depth, depth+1)` character pair and pushes `depth + 2` subtasks,
+/// ping-ponging between `refs` and `scratch` exactly like the 8-bit pass.
+/// See the module doc.
 ///
 /// Key layout: `c0 << 8 | c1` with the 0 sentinel past the end, so key 0
 /// means "finished at `depth`" and a zero low byte means "finished at
 /// `depth + 1`" (arena strings never contain the 0 byte).
-#[allow(clippy::too_many_arguments)]
 fn radix16_pass(
     ctx: &mut Ctx<'_>,
     refs: &mut [StrRef],
+    scratch: &mut [StrRef],
     lcps: &mut [u32],
-    begin: usize,
-    end: usize,
-    depth: u32,
+    task: SortTask,
     out: &mut Vec<SortTask>,
 ) {
+    let SortTask {
+        begin,
+        end,
+        depth,
+        flipped,
+    } = task;
     let n = end - begin;
     if ctx.count16.is_empty() {
         ctx.count16 = vec![0u32; 1 << 16];
@@ -181,7 +253,11 @@ fn radix16_pass(
         ctx.key16_scratch.resize(n, 0);
     }
     let arena = ctx.arena;
-    let block = &refs[begin..end];
+    let (src, dst): (&[StrRef], &mut [StrRef]) = if flipped {
+        (&scratch[begin..end], &mut refs[begin..end])
+    } else {
+        (&refs[begin..end], &mut scratch[begin..end])
+    };
     let keys = &mut ctx.key16_scratch[..n];
     let count16 = &mut ctx.count16;
     let used = &mut ctx.used16;
@@ -190,9 +266,9 @@ fn radix16_pass(
     // bucket sizes, and record which of the 65536 buckets are occupied.
     for i in 0..n {
         if i + super::PREFETCH_DIST < n {
-            super::prefetch_str_char(arena, block[i + super::PREFETCH_DIST], depth);
+            super::prefetch_str_char(arena, src[i + super::PREFETCH_DIST], depth);
         }
-        let r = block[i];
+        let r = src[i];
         let key = if depth < r.len {
             let c0 = arena[(r.begin + depth) as usize];
             let c1 = if depth + 1 < r.len {
@@ -224,17 +300,19 @@ fn radix16_pass(
         cum += c;
     }
     debug_assert_eq!(cum as usize, n);
-    // Pass 2: stable scatter into scratch, copy back.
-    let scratch = &mut ctx.ref_scratch[..n];
-    for (&r, &k) in block.iter().zip(keys.iter()) {
+    // Pass 2: stable scatter into the destination side — no copy-back.
+    for (&r, &k) in src.iter().zip(keys.iter()) {
         let cur = &mut count16[k as usize];
-        scratch[*cur as usize] = r;
+        dst[*cur as usize] = r;
         *cur += 1;
     }
-    refs[begin..end].copy_from_slice(scratch);
-    // Emit boundary LCPs, charge the exact character fetches, and enqueue
-    // two-levels-deeper subtasks. After the scatter `count16[k]` holds the
-    // bucket's end offset.
+    crate::copyvol::record_copied(n * std::mem::size_of::<StrRef>());
+    // Emit boundary LCPs, charge the exact character fetches, enqueue
+    // orientation-flipped two-levels-deeper subtasks, and restore terminal
+    // buckets into `refs` when the scatter targeted `scratch`. After the
+    // scatter `count16[k]` holds the bucket's end offset.
+    let dst_is_scratch = !flipped;
+    let mut restored = 0usize;
     let mut chars = 0u64;
     for (j, &(k, start)) in bucket16.iter().enumerate() {
         let size = (count16[k as usize] - start) as usize;
@@ -255,23 +333,33 @@ fn radix16_pass(
                 (_, 0) => 1, // fetched `depth` only
                 _ => 2,      // fetched the full pair
             };
-        if size >= 2 {
-            if k == 0 {
-                // All equal, of length `depth`.
-                lcps[pos + 1..pos + size].fill(depth);
-            } else if k & 0xff == 0 {
-                // All equal, of length `depth + 1` (shared c0, sentinel).
-                lcps[pos + 1..pos + size].fill(depth + 1);
-            } else {
-                out.push(SortTask {
-                    begin: pos,
-                    end: pos + size,
-                    depth: depth + 2,
-                });
+        if size >= 2 && k != 0 && k & 0xff != 0 {
+            out.push(SortTask {
+                begin: pos,
+                end: pos + size,
+                depth: depth + 2,
+                flipped: dst_is_scratch,
+            });
+        } else {
+            // Terminal: a singleton or a finished all-equal bucket.
+            if size >= 2 {
+                if k == 0 {
+                    // All equal, of length `depth`.
+                    lcps[pos + 1..pos + size].fill(depth);
+                } else {
+                    // All equal, of length `depth + 1` (shared c0,
+                    // sentinel low byte).
+                    lcps[pos + 1..pos + size].fill(depth + 1);
+                }
+            }
+            if dst_is_scratch {
+                refs[pos..pos + size].copy_from_slice(&scratch[pos..pos + size]);
+                restored += size;
             }
         }
     }
     ctx.stats.chars_accessed += chars;
+    crate::copyvol::record_copied(restored * std::mem::size_of::<StrRef>());
     // Zero only the touched counters for the next pass.
     for &k in used.iter() {
         count16[k as usize] = 0;
@@ -287,7 +375,8 @@ pub fn msd_radix_sort_standalone(
 ) -> super::SortStats {
     assert_eq!(refs.len(), lcps.len());
     let mut ctx = Ctx::new(arena);
-    msd_radix_sort(&mut ctx, refs, lcps, 0);
+    let mut scratch = scratch_for(refs.len());
+    msd_radix_sort(&mut ctx, refs, &mut scratch, lcps, 0);
     if !lcps.is_empty() {
         lcps[0] = 0;
     }
