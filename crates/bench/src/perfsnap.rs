@@ -1,8 +1,8 @@
 //! perfsnap — the tracked hot-path performance baseline.
 //!
 //! Runs a fixed workload matrix (random / skewed / DNA / duplicate-heavy
-//! × seq-sort / MS / MS-simple / PDMS / PDMS-Golomb / hQuick / MS2L, plus
-//! an exchange+merge micro-cell) and reports, per cell:
+//! × seq-sort / MS / MS-simple / PDMS / PDMS-Golomb / hQuick / MS2L /
+//! MSML, plus an exchange+merge micro-cell) and reports, per cell:
 //!
 //! * **throughput** in MB of string characters per second (best of reps);
 //! * **chars_accessed** of the sequential sorters (the paper's D-bounded
@@ -608,6 +608,7 @@ pub fn run_snapshot_filtered(cfg: &SnapConfig, probe: AllocProbe, filter: &str) 
             Algorithm::PdmsGolomb,
             Algorithm::HQuick,
             Algorithm::Ms2l,
+            Algorithm::Msml,
         ] {
             if want(w, alg.label()) {
                 eprintln!("perfsnap: {} / {}", w.label(), alg.label());
@@ -714,16 +715,18 @@ mod tests {
         let cfg = SnapConfig {
             seq_n: 300,
             dist_n_per_pe: 80,
-            p: 2,
+            // p = 4 so the MSML cell runs a genuine 2×2 grid instead of
+            // its prime-p fallback.
+            p: 4,
             reps: 1,
             seed: 1,
             truncate: 0,
             threads: 2,
         };
         let cells = run_snapshot(&cfg, no_probe);
-        // seq-sort + par-sort + merge + par-merge + 6 distributed
+        // seq-sort + par-sort + merge + par-merge + 7 distributed
         // algorithms + the exchange micro-cell.
-        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 11);
+        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 12);
         for c in &cells {
             assert!(c.n > 0, "{}/{} empty", c.workload, c.algo);
             assert!(c.mb_per_s > 0.0);
@@ -733,7 +736,15 @@ mod tests {
             .iter()
             .filter(|c| c.algo == "seq-sort")
             .all(|c| c.chars_accessed.is_some()));
-        for algo in ["MS", "MS-simple", "PDMS", "PDMS-Golomb", "hQuick", "MS2L"] {
+        for algo in [
+            "MS",
+            "MS-simple",
+            "PDMS",
+            "PDMS-Golomb",
+            "hQuick",
+            "MS2L",
+            "MSML",
+        ] {
             assert!(
                 cells
                     .iter()

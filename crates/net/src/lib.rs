@@ -45,4 +45,7 @@ pub use metrics::{CostModel, NetStats, PhaseSummary};
 pub use nonblocking::{PendingExchange, RecvHandle, SendHandle};
 pub use rng::SplitMix64;
 pub use runner::{run_spmd, RunConfig, SpmdResult};
-pub use topology::{grid_dims, grid_view, GridComm};
+pub use topology::{
+    factor_into_levels, grid_dims, grid_view, multi_grid_dims, multi_grid_view, GridComm,
+    MultiGridComm, MultiGridLevel,
+};

@@ -12,6 +12,7 @@
 //! | `PDMS` | [`pdms`] | §VI | + prefix doubling: transmit only (approximate) distinguishing prefixes |
 //! | `PDMS-Golomb` | [`pdms`] | §VI-A | + Golomb-coded fingerprint traffic in the duplicate detection |
 //! | `MS2L` | [`ms2l`] | Kurpicz, Mehnert, Sanders, Schimek 2024 | two-level grid exchange: row then column over an r×c grid, `O(r + c)` partners per PE instead of `Θ(p)` |
+//! | `MSML` | [`msml`] | Kurpicz, Mehnert, Sanders, Schimek 2024 | recursive ℓ-level grid exchange for `p = d₁·…·dₗ` with per-group splitter sampling: `Σ(dᵢ − 1)` partners per PE |
 //!
 //! Supporting modules: [`partition`] (string- and character-based regular
 //! sampling, Theorems 2 and 3; splitter determination), [`exchange`] (the
@@ -49,6 +50,7 @@ pub mod fkmerge;
 pub mod hquick;
 pub mod ms;
 pub mod ms2l;
+pub mod msml;
 pub mod output;
 pub mod partition;
 pub mod pdms;
@@ -60,6 +62,7 @@ pub use fkmerge::FkMerge;
 pub use hquick::HQuick;
 pub use ms::{Ms, MsConfig};
 pub use ms2l::{Ms2l, Ms2lConfig};
+pub use msml::{parse_msml_levels, Msml, MsmlConfig};
 pub use output::SortedRun;
 pub use partition::{PartitionConfig, SamplingPolicy};
 pub use pdms::{Pdms, PdmsConfig};
@@ -88,6 +91,7 @@ pub enum Algorithm {
     PdmsGolomb,
     Pdms,
     Ms2l,
+    Msml,
 }
 
 impl Algorithm {
@@ -103,8 +107,9 @@ impl Algorithm {
         ]
     }
 
-    /// Every implemented algorithm: the paper set plus MS2L.
-    pub fn all_extended() -> [Algorithm; 7] {
+    /// Every implemented algorithm: the paper set plus the multi-level
+    /// extensions MS2L and MSML.
+    pub fn all_extended() -> [Algorithm; 8] {
         [
             Algorithm::FkMerge,
             Algorithm::HQuick,
@@ -113,6 +118,7 @@ impl Algorithm {
             Algorithm::PdmsGolomb,
             Algorithm::Pdms,
             Algorithm::Ms2l,
+            Algorithm::Msml,
         ]
     }
 
@@ -167,6 +173,11 @@ impl Algorithm {
                 threads,
                 ..Ms2lConfig::default()
             })),
+            Algorithm::Msml => Box::new(Msml::with_config(MsmlConfig {
+                mode,
+                threads,
+                ..MsmlConfig::default()
+            })),
         }
     }
 
@@ -180,6 +191,7 @@ impl Algorithm {
             Algorithm::PdmsGolomb => "PDMS-Golomb",
             Algorithm::Pdms => "PDMS",
             Algorithm::Ms2l => "MS2L",
+            Algorithm::Msml => "MSML",
         }
     }
 }

@@ -56,8 +56,11 @@ pub struct Ms2lConfig {
     /// merges (defaults to the `DSS_THREADS` knob).
     pub threads: usize,
     /// Grid rows `r` (`0` ⇒ auto: the near-square [`topology::grid_dims`]
-    /// choice). Must divide `p` with a quotient ≥ 2, else MS2L falls back
-    /// to single-level MS.
+    /// choice, falling back to single-level MS when `p < 4` or prime).
+    /// An explicit value must be ≥ 2 and divide `p` with a quotient ≥ 2,
+    /// else MS2L **panics** with the offending value — a bad grid knob
+    /// must fail loudly, not silently sort single-level (same policy as
+    /// the `DSS_*` env knobs).
     pub rows: usize,
     /// Sampling/splitter policy, used by both levels.
     pub partition: PartitionConfig,
@@ -97,12 +100,16 @@ impl Ms2l {
     /// The grid this configuration yields for `p` PEs (`None` ⇒ fallback
     /// to single-level MS).
     fn dims(&self, p: usize) -> Option<(usize, usize)> {
-        if self.cfg.rows == 0 {
-            topology::grid_dims(p)
-        } else if self.cfg.rows >= 2 && p.is_multiple_of(self.cfg.rows) && p / self.cfg.rows >= 2 {
-            Some((self.cfg.rows, p / self.cfg.rows))
-        } else {
-            None
+        match self.cfg.rows {
+            0 => topology::grid_dims(p),
+            r => {
+                assert!(
+                    r >= 2 && p.is_multiple_of(r) && p / r >= 2,
+                    "Ms2lConfig::rows = {r} does not tile p = {p} PEs into an \
+                     r x c grid with r, c >= 2"
+                );
+                Some((r, p / r))
+            }
         }
     }
 
@@ -260,12 +267,41 @@ mod tests {
             ..Ms2lConfig::default()
         });
         check(6, random_shards(6, 50, 77), sorter);
-        // rows that do not divide p fall back.
+    }
+
+    #[test]
+    fn ms2l_rows_zero_stays_auto() {
+        // rows: 0 is the documented auto sentinel: picks the near-square
+        // grid for composite p and falls back (without panicking) for
+        // prime p.
+        let auto = Ms2l::with_config(Ms2lConfig {
+            rows: 0,
+            ..Ms2lConfig::default()
+        });
+        check(6, random_shards(6, 40, 78), auto);
+        check(5, random_shards(5, 40, 79), auto);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ms2lConfig::rows = 4 does not tile p = 6")]
+    fn ms2l_panics_on_rows_not_dividing_p() {
         let bad = Ms2l::with_config(Ms2lConfig {
             rows: 4,
             ..Ms2lConfig::default()
         });
-        check(6, random_shards(6, 40, 78), bad);
+        check(6, random_shards(6, 10, 80), bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ms2lConfig::rows = 1 does not tile p = 6")]
+    fn ms2l_panics_on_degenerate_rows() {
+        // rows: 1 would be a 1×p "grid", i.e. no grid at all — loud
+        // failure beats silently renaming single-level MS.
+        let bad = Ms2l::with_config(Ms2lConfig {
+            rows: 1,
+            ..Ms2lConfig::default()
+        });
+        check(6, random_shards(6, 10, 81), bad);
     }
 
     #[test]

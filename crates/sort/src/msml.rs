@@ -1,0 +1,460 @@
+//! MSML — recursive multi-level (grid) distributed string mergesort.
+//!
+//! The ℓ-level generalization of [`Ms2l`](crate::ms2l::Ms2l), after
+//! "Scalable Distributed String Sorting" (Kurpicz, Mehnert, Sanders,
+//! Schimek, 2024): factor `p = d₁·d₂·…·dₗ` and exchange level by level
+//! over a [`dss_net::MultiGridComm`] instead of all-to-all. Per PE and
+//! run, the exchange contacts `Σ(dᵢ − 1)` partners instead of `p − 1` —
+//! 3 instead of 7 for `p = 8 = 2×2×2`, 6 instead of 26 for
+//! `p = 27 = 3×3×3` — at the cost of moving the payload ℓ times (the
+//! [`MsmlConfig::levels`] / [`MsmlConfig::max_level_size`] dial).
+//!
+//! Each level repeats MS's partition → exchange → LCP-merge round inside
+//! an ever-smaller *block* of PEs holding one contiguous range of the
+//! global order:
+//!
+//! 1. **per-group partition**: `dᵢ − 1` splitters cut the block's data
+//!    into `dᵢ` sub-ranges. Unlike MS2L — whose level-1 sample sort runs
+//!    over the *world* communicator with world-sized oversampling — the
+//!    sample is drawn, gathered, sorted and broadcast entirely inside
+//!    the block ([`partition::determine_group_splitters`]), so
+//!    splitter-determination traffic shrinks to `O(bᵢ·v)` sample strings
+//!    per group and never crosses group boundaries;
+//! 2. **exchange + merge**: over the level's exchange communicator
+//!    (`dᵢ` members, one per sub-block, rank = sub-block index), bucket
+//!    `j` travels to sub-block `j`; an LCP loser-tree merge restores a
+//!    sorted local set. Origin tags, when present in the payload, ride
+//!    through every level's codec and merge unchanged.
+//!
+//! The column-major rank mapping of [`dss_net::multi_grid_view`] makes
+//! blocks and sub-blocks contiguous rank ranges, so after the last level
+//! the world-rank-ordered concatenation is globally sorted — the same
+//! output contract (strings, LCPs, origins) as every other
+//! [`DistSorter`].
+//!
+//! All levels run through one [`StringAllToAll`] engine instance, so
+//! later levels reuse the earlier levels' pooled decode scratch. When
+//! `p` admits no multi-level grid (`p < 4` or `p` prime) — or
+//! `levels = 1` is requested explicitly — MSML falls back to
+//! single-level [`Ms`] with the same codec settings. A `levels` value
+//! that cannot tile `p` panics loudly (see [`parse_msml_levels`]).
+
+use crate::exchange::{ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll};
+use crate::ms::{Ms, MsConfig};
+use crate::output::SortedRun;
+use crate::partition::{self, PartitionConfig};
+use crate::DistSorter;
+use dss_net::topology;
+use dss_net::Comm;
+use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
+use dss_strkit::StringSet;
+use std::sync::OnceLock;
+
+/// Parses a `DSS_MSML_LEVELS` value into [`MsmlConfig::levels`]: unset,
+/// empty or `auto` defer to the automatic (deepest) factorization;
+/// anything else must be a positive level count. Invalid values panic
+/// with the offending value — a typo'd knob must fail loudly, not
+/// silently change the grid depth (same policy as `DSS_THREADS` and
+/// `DSS_EXCHANGE_MODE`).
+pub fn parse_msml_levels(raw: Option<&str>) -> usize {
+    match raw.map(str::trim) {
+        None | Some("") | Some("auto") => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(l) if l >= 1 => l,
+            _ => panic!("DSS_MSML_LEVELS must be 'auto' or a positive level count, got '{v}'"),
+        },
+    }
+}
+
+/// The validated `DSS_MSML_LEVELS` knob (0 ⇒ auto). Cached after the
+/// first call, like `ExchangeMode::from_env`.
+pub fn msml_levels_from_env() -> usize {
+    static LEVELS: OnceLock<usize> = OnceLock::new();
+    *LEVELS.get_or_init(|| match std::env::var("DSS_MSML_LEVELS") {
+        Ok(v) => parse_msml_levels(Some(&v)),
+        Err(std::env::VarError::NotPresent) => parse_msml_levels(None),
+        Err(e) => panic!("DSS_MSML_LEVELS must be valid unicode: {e}"),
+    })
+}
+
+/// Configuration of MSML.
+#[derive(Debug, Clone, Copy)]
+pub struct MsmlConfig {
+    /// Difference-code the LCP values on the wire (§VI-B extension).
+    pub delta_lcps: bool,
+    /// Blocking or pipelined exchange, applied to **every** grid level
+    /// (defaults to the `DSS_EXCHANGE_MODE` knob).
+    pub mode: ExchangeMode,
+    /// Shared-memory threads per PE for the local sort and every level's
+    /// merge (defaults to the `DSS_THREADS` knob).
+    pub threads: usize,
+    /// Exact grid depth ℓ (defaults to the `DSS_MSML_LEVELS` knob; `0` ⇒
+    /// auto: the deepest factorization [`topology::multi_grid_dims`]
+    /// yields under [`MsmlConfig::max_level_size`]). `1` forces the
+    /// single-level [`Ms`] fallback. Any other value that cannot tile
+    /// `p` into that many factors ≥ 2 **panics** with the offending
+    /// value — same loud-failure policy as the env knobs.
+    pub levels: usize,
+    /// In auto mode (`levels = 0`), cap each level's fan-out `dᵢ`:
+    /// `0` ⇒ uncapped depth (full prime factorization, the minimal
+    /// `Σ(dᵢ − 1)` partner count). See [`topology::multi_grid_dims`].
+    pub max_level_size: usize,
+    /// Sampling/splitter policy, used per group at every level.
+    pub partition: PartitionConfig,
+}
+
+impl Default for MsmlConfig {
+    fn default() -> Self {
+        Self {
+            delta_lcps: false,
+            mode: ExchangeMode::default(),
+            threads: threads_from_env(),
+            levels: msml_levels_from_env(),
+            max_level_size: 0,
+            partition: PartitionConfig::default(),
+        }
+    }
+}
+
+/// Multi-level distributed string mergesort (see module docs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Msml {
+    pub cfg: MsmlConfig,
+}
+
+impl Msml {
+    /// MSML with a custom configuration.
+    pub fn with_config(cfg: MsmlConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Overrides the shared-memory thread count (local sort + merges).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive, got 0");
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// The level fan-outs this configuration yields for `p` PEs (`None`
+    /// ⇒ fallback to single-level MS). Panics on an explicit `levels`
+    /// that cannot tile `p`.
+    fn dims(&self, p: usize) -> Option<Vec<usize>> {
+        match self.cfg.levels {
+            0 => topology::multi_grid_dims(p, self.cfg.max_level_size),
+            1 => None,
+            l => match topology::factor_into_levels(p, l) {
+                Some(dims) => Some(dims),
+                None => panic!(
+                    "MsmlConfig::levels / DSS_MSML_LEVELS = {l} cannot tile p = {p} PEs \
+                     into {l} grid levels of size >= 2"
+                ),
+            },
+        }
+    }
+
+    fn fallback(&self) -> Ms {
+        Ms::with_config(MsConfig {
+            lcp: true,
+            delta_lcps: self.cfg.delta_lcps,
+            mode: self.cfg.mode,
+            threads: self.cfg.threads,
+            partition: self.cfg.partition,
+        })
+    }
+}
+
+impl DistSorter for Msml {
+    fn name(&self) -> &'static str {
+        "MSML"
+    }
+
+    fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        let p = comm.size();
+        // Resolve (and validate) the grid before anything else so a bad
+        // `levels` knob fails loudly on every PE, every run.
+        let Some(dims) = self.dims(p) else {
+            // No multi-level grid: single-level MS does the job.
+            return self.fallback().sort(comm, input);
+        };
+
+        comm.set_phase("local_sort");
+        let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
+        let codec = if self.cfg.delta_lcps {
+            ExchangeCodec::LcpDelta
+        } else {
+            ExchangeCodec::LcpCompressed
+        };
+        let tie_break = self.cfg.partition.duplicate_tie_break;
+        // One mode (and thread count) for every byte this run moves:
+        // every level's sample handling follows the algorithm's exchange
+        // mode and threads.
+        let mut pcfg = self.cfg.partition;
+        pcfg.mode = self.cfg.mode;
+        pcfg.threads = self.cfg.threads;
+        // The 2ℓ − 2 counted splits of the grid view are communication —
+        // keep them out of the local_sort phase.
+        comm.set_phase("grid_setup");
+        let grid = topology::multi_grid_view(comm, &dims);
+        let mut engine =
+            StringAllToAll::with_mode(codec, self.cfg.mode).with_threads(self.cfg.threads);
+
+        // Level i: dᵢ − 1 splitters (sampled inside the block) cut the
+        // block's contiguous range into dᵢ sub-ranges; the exchange
+        // routes bucket j to sub-block j and the merge restores local
+        // sortedness. Origins (when a payload carries them) flow through
+        // every level's codec and merge.
+        let mut run = SortedRun {
+            set: input,
+            lcps: Some(lcps),
+            origins: None,
+            local_store: None,
+        };
+        for (i, level) in grid.levels().iter().enumerate() {
+            comm.set_phase(&format!("partition_l{i}"));
+            let splitters = partition::determine_group_splitters(
+                grid.sampling_comm(i, comm),
+                &run.set,
+                level.dim,
+                &pcfg,
+                None,
+                None,
+            );
+            comm.set_phase(&format!("exchange_l{i}"));
+            let merge_phase = format!("merge_l{i}");
+            run = engine.exchange_merge_by_splitters(
+                &level.exchange,
+                &ExchangePayload {
+                    set: &run.set,
+                    lcps: run.lcps.as_deref().expect("LCP merge yields LCPs"),
+                    origins: run.origins.as_deref(),
+                    truncate: None,
+                },
+                &splitters,
+                tie_break,
+                Some(&merge_phase),
+            );
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use rand::prelude::*;
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(120),
+            ..RunConfig::default()
+        }
+    }
+
+    fn check(p: usize, shards: Vec<Vec<Vec<u8>>>, sorter: Msml) {
+        let mut expect: Vec<Vec<u8>> = shards.iter().flatten().cloned().collect();
+        expect.sort();
+        let shards_ref = &shards;
+        let res = run_spmd(p, cfg_run(), move |comm| {
+            let set =
+                StringSet::from_iter_bytes(shards_ref[comm.rank()].iter().map(|s| s.as_slice()));
+            let out = sorter.sort(comm, set);
+            if let Some(l) = &out.lcps {
+                dss_strkit::lcp::verify_lcp_array(&out.set, l).expect("output lcps");
+            }
+            out.set.to_vecs()
+        });
+        let got: Vec<Vec<u8>> = res.values.into_iter().flatten().collect();
+        assert_eq!(got, expect, "p={p}");
+    }
+
+    fn random_shards(p: usize, n: usize, seed: u64) -> Vec<Vec<Vec<u8>>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        let len = rng.gen_range(0..14);
+                        (0..len).map(|_| rng.gen_range(b'a'..=b'e')).collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn msml_sorts_two_and_three_level_grids() {
+        // 4 = 2×2, 8 = 2×2×2, 12 = 3×2×2, 16 = 2×2×2×2.
+        for p in [4usize, 8, 12, 16] {
+            check(p, random_shards(p, 50, p as u64), Msml::default());
+        }
+    }
+
+    #[test]
+    fn msml_falls_back_on_prime_and_tiny_pe_counts() {
+        for p in [1usize, 2, 3, 5, 7] {
+            check(p, random_shards(p, 40, 40 + p as u64), Msml::default());
+        }
+    }
+
+    #[test]
+    fn msml_with_explicit_levels_and_delta_lcps() {
+        let sorter = Msml::with_config(MsmlConfig {
+            delta_lcps: true,
+            levels: 2,
+            ..MsmlConfig::default()
+        });
+        check(8, random_shards(8, 50, 77), sorter);
+        // levels: 1 is the explicit single-level fallback.
+        let single = Msml::with_config(MsmlConfig {
+            levels: 1,
+            ..MsmlConfig::default()
+        });
+        check(4, random_shards(4, 40, 78), single);
+    }
+
+    #[test]
+    fn msml_with_max_level_size_cap() {
+        // p = 16 capped at 4 ⇒ dims [4, 4] (a two-level grid).
+        let sorter = Msml::with_config(MsmlConfig {
+            max_level_size: 4,
+            ..MsmlConfig::default()
+        });
+        check(16, random_shards(16, 40, 79), sorter);
+    }
+
+    #[test]
+    fn msml_handles_duplicates_and_empty_shards() {
+        let mut shards = random_shards(8, 0, 90);
+        shards[1] = vec![b"dup".to_vec(); 150];
+        shards[6] = vec![b"dup".to_vec(); 30];
+        check(8, shards, Msml::default());
+    }
+
+    #[test]
+    fn msml_handles_all_empty_input() {
+        check(8, random_shards(8, 0, 91), Msml::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "DSS_MSML_LEVELS = 4 cannot tile p = 8")]
+    fn msml_panics_on_untileable_level_count() {
+        // 8 = 2·2·2 has only three prime factors; levels: 4 must fail
+        // loudly, not silently fall back.
+        let sorter = Msml::with_config(MsmlConfig {
+            levels: 4,
+            ..MsmlConfig::default()
+        });
+        check(8, random_shards(8, 10, 92), sorter);
+    }
+
+    #[test]
+    fn parse_msml_levels_accepts_auto_and_counts() {
+        assert_eq!(parse_msml_levels(None), 0);
+        assert_eq!(parse_msml_levels(Some("")), 0);
+        assert_eq!(parse_msml_levels(Some("auto")), 0);
+        assert_eq!(parse_msml_levels(Some(" auto ")), 0);
+        assert_eq!(parse_msml_levels(Some("1")), 1);
+        assert_eq!(parse_msml_levels(Some("3")), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "got '0'")]
+    fn parse_msml_levels_rejects_zero() {
+        parse_msml_levels(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "got 'three'")]
+    fn parse_msml_levels_rejects_garbage() {
+        parse_msml_levels(Some("three"));
+    }
+
+    /// The headline claim: on the 2×2×2 grid of p = 8 the exchange
+    /// phases contact Σ(dᵢ−1) = 3 partners per PE (vs 7 for MS), and
+    /// per-group sampling moves strictly fewer splitter-phase bytes
+    /// than MS2L's world-wide sample sort at the same p.
+    #[test]
+    fn three_level_grid_pins_partner_count_and_splitter_bytes() {
+        multi_level_pin(8, &[2, 2, 2]);
+    }
+
+    /// Same pin on the non-uniform 3-level factorization 12 = 3×2×2.
+    #[test]
+    fn three_level_pin_p12() {
+        multi_level_pin(12, &[3, 2, 2]);
+    }
+
+    /// Same pin on 27 = 3×3×3: 6 partners per PE vs 26 for MS.
+    #[test]
+    fn three_level_pin_p27() {
+        multi_level_pin(27, &[3, 3, 3]);
+    }
+
+    fn multi_level_pin(p: usize, expect_dims: &[usize]) {
+        assert_eq!(
+            dss_net::multi_grid_dims(p, 0).as_deref(),
+            Some(expect_dims),
+            "expected factorization"
+        );
+        let levels = expect_dims.len();
+        let sum_in = |stats: &dss_net::NetStats,
+                      pick: &dyn Fn(&dss_net::PhaseSummary) -> u64,
+                      phases: &[String]|
+         -> u64 {
+            stats
+                .phases
+                .iter()
+                .filter(|ph| phases.contains(&ph.name))
+                .map(pick)
+                .sum()
+        };
+
+        let run = |alg: Algorithm| {
+            run_spmd(p, cfg_run(), move |comm| {
+                let mut rng = StdRng::seed_from_u64(1000 + comm.rank() as u64);
+                let mut set = StringSet::new();
+                for _ in 0..40 {
+                    let len = rng.gen_range(0..10);
+                    let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'f')).collect();
+                    set.push(&s);
+                }
+                let _ = alg.instance().sort(comm, set);
+            })
+            .stats
+        };
+
+        // Per-PE exchange partners == Σ(dᵢ − 1), measured via the
+        // per-phase max message counters.
+        let msml = run(Algorithm::Msml);
+        let exchange_phases: Vec<String> = (0..levels).map(|i| format!("exchange_l{i}")).collect();
+        let partners = sum_in(&msml, &|ph| ph.max.msgs_sent, &exchange_phases);
+        let expect_partners: u64 = expect_dims.iter().map(|&d| d as u64 - 1).sum();
+        assert_eq!(partners, expect_partners, "multi-level exchange partners");
+
+        let single = run(Algorithm::Ms);
+        let partners_1l = sum_in(&single, &|ph| ph.max.msgs_sent, &["exchange".into()]);
+        assert_eq!(partners_1l, p as u64 - 1, "single-level exchange partners");
+        assert!(partners < partners_1l);
+
+        // Splitter-phase traffic: per-group gathered samples must move
+        // strictly fewer bytes than MS2L's world-wide sample sort.
+        let ms2l = run(Algorithm::Ms2l);
+        let partition_phases: Vec<String> =
+            (0..levels).map(|i| format!("partition_l{i}")).collect();
+        let msml_bytes = sum_in(&msml, &|ph| ph.total.bytes_sent, &partition_phases);
+        let ms2l_bytes = sum_in(
+            &ms2l,
+            &|ph| ph.total.bytes_sent,
+            &["partition_row".into(), "partition_col".into()],
+        );
+        assert!(msml_bytes > 0, "splitter phases must move something");
+        assert!(
+            msml_bytes < ms2l_bytes,
+            "per-group sampling ({msml_bytes} B) must beat MS2L's world-wide \
+             sampling ({ms2l_bytes} B) at p={p}"
+        );
+    }
+}

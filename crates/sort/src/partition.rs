@@ -400,6 +400,47 @@ pub fn determine_splitters_for(
     )
 }
 
+/// Per-group splitter determination for the multi-level algorithms
+/// (MSML): the sample never leaves the group.
+///
+/// Each PE of `group` draws a regular sample of its sorted `set`; the
+/// samples are **gathered inside the group** (to the group's rank 0 via
+/// the central path of [`select_k_splitters`]), sorted there, and the
+/// `k − 1` order statistics broadcast back. Splitter-determination
+/// traffic is thus `O(|group|·v)` sample strings confined to the group —
+/// instead of the world-wide distributed sample sort of
+/// [`determine_splitters_for`], which shuffles `O(p·v)` samples through
+/// hQuick's `log p` hypercube rounds plus a global splitter gossip.
+///
+/// The oversampling default also scales with the fan-out `k` (the number
+/// of ranges the splitters must cut the group's data into), not with the
+/// group size: deeper levels partition into fewer, coarser ranges and
+/// need proportionally fewer samples for the Theorem 2/3 balance bound.
+pub fn determine_group_splitters(
+    group: &Comm,
+    set: &StringSet,
+    k: usize,
+    cfg: &PartitionConfig,
+    weights: Option<&[u32]>,
+    truncate_to: Option<&[u32]>,
+) -> StringSet {
+    let v = if cfg.oversampling == 0 {
+        k.max(2)
+    } else {
+        cfg.oversampling
+    };
+    let mut rng = group.rng();
+    let sample = draw_sample(
+        set,
+        v,
+        cfg.policy,
+        weights,
+        truncate_to,
+        cfg.random_sampling.then_some(&mut rng),
+    );
+    select_k_splitters(group, sample, k, true, cfg.mode, cfg.threads)
+}
+
 /// Full partitioning step: sample, sort sample, select splitters, compute
 /// local bucket boundaries.
 pub fn partition(
@@ -614,6 +655,43 @@ mod tests {
             assert_eq!(v.len(), 3);
             assert!(v.windows(2).all(|w| w[0] <= w[1]), "splitters sorted");
         }
+    }
+
+    #[test]
+    fn group_splitters_stay_inside_the_group() {
+        // Two disjoint groups of 2 PEs with disjoint alphabets: each
+        // group's splitters must be identical within the group and drawn
+        // from that group's own data only.
+        let res = run_spmd(4, cfg_run(), |comm| {
+            let gid = comm.rank() / 2;
+            let group = comm.split(gid as u64);
+            let lead = if gid == 0 { b'a' } else { b'z' };
+            let mut set = StringSet::new();
+            for i in 0..50u32 {
+                set.push(format!("{}{i:03}", lead as char).as_bytes());
+            }
+            let s =
+                determine_group_splitters(&group, &set, 2, &PartitionConfig::default(), None, None);
+            assert_eq!(s.len(), 1);
+            s.to_vecs()
+        });
+        let v = &res.values;
+        assert_eq!(v[0], v[1]);
+        assert_eq!(v[2], v[3]);
+        assert_eq!(v[0][0][0], b'a');
+        assert_eq!(v[2][0][0], b'z');
+    }
+
+    #[test]
+    fn group_splitters_handle_all_empty_groups() {
+        // An all-empty group still gets exactly k − 1 (padded) splitters.
+        let res = run_spmd(2, cfg_run(), |comm| {
+            let set = StringSet::new();
+            let s =
+                determine_group_splitters(comm, &set, 3, &PartitionConfig::default(), None, None);
+            s.len()
+        });
+        assert!(res.values.iter().all(|&n| n == 2));
     }
 
     #[test]

@@ -10,19 +10,31 @@ use crate::arena::StringSet;
 
 /// Length of the longest common prefix of two byte strings.
 ///
-/// Word-at-a-time: 8-byte chunks are compared as `u64`s with a scalar
-/// tail for the last `< 8` bytes. Interpreting each chunk with
-/// `from_le_bytes` puts slice byte `j` into bits `8j..8j+8`, so the first
-/// differing byte of a mismatching pair is `trailing_zeros / 8` on every
-/// host — no endianness branch, no unsafe reads.
+/// Word-at-a-time: 16-byte chunks are compared as `u128`s (one SIMD
+/// register compare on x86-64/aarch64 after LLVM lowering), then at most
+/// one 8-byte `u64` step, then a scalar tail for the last `< 8` bytes.
+/// Interpreting each chunk with `from_le_bytes` puts slice byte `j` into
+/// bits `8j..8j+8`, so the first differing byte of a mismatching pair is
+/// `trailing_zeros / 8` on every host — no endianness branch, no unsafe
+/// reads. This is the one compare kernel behind [`lcp_compare`] and
+/// thereby every loser-tree leaf comparison and LCP-aware insertion
+/// sort; the proptests below pin it byte-for-byte to a scalar reference.
 #[inline]
 pub fn lcp(a: &[u8], b: &[u8]) -> u32 {
     let n = a.len().min(b.len());
     let (a, b) = (&a[..n], &b[..n]);
     let mut i = 0usize;
-    for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
-        let wa = u64::from_le_bytes(ca.try_into().expect("8-byte chunk"));
-        let wb = u64::from_le_bytes(cb.try_into().expect("8-byte chunk"));
+    while i + 16 <= n {
+        let wa = u128::from_le_bytes(a[i..i + 16].try_into().expect("16-byte chunk"));
+        let wb = u128::from_le_bytes(b[i..i + 16].try_into().expect("16-byte chunk"));
+        if wa != wb {
+            return (i as u32) + (wa ^ wb).trailing_zeros() / 8;
+        }
+        i += 16;
+    }
+    if i + 8 <= n {
+        let wa = u64::from_le_bytes(a[i..i + 8].try_into().expect("8-byte chunk"));
+        let wb = u64::from_le_bytes(b[i..i + 8].try_into().expect("8-byte chunk"));
         if wa != wb {
             return (i as u32) + (wa ^ wb).trailing_zeros() / 8;
         }
@@ -183,7 +195,11 @@ mod tests {
         // Mismatches and prefix relations placed on, before and after the
         // 8-byte word boundaries, with the extreme byte values 0x00/0xFF
         // that a signed or native-endian word compare would mishandle.
-        for m in [0usize, 1, 6, 7, 8, 9, 15, 16, 17, 31, 32] {
+        // 7/8/9 exercise the u64 step, 15/16/17 the u128 chunk edge,
+        // 23/24/25 the u128-then-u64 hand-off, 31/32/33 two full chunks.
+        for m in [
+            0usize, 1, 6, 7, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32, 33, 40,
+        ] {
             let base = vec![0xABu8; m];
             let mut lo = base.clone();
             lo.push(0x00);

@@ -963,5 +963,78 @@ mod tests {
             let (out, _) = merge_groups(groups, false);
             prop_assert_eq!(out.to_vecs(), expect);
         }
+
+        /// Pins the word-at-a-time leaf comparisons of **both** trees
+        /// (`lcp_compare`'s u128/u64 chunk loop) to a byte-at-a-time
+        /// scalar reference: a long shared prefix forces comparisons
+        /// across the 8- and 16-byte word boundaries, the byte alphabet
+        /// spans 0x01..=0xFF (0x00 is the arena sentinel and cannot
+        /// occur in a `StringSet`), and the reference reproduces the
+        /// trees' documented equal-key tie-break (lower stream first) —
+        /// so output order, provenance *and* the LCP array must match
+        /// exactly.
+        #[test]
+        fn tree_leaf_comparisons_match_scalar_reference(
+            prefix in proptest::collection::vec(1u8..=255, 0..40),
+            tail_groups in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec(1u8..=255, 0..24), 0..12),
+                0..4),
+        ) {
+            fn scalar_cmp(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+                let mut i = 0;
+                while i < a.len() && i < b.len() {
+                    match a[i].cmp(&b[i]) {
+                        std::cmp::Ordering::Equal => i += 1,
+                        o => return o,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            fn scalar_lcp(a: &[u8], b: &[u8]) -> u32 {
+                let mut i = 0;
+                while i < a.len() && i < b.len() && a[i] == b[i] {
+                    i += 1;
+                }
+                i as u32
+            }
+            let groups: Vec<Vec<Vec<u8>>> = tail_groups
+                .iter()
+                .map(|tails| {
+                    tails
+                        .iter()
+                        .map(|t| prefix.iter().chain(t.iter()).copied().collect())
+                        .collect()
+                })
+                .collect();
+            // Scalar reference order: (bytes, stream) ascending — equal
+            // keys drain lower streams first, exactly the trees' rule.
+            let mut reference: Vec<(Vec<u8>, u32)> = groups
+                .iter()
+                .enumerate()
+                .flat_map(|(g, strs)| strs.iter().map(move |s| (s.clone(), g as u32)))
+                .collect();
+            reference.sort_by(|(sa, ga), (sb, gb)| {
+                scalar_cmp(sa, sb).then(ga.cmp(gb))
+            });
+            let expect: Vec<Vec<u8>> = reference.iter().map(|(s, _)| s.clone()).collect();
+            let expect_streams: Vec<u32> = reference.iter().map(|(_, g)| *g).collect();
+            let expect_lcps: Vec<u32> = expect
+                .iter()
+                .enumerate()
+                .map(|(i, s)| if i == 0 { 0 } else { scalar_lcp(&expect[i - 1], s) })
+                .collect();
+
+            let (out, res) = merge_groups(groups.clone(), true);
+            prop_assert_eq!(out.to_vecs(), expect.clone());
+            prop_assert_eq!(res.lcps.as_deref(), Some(expect_lcps.as_slice()));
+            let streams: Vec<u32> = res.sources.iter().map(|&(r, _)| r).collect();
+            prop_assert_eq!(&streams, &expect_streams, "LCP tree tie-break");
+
+            let (out_plain, res_plain) = merge_groups(groups, false);
+            prop_assert_eq!(out_plain.to_vecs(), expect);
+            let streams: Vec<u32> = res_plain.sources.iter().map(|&(r, _)| r).collect();
+            prop_assert_eq!(&streams, &expect_streams, "plain tree tie-break");
+        }
     }
 }

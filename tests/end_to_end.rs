@@ -141,6 +141,96 @@ fn ms2l_sorts_non_square_grids_on_every_workload() {
     }
 }
 
+/// Deterministic duplicate- and empty-laden shard builder for the MSML
+/// acceptance matrix (xorshift, independent of the workload generators).
+fn mixed_shards(p: usize, n_per_pe: usize, seed: u64) -> Vec<Vec<Vec<u8>>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..p)
+        .map(|_| {
+            (0..n_per_pe)
+                .map(|_| {
+                    let kind = next() % 10;
+                    if kind < 2 {
+                        format!("dup{}", next() % 3).into_bytes()
+                    } else if kind < 3 {
+                        Vec::new()
+                    } else {
+                        let len = (next() % 12) as usize;
+                        (0..len).map(|_| b'a' + (next() % 5) as u8).collect()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs MSML and the MS oracle over identical shards and pins MSML's
+/// output byte for byte: the globally sorted sequence must match MS
+/// exactly, every PE's LCP array must be valid for its shard, and the
+/// origin tags must agree (both sorters leave them absent).
+fn msml_vs_ms_oracle(p: usize, shards: Vec<Vec<Vec<u8>>>) {
+    use std::time::Duration;
+    let cfg = RunConfig {
+        recv_timeout: Duration::from_secs(120),
+        ..RunConfig::default()
+    };
+    let run = |alg: Algorithm| {
+        let shards = shards.clone();
+        let cfg = cfg.clone();
+        run_spmd(p, cfg, move |comm| {
+            let set = StringSet::from_iter_bytes(shards[comm.rank()].iter().map(|s| s.as_slice()));
+            let input = set.clone();
+            let out = alg.instance().sort(comm, set);
+            check_distributed_sort(comm, &input, &out)
+                .unwrap_or_else(|e| panic!("{} checker: {e}", alg.label()));
+            let lcps = out.lcps.as_ref().expect("LCP merge yields LCPs");
+            distributed_string_sorting::strkit::lcp::verify_lcp_array(&out.set, lcps)
+                .unwrap_or_else(|e| panic!("{} LCP array: {e}", alg.label()));
+            (out.set.to_vecs(), out.origins)
+        })
+        .values
+    };
+    let oracle = run(Algorithm::Ms);
+    let msml = run(Algorithm::Msml);
+    type PeOut = (Vec<Vec<u8>>, Option<Vec<u64>>);
+    let cat = |v: &[PeOut]| -> Vec<Vec<u8>> { v.iter().flat_map(|(s, _)| s.clone()).collect() };
+    assert_eq!(
+        cat(&msml),
+        cat(&oracle),
+        "p={p}: MSML's global order deviates from the MS oracle"
+    );
+    for (pe, (m, o)) in msml.iter().zip(&oracle).enumerate() {
+        assert_eq!(m.1, o.1, "p={p} PE {pe}: origin tags differ from MS");
+    }
+}
+
+#[test]
+fn msml_matches_ms_oracle_across_grid_depths() {
+    // The acceptance matrix: 4 = 2·2, 6 = 3·2, 8 = 2·2·2, 12 = 3·2·2,
+    // 16 = 2·2·2·2, 27 = 3·3·3 — two-, three- and four-level grids.
+    for &p in &[4usize, 6, 8, 12, 16, 27] {
+        let n = (360 / p).max(10);
+        msml_vs_ms_oracle(p, mixed_shards(p, n, p as u64));
+    }
+}
+
+#[test]
+fn msml_matches_ms_oracle_on_prime_fallback_and_degenerate_inputs() {
+    // p = 7 is prime: MSML falls back to single-level MS, so the oracle
+    // match is trivially exact — the pin guards the fallback wiring.
+    msml_vs_ms_oracle(7, mixed_shards(7, 30, 7));
+    // Duplicate-only shards at three-level depth (tie-break through
+    // every level) and all-empty shards (splitter padding per group).
+    msml_vs_ms_oracle(8, (0..8).map(|_| vec![b"dup".to_vec(); 40]).collect());
+    msml_vs_ms_oracle(12, (0..12).map(|_| Vec::new()).collect());
+}
+
 #[test]
 fn degenerate_duplicate_only_input() {
     // Every string identical across all PEs — the FKmerge-crash trigger.

@@ -84,7 +84,7 @@ fn build_shards(p: usize, n_per_pe: usize, seed: u64) -> Vec<Vec<Vec<u8>>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// Every algorithm that supports the mode switch (all seven) yields
+    /// Every algorithm that supports the mode switch (all eight) yields
     /// identical output in both modes, on random duplicate- and
     /// empty-laden shard sets over several PE counts.
     #[test]
@@ -156,6 +156,66 @@ fn pipelined_ms2l_4x4_keeps_partner_count_and_total_bytes() {
         "pipelining must not change a single wire byte"
     );
     // Latency-round accounting matches phase by phase, too.
+    for (bp, pp) in blocking.phases.iter().zip(&pipelined.phases) {
+        assert_eq!(bp.name, pp.name, "phase order");
+        assert_eq!(bp.max.rounds, pp.max.rounds, "rounds in {}", bp.name);
+        assert_eq!(bp.max.bytes_sent, pp.max.bytes_sent, "bytes in {}", bp.name);
+    }
+}
+
+/// The MSML acceptance pin: a pipelined run on the 2×2×2 grid of p = 8
+/// still contacts exactly Σ(dᵢ − 1) = 3 exchange partners per PE across
+/// its three levels, with wire accounting identical to the blocking run
+/// phase by phase.
+#[test]
+fn pipelined_msml_2x2x2_keeps_partner_count_and_total_bytes() {
+    let p = 8usize;
+    assert_eq!(
+        distributed_string_sorting::net::multi_grid_dims(p, 0).as_deref(),
+        Some(&[2usize, 2, 2][..]),
+        "8 factors into three levels"
+    );
+    let shards = build_shards(p, 50, 0x3_1337);
+
+    let stats_of = |mode: ExchangeMode| {
+        let shards = shards.clone();
+        let res = run_spmd(p, cfg(), move |comm| {
+            let set = StringSet::from_iter_bytes(shards[comm.rank()].iter().map(|s| s.as_slice()));
+            let _ = Algorithm::Msml.instance_with_mode(mode).sort(comm, set);
+        });
+        res.stats
+    };
+    let blocking = stats_of(ExchangeMode::Blocking);
+    let pipelined = stats_of(ExchangeMode::Pipelined);
+
+    let exchange_partners = |stats: &NetStats| -> u64 {
+        stats
+            .phases
+            .iter()
+            .filter(|ph| {
+                matches!(
+                    ph.name.as_str(),
+                    "exchange_l0" | "exchange_l1" | "exchange_l2"
+                )
+            })
+            .map(|ph| ph.max.msgs_sent)
+            .sum()
+    };
+    assert_eq!(
+        exchange_partners(&pipelined),
+        3,
+        "pipelined MSML exchange partners per PE"
+    );
+    assert_eq!(
+        exchange_partners(&pipelined),
+        exchange_partners(&blocking),
+        "partner count must not depend on the mode"
+    );
+    assert_eq!(
+        pipelined.total_bytes_sent(),
+        blocking.total_bytes_sent(),
+        "pipelining must not change a single wire byte"
+    );
     for (bp, pp) in blocking.phases.iter().zip(&pipelined.phases) {
         assert_eq!(bp.name, pp.name, "phase order");
         assert_eq!(bp.max.rounds, pp.max.rounds, "rounds in {}", bp.name);

@@ -130,3 +130,42 @@ fn threaded_output_identical_to_single_threaded() {
         }
     }
 }
+
+/// MSML on a genuine three-level grid (p = 8 = 2×2×2, so every level's
+/// merge runs threaded): byte-identical per-PE output across
+/// threads × modes — the matrix above only reaches two-level grids at
+/// p = 4.
+#[test]
+fn msml_three_level_output_identical_across_threads_and_modes() {
+    let w = Workload::DnRatio {
+        n_per_pe: 2500,
+        len: 24,
+        r: 0.5,
+        sigma: 6,
+    };
+    let run = |mode: ExchangeMode, threads: usize| {
+        let w = &w;
+        run_spmd(8, RunConfig::default(), move |comm| {
+            let shard = w.generate(comm.rank(), comm.size(), 14);
+            let input = shard.clone();
+            let out = Algorithm::Msml
+                .instance_with(mode, threads)
+                .sort(comm, shard);
+            check_distributed_sort(comm, &input, &out)
+                .unwrap_or_else(|e| panic!("MSML ({}) checker: {e}", mode.label()));
+            (out.set.to_vecs(), out.lcps, out.origins)
+        })
+        .values
+    };
+    let reference = run(ExchangeMode::Blocking, 1);
+    for mode in [ExchangeMode::Blocking, ExchangeMode::Pipelined] {
+        for threads in [1, THREADS] {
+            assert_eq!(
+                run(mode, threads),
+                reference,
+                "MSML ({}, {threads} threads) deviates on the 2x2x2 grid",
+                mode.label()
+            );
+        }
+    }
+}
