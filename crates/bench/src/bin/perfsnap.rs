@@ -11,14 +11,21 @@
 //! `--mode blocking|pipelined` (forces the exchange mode for the whole
 //! run, recorded in the snapshot's `config.exchange_mode`),
 //! `--threads N` (forces `DSS_THREADS` for the whole run and sizes the
-//! `par-sort`/`par-merge` cells, recorded in `config.threads`), plus the
-//! sizing overrides `--seq-n`, `--dist-n`, `--pes`, `--reps`, `--seed`.
+//! `par-sort`/`par-merge` cells, recorded in `config.threads`),
+//! `--trace FILE` (records a span trace of the whole run and writes it
+//! as Chrome trace-event JSON, loadable in Perfetto; also fills the
+//! cells' `overlap_ratio` column), plus the sizing overrides `--seq-n`,
+//! `--dist-n`, `--pes`, `--reps`, `--seed`.
 //!
 //! The binary installs a counting global allocator so every cell reports
 //! allocator traffic; the library code is unchanged by the probe.
 
 use dss_bench::cli::Args;
-use dss_bench::perfsnap::{append_snapshot, run_snapshot_filtered, snapshot_json, SnapConfig};
+use dss_bench::perfsnap::{
+    append_snapshot, merge_traces, run_snapshot_filtered, snapshot_json, take_recorded_traces,
+    SnapConfig,
+};
+use dss_net::trace;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,17 +100,33 @@ fn main() {
         },
     );
     let only = args.get_str("only", "");
+    // Tracing must be on before the first cell records a span; the
+    // `DSS_TRACE` knob (applied by the first `run_spmd`) composes with
+    // this — `--trace` just forces it on and names the export file.
+    let trace_out = args.get_str("trace", "");
+    if !trace_out.is_empty() {
+        trace::enable(trace::DEFAULT_SPAN_CAP);
+    }
     let cells = run_snapshot_filtered(&cfg, probe, &only);
     let snap = snapshot_json(&label, &cfg, &cells);
 
     eprintln!();
     eprintln!(
-        "{:<10} {:<10} {:>9} {:>11} {:>13} {:>14} {:>10} {:>13}",
-        "workload", "algo", "n", "wall_ms", "MB/s", "chars_accessed", "allocs", "bytes_copied"
+        "{:<10} {:<10} {:>9} {:>11} {:>13} {:>14} {:>10} {:>13} {:>9} {:>7}",
+        "workload",
+        "algo",
+        "n",
+        "wall_ms",
+        "MB/s",
+        "chars_accessed",
+        "allocs",
+        "bytes_copied",
+        "stall_ms",
+        "overlap"
     );
     for c in &cells {
         eprintln!(
-            "{:<10} {:<10} {:>9} {:>11.2} {:>13.2} {:>14} {:>10} {:>13}",
+            "{:<10} {:<10} {:>9} {:>11.2} {:>13.2} {:>14} {:>10} {:>13} {:>9} {:>7}",
             c.workload,
             c.algo,
             c.n,
@@ -113,6 +136,21 @@ fn main() {
                 .map_or_else(|| "-".into(), |v| v.to_string()),
             c.allocs,
             c.bytes_copied,
+            c.comm_stall_ns
+                .map_or_else(|| "-".into(), |v| format!("{:.2}", v as f64 / 1e6)),
+            c.overlap_ratio
+                .map_or_else(|| "-".into(), |v| format!("{v:.3}")),
+        );
+    }
+
+    if !trace_out.is_empty() {
+        let merged = merge_traces(take_recorded_traces());
+        let json = trace::chrome_trace_json(&merged).expect("trace streams must balance");
+        std::fs::write(&trace_out, &json).expect("write trace file");
+        eprintln!(
+            "perfsnap: wrote Perfetto trace ({} events, {} dropped) to {trace_out}",
+            merged.len(),
+            merged.dropped
         );
     }
 

@@ -19,6 +19,7 @@
 use crate::cli::Args;
 use dss_gen::Workload;
 use dss_net::runner::{run_spmd, RunConfig};
+use dss_net::trace;
 use dss_sort::exchange::{ExchangeCodec, ExchangePayload, StringAllToAll};
 use dss_sort::Algorithm;
 use dss_strkit::copyvol;
@@ -164,6 +165,73 @@ pub struct Cell {
     /// measured region (`dss_strkit::copyvol` delta). Deterministic per
     /// input — the drift-immune companion to the throughput column.
     pub bytes_copied: u64,
+    /// Time PEs spent blocked with no message ready, summed over the
+    /// measured phases (distributed cells only; from [`NetStats`]'s
+    /// always-on stall account, so populated with or without tracing).
+    ///
+    /// [`NetStats`]: dss_net::NetStats
+    pub comm_stall_ns: Option<u64>,
+    /// Fraction of the exchange send window covered by receive-side
+    /// decode/merge work ([`trace::overlap_ratio`] over the cell's
+    /// spans). Requires tracing (`--trace` / `DSS_TRACE=on`); the
+    /// pipelined exchange reports strictly positive values, blocking
+    /// reports 0 by construction.
+    pub overlap_ratio: Option<f64>,
+}
+
+/// Traces drained by the distributed cells, waiting for
+/// [`take_recorded_traces`]. Cells drain the recorder per rep (the
+/// overlap ratio must only see the cell's own spans), so the binary's
+/// end-of-run export needs the drained pieces back.
+fn trace_acc() -> &'static std::sync::Mutex<Vec<trace::Trace>> {
+    static ACC: std::sync::OnceLock<std::sync::Mutex<Vec<trace::Trace>>> =
+        std::sync::OnceLock::new();
+    ACC.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+/// When tracing is on: drains the recorder, parks the drained trace for
+/// [`take_recorded_traces`], and returns the cell's send-window overlap
+/// ratio (decode + merge work inside [`trace::cat::SEND_WINDOW`] spans).
+fn drain_cell_trace() -> Option<f64> {
+    if !trace::enabled() {
+        return None;
+    }
+    let t = trace::take();
+    let ratio = trace::pair_spans(&t).ok().map(|spans| {
+        trace::overlap_ratio(
+            spans.iter().filter(|s| s.cat == trace::cat::SEND_WINDOW),
+            spans
+                .iter()
+                .filter(|s| s.cat == trace::cat::DECODE || s.cat == trace::cat::MERGE),
+        )
+    });
+    trace_acc().lock().expect("trace accumulator").push(t);
+    ratio
+}
+
+/// Everything recorded since the last call: the per-cell drained traces
+/// plus whatever is still buffered (sequential cells' sort tasks, the
+/// driver thread). The binary merges these into one Perfetto export.
+pub fn take_recorded_traces() -> Vec<trace::Trace> {
+    let mut v = std::mem::take(&mut *trace_acc().lock().expect("trace accumulator"));
+    let tail = trace::take();
+    if !tail.is_empty() {
+        v.push(tail);
+    }
+    v
+}
+
+/// Concatenates drained traces into one. Streams were drained at
+/// quiescent points, so each `ThreadTrace` entry pairs on its own; a tid
+/// appearing in several entries is fine — timestamps share one epoch.
+pub fn merge_traces(traces: Vec<trace::Trace>) -> trace::Trace {
+    let mut threads = Vec::new();
+    let mut dropped = 0;
+    for t in traces {
+        dropped += t.dropped;
+        threads.extend(t.threads);
+    }
+    trace::Trace { threads, dropped }
 }
 
 /// Sizing knobs for one snapshot run.
@@ -205,9 +273,11 @@ impl SnapConfig {
     }
 
     /// Tiny sizing for CI: exercises every cell in a few seconds.
+    /// `seq_n` sits above the parallel sorter's sequential cutoff so a
+    /// traced smoke run records `sort-task` spans too.
     pub fn smoke() -> Self {
         Self {
-            seq_n: 2_000,
+            seq_n: 6_000,
             dist_n_per_pe: 400,
             p: 4,
             reps: 1,
@@ -289,6 +359,8 @@ pub fn seq_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Cell {
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
             bytes_copied: copyvol::bytes_copied() - c0,
+            comm_stall_ns: None,
+            overlap_ratio: None,
         };
         if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
             best = Some(cell);
@@ -329,6 +401,8 @@ pub fn par_sort_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
             bytes_copied: copyvol::bytes_copied() - c0,
+            comm_stall_ns: None,
+            overlap_ratio: None,
         };
         if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
             best = Some(cell);
@@ -392,6 +466,8 @@ pub fn merge_cell(
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
             bytes_copied: copyvol::bytes_copied() - c0,
+            comm_stall_ns: None,
+            overlap_ratio: None,
         };
         if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
             best = Some(cell);
@@ -446,13 +522,24 @@ pub fn dist_cell(w: SnapWorkload, alg: Algorithm, cfg: &SnapConfig, probe: Alloc
         let bytes_copied: u64 = res.values.iter().map(|v| v.6).sum();
         // The sorter renames the phase internally; count everything that
         // is not generation or the barrier fences.
+        let measured = |ph: &&dss_net::metrics::PhaseSummary| {
+            !matches!(ph.name.as_str(), "generate" | "drain" | "main")
+        };
         let bytes_sent: u64 = res
             .stats
             .phases
             .iter()
-            .filter(|ph| !matches!(ph.name.as_str(), "generate" | "drain" | "main"))
+            .filter(measured)
             .map(|ph| ph.total.bytes_sent)
             .sum();
+        let stall_ns: u64 = res
+            .stats
+            .phases
+            .iter()
+            .filter(measured)
+            .map(|ph| ph.total.stall_ns)
+            .sum();
+        let overlap_ratio = drain_cell_trace();
         let cell = Cell {
             workload: w.label(),
             algo: alg.label(),
@@ -465,6 +552,8 @@ pub fn dist_cell(w: SnapWorkload, alg: Algorithm, cfg: &SnapConfig, probe: Alloc
             allocs,
             alloc_bytes,
             bytes_copied,
+            comm_stall_ns: Some(stall_ns),
+            overlap_ratio,
         };
         if best.as_ref().is_none_or(|b| cell.wall < b.wall) {
             best = Some(cell);
@@ -534,6 +623,7 @@ pub fn exchange_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
         let allocs: u64 = res.values.iter().map(|v| v.3).sum();
         let alloc_bytes: u64 = res.values.iter().map(|v| v.4).sum();
         let bytes_copied: u64 = res.values.iter().map(|v| v.5).sum();
+        let overlap_ratio = drain_cell_trace();
         let cell = Cell {
             workload: w.label(),
             algo: "exchange",
@@ -546,6 +636,8 @@ pub fn exchange_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
             allocs,
             alloc_bytes,
             bytes_copied,
+            comm_stall_ns: Some(res.stats.totals().stall_ns),
+            overlap_ratio,
         };
         // Like every cell, wall time is best-of-reps; the allocation and
         // copy-volume fields independently keep their minimum (a slow rep
@@ -656,11 +748,15 @@ pub fn snapshot_json(label: &str, cfg: &SnapConfig, cells: &[Cell]) -> String {
             .chars_accessed
             .map_or("null".to_string(), |v| v.to_string());
         let bps = c.bytes_per_string.map_or("null".to_string(), fmt_f64);
+        let stall = c
+            .comm_stall_ns
+            .map_or("null".to_string(), |v| v.to_string());
+        let overlap = c.overlap_ratio.map_or("null".to_string(), fmt_f64);
         out.push_str(&format!(
             "      {{\"workload\": \"{}\", \"algo\": \"{}\", \"n\": {}, \"chars\": {}, \
              \"wall_ms\": {}, \"throughput_mb_s\": {}, \"chars_accessed\": {}, \
              \"bytes_per_string\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \
-             \"bytes_copied\": {}}}{}\n",
+             \"bytes_copied\": {}, \"comm_stall_ns\": {}, \"overlap_ratio\": {}}}{}\n",
             c.workload,
             c.algo,
             c.n,
@@ -672,6 +768,8 @@ pub fn snapshot_json(label: &str, cfg: &SnapConfig, cells: &[Cell]) -> String {
             c.allocs,
             c.alloc_bytes,
             c.bytes_copied,
+            stall,
+            overlap,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
@@ -781,6 +879,8 @@ mod tests {
             allocs: 7,
             alloc_bytes: 512,
             bytes_copied: 4096,
+            comm_stall_ns: Some(1234),
+            overlap_ratio: Some(0.25),
         }];
         let snap = snapshot_json("test", &cfg, &cells);
         let dir = std::env::temp_dir().join(format!("perfsnap_test_{}", std::process::id()));
@@ -795,6 +895,8 @@ mod tests {
         assert_eq!(body.matches("\"label\": \"test\"").count(), 2);
         assert_eq!(body.matches("\"chars_accessed\": 123").count(), 2);
         assert_eq!(body.matches("\"bytes_copied\": 4096").count(), 2);
+        assert_eq!(body.matches("\"comm_stall_ns\": 1234").count(), 2);
+        assert_eq!(body.matches("\"overlap_ratio\": 0.250").count(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

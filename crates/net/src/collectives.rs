@@ -20,6 +20,7 @@
 //! are sums/max/min/fingerprint-combines/median selection).
 
 use crate::comm::{Comm, Tag};
+use crate::trace::{self, cat};
 
 #[inline]
 fn ceil_log2(p: usize) -> u32 {
@@ -66,6 +67,7 @@ pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
 impl Comm {
     /// Dissemination barrier: ⌈log p⌉ rounds, every PE synchronized.
     pub fn barrier(&self) {
+        let _g = trace::span(cat::COLL, "barrier");
         let p = self.size();
         if p == 1 {
             return;
@@ -87,6 +89,11 @@ impl Comm {
 
     /// Binomial-tree broadcast from `root`. Every PE returns the payload.
     pub fn broadcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        let _g = trace::span_args(
+            cat::COLL,
+            "broadcast",
+            [("bytes", data.len() as u64), ("", 0)],
+        );
         let p = self.size();
         if p == 1 {
             return data;
@@ -124,6 +131,7 @@ impl Comm {
         data: Vec<u8>,
         mut op: impl FnMut(Vec<u8>, Vec<u8>) -> Vec<u8>,
     ) -> Option<Vec<u8>> {
+        let _g = trace::span_args(cat::COLL, "reduce", [("bytes", data.len() as u64), ("", 0)]);
         let p = self.size();
         if p == 1 {
             return Some(data);
@@ -159,6 +167,7 @@ impl Comm {
 
     /// Reduce + broadcast: every PE returns the combined value.
     pub fn allreduce(&self, data: Vec<u8>, op: impl FnMut(Vec<u8>, Vec<u8>) -> Vec<u8>) -> Vec<u8> {
+        let _g = trace::span(cat::COLL, "allreduce");
         let v = self.reduce(0, data, op).unwrap_or_default();
         self.broadcast(0, v)
     }
@@ -167,6 +176,11 @@ impl Comm {
     /// root only, the payloads indexed by source rank. Linear latency at
     /// the root — the centralized bottleneck FKmerge exhibits.
     pub fn gatherv(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let _g = trace::span_args(
+            cat::COLL,
+            "gatherv",
+            [("bytes", data.len() as u64), ("", 0)],
+        );
         let p = self.size();
         self.enter();
         let tag = Tag::coll(self.next_coll_tag()).0;
@@ -193,6 +207,11 @@ impl Comm {
     /// All-gather (the paper's "gossiping"): Bruck doubling, ⌈log p⌉
     /// rounds. Returns all payloads indexed by source rank, on every PE.
     pub fn allgatherv(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        let _g = trace::span_args(
+            cat::COLL,
+            "allgatherv",
+            [("bytes", data.len() as u64), ("", 0)],
+        );
         let p = self.size();
         if p == 1 {
             return vec![data];
@@ -242,6 +261,14 @@ impl Comm {
     /// volume (the low-volume end of the paper's tradeoff). `msgs[i]` goes
     /// to rank `i`; returns received payloads indexed by source.
     pub fn alltoallv(&self, mut msgs: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let _g = trace::span_args(
+            cat::COLL,
+            "alltoallv",
+            [
+                ("bytes", msgs.iter().map(|m| m.len() as u64).sum()),
+                ("", 0),
+            ],
+        );
         let p = self.size();
         assert_eq!(msgs.len(), p, "need one message per destination");
         if p == 1 {
@@ -270,6 +297,14 @@ impl Comm {
     /// a power-of-two communicator. The low-latency end of the tradeoff
     /// (used by the latency-reduced PDMS variant of Theorem 6).
     pub fn alltoallv_hypercube(&self, msgs: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let _g = trace::span_args(
+            cat::COLL,
+            "alltoallv_hypercube",
+            [
+                ("bytes", msgs.iter().map(|m| m.len() as u64).sum()),
+                ("", 0),
+            ],
+        );
         let p = self.size();
         assert_eq!(msgs.len(), p);
         assert!(p.is_power_of_two(), "hypercube all-to-all needs 2^d PEs");

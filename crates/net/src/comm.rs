@@ -22,11 +22,12 @@
 
 use crate::metrics::PeMetrics;
 use crate::rng::SplitMix64;
+use crate::trace::{self, cat, SpanGuard};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Communicator id reserved for the poison pill broadcast on PE panic.
 pub(crate) const POISON_COMM: u64 = u64::MAX;
@@ -110,6 +111,13 @@ pub(crate) struct PeCore {
     /// requests with the same `(comm, src, tag)` key are in flight.
     pub(crate) posted: Vec<usize>,
     pub(crate) free_slots: Vec<usize>,
+    /// Trace span of the current metrics phase (inert when tracing is
+    /// off). Declared before `run_span` so struct drop closes the phase
+    /// span first, keeping the per-thread begin/end stream balanced even
+    /// when a PE unwinds mid-phase.
+    pub phase_span: SpanGuard,
+    /// Trace span covering this PE thread's whole lifetime.
+    pub run_span: SpanGuard,
 }
 
 impl PeCore {
@@ -280,11 +288,17 @@ impl Comm {
     }
 
     /// Switches the metrics phase label (SPMD-collective by convention:
-    /// call it on every PE at the same point).
+    /// call it on every PE at the same point). `PeMetrics::set_phase`
+    /// itself flushes elapsed compute into the outgoing phase, exactly
+    /// once.
     pub fn set_phase(&self, name: &str) {
         let mut core = self.core.borrow_mut();
-        core.metrics.flush_compute();
         core.metrics.set_phase(name);
+        // Close the outgoing phase's span *before* opening the new one —
+        // a direct assignment would record Begin(new) and only then drop
+        // the old guard, crossing the spans.
+        core.phase_span = SpanGuard::inert();
+        core.phase_span = trace::span(cat::PHASE, name);
     }
 
     /// Runs `f` with the raw per-PE metrics (diagnostics).
@@ -299,6 +313,11 @@ impl Comm {
     /// Sends `payload` to communicator rank `dst` (non-blocking; the
     /// channel buffers). Counts bytes unless `dst` is this PE.
     pub fn send(&self, dst: usize, tag: Tag, payload: Vec<u8>) {
+        let _g = trace::span_args(
+            cat::SEND,
+            "send",
+            [("dst", dst as u64), ("bytes", payload.len() as u64)],
+        );
         self.enter();
         self.raw_send(dst, tag.0, payload, true);
         self.exit();
@@ -307,6 +326,7 @@ impl Comm {
     /// Receives the message from `src` with `tag` (blocking). Adds one
     /// latency round.
     pub fn recv(&self, src: usize, tag: Tag) -> Vec<u8> {
+        let _g = trace::span_args(cat::WAIT, "recv", [("src", src as u64), ("", 0)]);
         self.enter();
         let p = self.raw_recv(src, tag.0, true);
         {
@@ -319,6 +339,11 @@ impl Comm {
 
     /// Simultaneous exchange with a partner (MPI sendrecv): one round.
     pub fn exchange(&self, partner: usize, tag: Tag, payload: Vec<u8>) -> Vec<u8> {
+        let _g = trace::span_args(
+            cat::SEND,
+            "sendrecv",
+            [("partner", partner as u64), ("bytes", payload.len() as u64)],
+        );
         self.enter();
         self.raw_send(partner, tag.0, payload, true);
         let p = self.raw_recv(partner, tag.0, true);
@@ -386,18 +411,30 @@ impl Comm {
         let comm_id = self.group.id;
         let count = count && src != self.group.my_rank;
         let id = core.post_slot(comm_id, src as u32, tag, count);
-        loop {
-            if core.slot_ready(id) {
-                return core.take_slot(id);
-            }
-            if let Err(timeout) = core.progress_blocking() {
-                panic!(
-                    "PE {} (comm {comm_id}, rank {}): recv(src={src}, tag={tag}) timed out \
-                     after {timeout:?} — likely deadlock",
-                    core.world_rank, self.group.my_rank,
-                );
-            }
+        if !core.slot_ready(id) {
+            // Drain already-arrived envelopes first: a message sitting in
+            // the mailbox is delivery latency, not a stall.
+            core.try_progress();
         }
+        if !core.slot_ready(id) {
+            // Genuinely blocked: nothing matching has arrived anywhere.
+            let _stall = trace::span_args(cat::STALL, "recv", [("src", src as u64), ("tag", tag)]);
+            let t0 = Instant::now();
+            loop {
+                if let Err(timeout) = core.progress_blocking() {
+                    panic!(
+                        "PE {} (comm {comm_id}, rank {}): recv(src={src}, tag={tag}) timed out \
+                         after {timeout:?} — likely deadlock",
+                        core.world_rank, self.group.my_rank,
+                    );
+                }
+                if core.slot_ready(id) {
+                    break;
+                }
+            }
+            core.metrics.add_stall(t0.elapsed().as_nanos() as u64);
+        }
+        core.take_slot(id)
     }
 
     // ------------------------------------------------------------------
@@ -449,9 +486,13 @@ impl Comm {
         }
     }
 
-    /// Extracts a clone of this PE's metrics (runner-internal).
+    /// Extracts a clone of this PE's metrics (runner-internal). Also
+    /// closes the PE's phase and run trace spans, while still on the PE
+    /// thread, so drained event streams end balanced.
     pub(crate) fn take_metrics(&self) -> PeMetrics {
         let mut core = self.core.borrow_mut();
+        core.phase_span = SpanGuard::inert();
+        core.run_span = SpanGuard::inert();
         core.metrics.flush_compute();
         core.metrics.clone()
     }

@@ -39,6 +39,7 @@ pub mod nonblocking;
 pub mod rng;
 pub mod runner;
 pub mod topology;
+pub mod trace;
 
 pub use comm::{Comm, Tag};
 pub use metrics::{CostModel, NetStats, PhaseSummary};

@@ -50,6 +50,11 @@ pub struct PhaseCounters {
     pub compute_ns: u64,
     /// Nanoseconds spent inside communication calls (incl. waiting).
     pub comm_ns: u64,
+    /// Nanoseconds of `comm_ns` spent *blocked with no matching message
+    /// ready* — the stall share of communication time. A phase with high
+    /// `comm_ns` but low `stall_ns` is bandwidth/copy bound; high
+    /// `stall_ns` means the PE sat waiting on peers (skew or latency).
+    pub stall_ns: u64,
     /// Raw per-thread CPU nanoseconds in user code (diagnostic; may be
     /// tick-quantized on sandboxed kernels).
     pub cpu_ns: u64,
@@ -63,6 +68,7 @@ impl PhaseCounters {
         self.rounds += o.rounds;
         self.compute_ns += o.compute_ns;
         self.comm_ns += o.comm_ns;
+        self.stall_ns += o.stall_ns;
         self.cpu_ns += o.cpu_ns;
     }
 
@@ -73,6 +79,7 @@ impl PhaseCounters {
         self.rounds = self.rounds.max(o.rounds);
         self.compute_ns = self.compute_ns.max(o.compute_ns);
         self.comm_ns = self.comm_ns.max(o.comm_ns);
+        self.stall_ns = self.stall_ns.max(o.stall_ns);
         self.cpu_ns = self.cpu_ns.max(o.cpu_ns);
     }
 }
@@ -172,6 +179,14 @@ impl PeMetrics {
     /// Adds latency rounds to the critical path.
     pub fn add_rounds(&mut self, rounds: u64) {
         self.phases[self.cur].1.rounds += rounds;
+    }
+
+    /// Attributes `ns` of the current phase's communication time to
+    /// stalling (blocked with no matching message ready). Callers record
+    /// this *in addition to* the enclosing `flush_comm` span; `stall_ns`
+    /// is a sub-account of `comm_ns`, not an extra cost.
+    pub fn add_stall(&mut self, ns: u64) {
+        self.phases[self.cur].1.stall_ns += ns;
     }
 
     /// Iterates over `(phase name, counters)`.
@@ -311,6 +326,86 @@ impl NetStats {
             })
             .collect()
     }
+
+    /// Human-readable per-phase breakdown with stall attribution: one row
+    /// per phase with bottleneck (per-PE max) compute/comm/stall times
+    /// and total bytes/messages, plus a totals row. The `stall%` column
+    /// is stall as a share of comm — the direct answer to "was this
+    /// phase's comm time copying bytes or waiting on peers?".
+    pub fn phase_report(&self) -> String {
+        fn ms(ns: u64) -> f64 {
+            ns as f64 / 1e6
+        }
+        fn pct(part: u64, whole: u64) -> f64 {
+            if whole == 0 {
+                0.0
+            } else {
+                100.0 * part as f64 / whole as f64
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12} {:>12} {:>7} {:>12} {:>8}\n",
+            "phase", "compute_ms", "comm_ms", "stall_ms", "stall%", "bytes", "msgs"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<14} {:>12.3} {:>12.3} {:>12.3} {:>6.1}% {:>12} {:>8}\n",
+                p.name,
+                ms(p.max.compute_ns),
+                ms(p.max.comm_ns),
+                ms(p.max.stall_ns),
+                pct(p.max.stall_ns, p.max.comm_ns),
+                p.total.bytes_sent,
+                p.total.msgs_sent,
+            ));
+        }
+        let b = self.bottleneck();
+        let t = self.totals();
+        out.push_str(&format!(
+            "{:<14} {:>12.3} {:>12.3} {:>12.3} {:>6.1}% {:>12} {:>8}\n",
+            "TOTAL",
+            ms(b.compute_ns),
+            ms(b.comm_ns),
+            ms(b.stall_ns),
+            pct(b.stall_ns, b.comm_ns),
+            t.bytes_sent,
+            t.msgs_sent,
+        ));
+        out
+    }
+
+    /// [`Self::phase_report`] as machine-readable JSON: an array of
+    /// per-phase objects with both bottleneck (`max_*`) and summed
+    /// (`total_*`) counters.
+    pub fn phase_report_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                concat!(
+                    "{{\"phase\":\"{}\",",
+                    "\"max_compute_ns\":{},\"max_comm_ns\":{},\"max_stall_ns\":{},",
+                    "\"max_rounds\":{},",
+                    "\"total_bytes_sent\":{},\"total_bytes_recv\":{},",
+                    "\"total_msgs_sent\":{},\"total_stall_ns\":{}}}"
+                ),
+                p.name.escape_default(),
+                p.max.compute_ns,
+                p.max.comm_ns,
+                p.max.stall_ns,
+                p.max.rounds,
+                p.total.bytes_sent,
+                p.total.bytes_recv,
+                p.total.msgs_sent,
+                p.total.stall_ns,
+            ));
+        }
+        out.push(']');
+        out
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +484,74 @@ mod tests {
         // compute≈0 + 4*1000 + 1000*2 = 6000 ns (compute may add noise ns).
         assert!(t >= Duration::from_nanos(6000));
         assert!(t < Duration::from_nanos(6000) + Duration::from_millis(5));
+    }
+
+    /// Satellite pin for the `Comm::set_phase` double-flush fix: one
+    /// phase switch must charge the elapsed interval to compute exactly
+    /// once. With scale 1.0, compute is raw wall, so the sum of per-phase
+    /// compute can never exceed the wall clock of the whole sequence —
+    /// any double-charge of a busy interval breaks the inequality.
+    #[test]
+    fn phase_switch_charges_elapsed_compute_exactly_once() {
+        fn busy(d: Duration) {
+            let t0 = Instant::now();
+            while t0.elapsed() < d {
+                std::hint::black_box(0u64);
+            }
+        }
+        let start = Instant::now();
+        let mut m = PeMetrics::with_scale(1.0);
+        busy(Duration::from_millis(3));
+        m.set_phase("a");
+        busy(Duration::from_millis(3));
+        m.set_phase("b");
+        m.flush_compute();
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let per_phase: Vec<u64> = m.phases().map(|(_, c)| c.compute_ns).collect();
+        let total: u64 = per_phase.iter().sum();
+        assert!(
+            total <= elapsed,
+            "phases charged {total} ns compute out of {elapsed} ns wall — \
+             some interval was counted more than once"
+        );
+        // Each busy interval landed in the phase that was active while it
+        // ran ("main" and "a"), not in the phase being switched to.
+        assert!(per_phase[0] >= 3_000_000, "main got {} ns", per_phase[0]);
+        assert!(per_phase[1] >= 3_000_000, "a got {} ns", per_phase[1]);
+    }
+
+    #[test]
+    fn stall_is_a_sub_account_of_comm() {
+        let mut a = PeMetrics::default();
+        a.set_phase("exchange");
+        a.add_stall(500);
+        let mut b = PeMetrics::default();
+        b.set_phase("exchange");
+        b.add_stall(1200);
+        let stats = NetStats::aggregate(&[a, b], Duration::ZERO);
+        let exch = stats.phases.iter().find(|p| p.name == "exchange").unwrap();
+        assert_eq!(exch.total.stall_ns, 1700);
+        assert_eq!(exch.max.stall_ns, 1200);
+        assert_eq!(stats.totals().stall_ns, 1700);
+        assert_eq!(stats.bottleneck().stall_ns, 1200);
+    }
+
+    #[test]
+    fn phase_report_lists_phases_and_stall_share() {
+        let mut a = PeMetrics::default();
+        a.set_phase("exchange");
+        a.on_send(4096);
+        a.add_stall(250);
+        let stats = NetStats::aggregate(&[a], Duration::ZERO);
+        let report = stats.phase_report();
+        assert!(report.contains("stall%"), "{report}");
+        assert!(report.contains("exchange"), "{report}");
+        assert!(report.contains("TOTAL"), "{report}");
+        let json = stats.phase_report_json();
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"phase\":\"exchange\""), "{json}");
+        assert!(json.contains("\"total_bytes_sent\":4096"), "{json}");
+        assert!(json.contains("\"max_stall_ns\":250"), "{json}");
     }
 
     #[test]

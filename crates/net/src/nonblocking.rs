@@ -45,6 +45,8 @@
 //! decode / merge work) to `compute_ns`.
 
 use crate::comm::{Comm, PeCore, Tag};
+use crate::trace::{self, cat, SpanGuard};
+use std::time::Instant;
 
 /// Handle of a started send. The channel transport buffers eagerly, so
 /// the operation is complete from construction (see module docs).
@@ -90,6 +92,11 @@ impl Comm {
     /// `dst`. Bytes are counted at start time, exactly like
     /// [`Comm::send`]; self-sends are free local moves.
     pub fn isend(&self, dst: usize, tag: Tag, payload: Vec<u8>) -> SendHandle {
+        let _g = trace::span_args(
+            cat::SEND,
+            "isend",
+            [("dst", dst as u64), ("bytes", payload.len() as u64)],
+        );
         self.enter();
         self.raw_send(dst, tag.0, payload, true);
         self.exit();
@@ -127,6 +134,7 @@ impl Comm {
         if h.done {
             return None;
         }
+        let _g = trace::span_args(cat::WAIT, "test", [("src", h.src as u64), ("", 0)]);
         self.enter();
         let out = self.with_core(|core| {
             core.try_progress();
@@ -147,6 +155,7 @@ impl Comm {
     pub fn wait(&self, mut h: RecvHandle) -> Vec<u8> {
         assert!(!h.done, "receive handle already completed");
         h.done = true;
+        let _g = trace::span_args(cat::WAIT, "wait", [("src", h.src as u64), ("", 0)]);
         self.enter();
         let payload = self.wait_slot(h.slot, h.src);
         self.exit();
@@ -163,7 +172,12 @@ impl Comm {
         if handles.iter().all(|h| h.done) {
             return None;
         }
+        let _g = trace::span(cat::WAIT, "wait_any");
         self.enter();
+        // The stall clock starts only after the first miss — a wait that
+        // finds a message already delivered (or deliverable) is not
+        // blocked time.
+        let mut stalled: Option<(SpanGuard, Instant)> = None;
         let (i, payload) = loop {
             let ready = self.with_core(|core| {
                 core.try_progress();
@@ -175,8 +189,14 @@ impl Comm {
             if let Some(hit) = ready {
                 break hit;
             }
+            if stalled.is_none() {
+                stalled = Some((trace::span(cat::STALL, "wait_any"), Instant::now()));
+            }
             self.block_for_progress("wait_any");
         };
+        if let Some((_span, t0)) = stalled {
+            self.with_core(|core| core.metrics.add_stall(t0.elapsed().as_nanos() as u64));
+        }
         self.exit();
         handles[i].done = true;
         Some((i, payload))
@@ -184,12 +204,25 @@ impl Comm {
 
     /// Blocking completion of one slot (metrics fences owned by caller).
     fn wait_slot(&self, slot: usize, src: usize) -> Vec<u8> {
+        // Drain already-arrived envelopes before deciding this is a
+        // stall: a message sitting undelivered in the mailbox is routing
+        // work, not blocked time.
+        let ready = self.with_core(|core| {
+            core.try_progress();
+            core.slot_ready(slot).then(|| core.take_slot(slot))
+        });
+        if let Some(payload) = ready {
+            return payload;
+        }
+        let _stall = trace::span_args(cat::STALL, "wait", [("src", src as u64), ("", 0)]);
+        let t0 = Instant::now();
         loop {
+            self.block_for_progress(&format!("wait(src={src})"));
             let ready = self.with_core(|core| core.slot_ready(slot).then(|| core.take_slot(slot)));
             if let Some(payload) = ready {
+                self.with_core(|core| core.metrics.add_stall(t0.elapsed().as_nanos() as u64));
                 return payload;
             }
-            self.block_for_progress(&format!("wait(src={src})"));
         }
     }
 
@@ -324,6 +357,7 @@ impl PendingExchange {
             "recv_any before the self-message was sent"
         );
         comm.enter();
+        let mut stalled: Option<(SpanGuard, Instant)> = None;
         let hit = loop {
             let ready = comm.with_core(|core| {
                 core.try_progress();
@@ -332,8 +366,14 @@ impl PendingExchange {
             if let Some(hit) = ready {
                 break hit;
             }
+            if stalled.is_none() {
+                stalled = Some((trace::span(cat::STALL, "recv_any"), Instant::now()));
+            }
             comm.block_for_progress("PendingExchange::recv_any");
         };
+        if let Some((_span, t0)) = stalled {
+            comm.with_core(|core| core.metrics.add_stall(t0.elapsed().as_nanos() as u64));
+        }
         comm.exit();
         Some(hit)
     }

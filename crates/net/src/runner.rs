@@ -61,6 +61,13 @@ where
     F: Fn(&mut Comm) -> T + Sync,
 {
     assert!(p >= 1, "need at least one PE");
+    // Apply the DSS_TRACE knob (once per process; panics on bad values).
+    crate::trace::init_from_env();
+    let _run_span = crate::trace::span_args(
+        crate::trace::cat::RUN,
+        "run_spmd",
+        [("pes", p as u64), ("", 0)],
+    );
     let start = Instant::now();
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
@@ -87,6 +94,14 @@ where
                     .name(format!("pe{rank}"))
                     .stack_size(cfg.stack_size)
                     .spawn(move |_| {
+                        // Creation order matters for span nesting: the PE's
+                        // lifetime span opens before its first phase span.
+                        let run_span = crate::trace::span_args(
+                            crate::trace::cat::RUN,
+                            "pe",
+                            [("rank", rank as u64), ("", 0)],
+                        );
+                        let phase_span = crate::trace::span(crate::trace::cat::PHASE, "main");
                         let core = PeCore {
                             world_rank: rank,
                             world,
@@ -98,6 +113,8 @@ where
                             slots: Vec::new(),
                             posted: Vec::new(),
                             free_slots: Vec::new(),
+                            phase_span,
+                            run_span,
                         };
                         let mut comm = Comm::world(core);
                         match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {

@@ -1,0 +1,62 @@
+//! Span-level tracing facade: re-exports the `dss-trace` recorder the
+//! whole runtime is instrumented with.
+//!
+//! ## Capturing a trace
+//!
+//! Set `DSS_TRACE=on` (or `DSS_TRACE=spans=N` to cap per-thread buffers
+//! at `N` spans; any other value panics, per the workspace's fail-loud
+//! knob policy) and run anything that goes through [`run_spmd`] — the
+//! runner calls [`init_from_env`] before spawning PEs. Programmatic
+//! capture works too:
+//!
+//! ```
+//! use dss_net::runner::{run_spmd, RunConfig};
+//! use dss_net::trace;
+//!
+//! trace::reset();
+//! trace::enable(1 << 16);
+//! run_spmd(2, RunConfig::default(), |comm| {
+//!     comm.set_phase("demo");
+//!     comm.barrier();
+//! });
+//! trace::disable();
+//! let t = trace::take();
+//! let json = trace::chrome_trace_json(&t).expect("balanced spans");
+//! assert!(json.contains("\"barrier\""));
+//! ```
+//!
+//! Write the JSON to a file and load it at <https://ui.perfetto.dev>:
+//! one track per PE thread (plus sort workers), spans nested
+//! run → phase → collective → wait → stall. `perfsnap --trace <path>`
+//! does all of this for a benchmark run.
+//!
+//! ## What gets recorded
+//!
+//! | category ([`cat`]) | emitted by |
+//! |---|---|
+//! | `run` | `run_spmd` (caller thread) and each PE thread's lifetime |
+//! | `phase` | `Comm::set_phase` boundaries |
+//! | `coll` | every collective (barrier, alltoallv, …) |
+//! | `send` / `wait` | point-to-point send/isend and recv/wait/test |
+//! | `stall` | time blocked with **no** matching message ready |
+//! | `send-window` | the exchange engine's send section (overlap denominator) |
+//! | `encode` / `decode` / `merge` | exchange engine per-bucket work |
+//! | `sort-task` | work-stealing local-sort tasks (worker id, size) |
+//! | `algo` | one span per distributed sorter run (ms, ms2l, msml) |
+//!
+//! Stall time is *also* accounted unconditionally (tracing on or off) in
+//! [`PhaseCounters::stall_ns`](crate::metrics::PhaseCounters::stall_ns),
+//! so [`NetStats::phase_report`](crate::metrics::NetStats::phase_report)
+//! can attribute per-phase comm time to genuine waiting even without a
+//! trace. The overlap ratio ([`overlap_ratio`], windows = `send-window`,
+//! work = `decode` + `merge`) is the measured form of the pipelined
+//! exchange's claim: receive-side work happens *inside* the send window,
+//! which wall-clock alone cannot show on an oversubscribed host.
+//!
+//! [`run_spmd`]: crate::runner::run_spmd
+
+pub use dss_trace::{
+    cat, chrome_trace_json, disable, enable, enabled, init_from_env, now_ns, overlap,
+    overlap_ratio, pair_spans, parse_dss_trace, reset, span, span_args, take, Event, EventKind,
+    Span, SpanGuard, ThreadTrace, Trace, TraceConfig, DEFAULT_SPAN_CAP,
+};

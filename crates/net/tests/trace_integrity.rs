@@ -1,0 +1,155 @@
+//! Trace-integrity pins over the net layer: every drained stream pairs
+//! cleanly, span counts for deterministic categories are reproducible
+//! across runs, and a receive that genuinely blocks is attributed to
+//! stall — both as a `stall` span and in `NetStats`.
+//!
+//! The recorder is process-global, so every test here serializes on one
+//! lock and resets the recorder before touching it.
+
+use dss_net::runner::{run_spmd, RunConfig};
+use dss_net::trace::{self, cat};
+use dss_net::Tag;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        recv_timeout: Duration::from_secs(60),
+        ..RunConfig::default()
+    }
+}
+
+/// Categories whose span counts are load-order independent: they mark
+/// algorithmic structure, not scheduling. `stall`, `wait` and
+/// `sort-task` are deliberately absent — those depend on timing.
+const DETERMINISTIC_CATS: &[&str] = &[
+    cat::ALGO,
+    cat::PHASE,
+    cat::COLL,
+    cat::ENCODE,
+    cat::DECODE,
+    cat::MERGE,
+    cat::SEND,
+    cat::SEND_WINDOW,
+];
+
+fn traced<T: Send + 'static>(p: usize, f: impl Fn(&mut dss_net::Comm) -> T + Sync) -> trace::Trace {
+    trace::reset();
+    trace::enable(trace::DEFAULT_SPAN_CAP);
+    run_spmd(p, cfg(), f);
+    trace::disable();
+    trace::take()
+}
+
+/// A run that exercises phases, collectives and point-to-point traffic.
+fn workload(comm: &mut dss_net::Comm) {
+    comm.set_phase("warmup");
+    comm.barrier();
+    let r = comm.rank() as u64;
+    let sum = comm.allreduce_u64(r, dss_net::collectives::ReduceOp::Sum);
+    assert_eq!(sum as usize, comm.size() * (comm.size() - 1) / 2);
+    comm.set_phase("ring");
+    let p = comm.size();
+    let next = (comm.rank() + 1) % p;
+    let prev = (comm.rank() + p - 1) % p;
+    comm.send(next, Tag::user(7), vec![r as u8; 64]);
+    let got = comm.recv(prev, Tag::user(7));
+    assert_eq!(got, vec![prev as u8; 64]);
+    comm.barrier();
+}
+
+fn cat_counts(trace: &trace::Trace) -> BTreeMap<&'static str, usize> {
+    let spans = trace::pair_spans(trace).expect("balanced trace");
+    let mut counts = BTreeMap::new();
+    for s in spans {
+        if DETERMINISTIC_CATS.contains(&s.cat) {
+            *counts.entry(s.cat).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn every_stream_pairs_cleanly_and_covers_the_layers() {
+    let _g = lock();
+    let trace = traced(4, workload);
+    let spans = trace::pair_spans(&trace).expect("every thread's stream must balance");
+    // One track per PE plus the driver thread's run_spmd span.
+    assert!(trace.threads.len() >= 5, "threads: {}", trace.threads.len());
+    assert_eq!(trace.dropped, 0);
+    let has = |c: &str| spans.iter().any(|s| s.cat == c);
+    for c in [cat::RUN, cat::PHASE, cat::COLL, cat::SEND, cat::WAIT] {
+        assert!(has(c), "expected at least one '{c}' span");
+    }
+    // Phase spans must mirror set_phase: main + warmup + ring per PE.
+    let phases = spans.iter().filter(|s| s.cat == cat::PHASE).count();
+    assert_eq!(phases, 3 * 4);
+    // Collectives nest inside the active phase span on the same track.
+    let coll = spans
+        .iter()
+        .find(|s| s.cat == cat::COLL)
+        .expect("coll span");
+    assert!(coll.depth >= 2, "coll depth: {}", coll.depth);
+}
+
+#[test]
+fn deterministic_categories_repeat_exactly() {
+    let _g = lock();
+    let a = cat_counts(&traced(4, workload));
+    let b = cat_counts(&traced(4, workload));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "span counts must not depend on scheduling");
+}
+
+#[test]
+fn blocked_receive_is_attributed_to_stall() {
+    let _g = lock();
+    trace::reset();
+    trace::enable(trace::DEFAULT_SPAN_CAP);
+    let res = run_spmd(2, cfg(), |comm| {
+        if comm.rank() == 1 {
+            std::thread::sleep(Duration::from_millis(25));
+            comm.send(0, Tag::user(1), vec![9u8; 8]);
+        } else {
+            comm.recv(1, Tag::user(1));
+        }
+    });
+    trace::disable();
+    let trace = trace::take();
+    let spans = trace::pair_spans(&trace).expect("balanced");
+    let stall: Vec<_> = spans.iter().filter(|s| s.cat == cat::STALL).collect();
+    assert!(!stall.is_empty(), "rank 0 blocked 25ms with nothing to do");
+    assert!(
+        stall.iter().any(|s| s.dur_ns >= 10_000_000),
+        "stall spans too short: {stall:?}"
+    );
+    // The same block shows up in the metrics stall account, inside comm.
+    let totals = res.stats.totals();
+    assert!(
+        totals.stall_ns >= 10_000_000,
+        "stall_ns: {}",
+        totals.stall_ns
+    );
+    assert!(
+        totals.stall_ns <= totals.comm_ns,
+        "stall must be a sub-account of comm"
+    );
+}
+
+#[test]
+fn disabled_runs_record_nothing() {
+    let _g = lock();
+    trace::reset();
+    assert!(!trace::enabled());
+    run_spmd(4, cfg(), workload);
+    let trace = trace::take();
+    assert_eq!(trace.len(), 0);
+    assert!(trace.is_empty());
+}

@@ -45,6 +45,7 @@
 use crate::output::SortedRun;
 use crate::partition::{bucket_bounds, bucket_bounds_tie_break};
 use dss_codec::wire::{self, DecodedRun};
+use dss_net::trace::{self, cat};
 use dss_net::Comm;
 use dss_strkit::lcp::lcp_compare;
 use dss_strkit::losertree::{parallel_lcp_merge_into, parallel_plain_merge_into, MergeRun};
@@ -247,21 +248,33 @@ impl StringAllToAll {
                     let (lo, hi) = (bounds[dest], bounds[dest + 1]);
                     msgs.push(self.encode_bucket(payload, lo, hi));
                 }
-                let received = comm.alltoallv(msgs);
+                let received = {
+                    // The blocking send window is the alltoallv itself;
+                    // decodes start strictly after it, so the overlap
+                    // ratio of this mode is exactly zero by construction.
+                    let _w = trace::span(cat::SEND_WINDOW, "blocking");
+                    comm.alltoallv(msgs)
+                };
                 self.decode_received(&received)
             }
             ExchangeMode::Pipelined => {
                 self.ensure_runs(p);
                 let mut ex = comm.begin_alltoallv();
                 let r = comm.rank();
-                for i in 0..p {
-                    let dest = (r + i) % p;
-                    let buf = self.encode_bucket(payload, bounds[dest], bounds[dest + 1]);
-                    ex.send(comm, dest, buf);
-                    // Decode whatever has already landed while the
-                    // remaining buckets are still being encoded/sent.
-                    while let Some((src, buf)) = ex.poll_any(comm) {
-                        self.decode_one(src, &buf);
+                {
+                    // The pipelined send window spans the whole ship loop;
+                    // decodes of early arrivals land inside it — that is
+                    // the overlap the ratio measures.
+                    let _w = trace::span(cat::SEND_WINDOW, "pipelined");
+                    for i in 0..p {
+                        let dest = (r + i) % p;
+                        let buf = self.encode_bucket(payload, bounds[dest], bounds[dest + 1]);
+                        ex.send(comm, dest, buf);
+                        // Decode whatever has already landed while the
+                        // remaining buckets are still being encoded/sent.
+                        while let Some((src, buf)) = ex.poll_any(comm) {
+                            self.decode_one(src, &buf);
+                        }
                     }
                 }
                 while let Some((src, buf)) = ex.recv_any(comm) {
@@ -353,13 +366,16 @@ impl StringAllToAll {
         let mut acc = SegmentAccumulator::new(lcp_merge);
         let mut ex = comm.begin_alltoallv();
         let r = comm.rank();
-        for i in 0..p {
-            let dest = (r + i) % p;
-            let buf = self.encode_bucket(payload, bounds[dest], bounds[dest + 1]);
-            ex.send(comm, dest, buf);
-            while let Some((src, buf)) = ex.poll_any(comm) {
-                self.decode_one(src, &buf);
-                acc.on_arrival(src, &self.runs);
+        {
+            let _w = trace::span(cat::SEND_WINDOW, "pipelined");
+            for i in 0..p {
+                let dest = (r + i) % p;
+                let buf = self.encode_bucket(payload, bounds[dest], bounds[dest + 1]);
+                ex.send(comm, dest, buf);
+                while let Some((src, buf)) = ex.poll_any(comm) {
+                    self.decode_one(src, &buf);
+                    acc.on_arrival(src, &self.runs);
+                }
             }
         }
         while let Some((src, buf)) = ex.recv_any(comm) {
@@ -395,6 +411,11 @@ impl StringAllToAll {
             idxs[d].push(i);
         }
         let encode = |list: &[usize]| -> Vec<u8> {
+            let _g = trace::span_args(
+                cat::ENCODE,
+                "encode",
+                [("strings", list.len() as u64), ("", 0)],
+            );
             let strings = || ExactIter::new(list.iter().map(|&i| set.get(i)), list.len());
             let exact = wire::encoded_len_plain(strings(), None);
             let mut buf = Vec::with_capacity(exact);
@@ -406,18 +427,24 @@ impl StringAllToAll {
         match self.mode {
             ExchangeMode::Blocking => {
                 let msgs: Vec<Vec<u8>> = idxs.iter().map(|list| encode(list)).collect();
-                let received = comm.alltoallv(msgs);
+                let received = {
+                    let _w = trace::span(cat::SEND_WINDOW, "blocking");
+                    comm.alltoallv(msgs)
+                };
                 self.decode_received(&received)
             }
             ExchangeMode::Pipelined => {
                 self.ensure_runs(p);
                 let mut ex = comm.begin_alltoallv();
                 let r = comm.rank();
-                for i in 0..p {
-                    let dest = (r + i) % p;
-                    ex.send(comm, dest, encode(&idxs[dest]));
-                    while let Some((src, buf)) = ex.poll_any(comm) {
-                        self.decode_one(src, &buf);
+                {
+                    let _w = trace::span(cat::SEND_WINDOW, "pipelined");
+                    for i in 0..p {
+                        let dest = (r + i) % p;
+                        ex.send(comm, dest, encode(&idxs[dest]));
+                        while let Some((src, buf)) = ex.poll_any(comm) {
+                            self.decode_one(src, &buf);
+                        }
                     }
                 }
                 while let Some((src, buf)) = ex.recv_any(comm) {
@@ -432,6 +459,11 @@ impl StringAllToAll {
     /// Serializes one bucket with the engine codec, reserved to its exact
     /// encoded size so encoding never reallocates mid-run.
     fn encode_bucket(&mut self, payload: &ExchangePayload<'_>, lo: usize, hi: usize) -> Vec<u8> {
+        let _g = trace::span_args(
+            cat::ENCODE,
+            "encode",
+            [("strings", (hi - lo) as u64), ("", 0)],
+        );
         // Origin tags ride along as a subslice — no per-bucket copy.
         let origins_slice: Option<&[u64]> = payload.origins.map(|o| &o[lo..hi]);
         let strings = || {
@@ -482,6 +514,11 @@ impl StringAllToAll {
 
     /// Decodes one received buffer into ring entry `src`.
     fn decode_one(&mut self, src: usize, buf: &[u8]) {
+        let _g = trace::span_args(
+            cat::DECODE,
+            "decode",
+            [("src", src as u64), ("bytes", buf.len() as u64)],
+        );
         let run = &mut self.runs[src];
         let mut pos = 0;
         match self.codec {
@@ -656,6 +693,7 @@ impl SegmentAccumulator {
     /// final [`SortedRun`] — the only point where character payload is
     /// copied, once, into an arena pre-sized to the exact totals.
     fn finish(mut self, runs: &[DecodedRun]) -> SortedRun {
+        let _g = trace::span(cat::MERGE, "materialize");
         // Leftover segments have strictly decreasing widths (binary
         // counter), so folding right-to-left always merges the two
         // smallest first and keeps total handle movement at O(n log p).
@@ -741,6 +779,11 @@ fn merge_pair(a: &Segment, b: &Segment, runs: &[DecodedRun], lcp_merge: bool) ->
     let a = SegView::new(a, runs);
     let b = SegView::new(b, runs);
     let (na, nb) = (a.len(), b.len());
+    let _g = trace::span_args(
+        cat::MERGE,
+        "cascade",
+        [("strings", (na + nb) as u64), ("", 0)],
+    );
     let mut order = Vec::with_capacity(na + nb);
     let mut lcps = Vec::with_capacity(if lcp_merge { na + nb } else { 0 });
     let (mut i, mut j) = (0usize, 0usize);
@@ -848,6 +891,7 @@ impl<'a, I: Iterator<Item = &'a [u8]>> ExactSizeIterator for ExactIter<I> {}
 /// (`threads == 1` or small inputs) the output arena is pre-sized to the
 /// exact run totals by `merge_into` and never reallocates mid-merge.
 pub fn merge_received_lcp(runs: &[DecodedRun], threads: usize) -> SortedRun {
+    let _g = trace::span_args(cat::MERGE, "kway", [("runs", runs.len() as u64), ("", 0)]);
     let ref_vecs: Vec<Vec<StrRef>> = runs.iter().map(run_refs).collect();
     let views: Vec<MergeRun<'_>> = runs
         .iter()
@@ -872,6 +916,7 @@ pub fn merge_received_lcp(runs: &[DecodedRun], threads: usize) -> SortedRun {
 /// Merges received runs with the plain loser tree (no LCP information).
 /// Thread routing and output pre-sizing match [`merge_received_lcp`].
 pub fn merge_received_plain(runs: &[DecodedRun], threads: usize) -> SortedRun {
+    let _g = trace::span_args(cat::MERGE, "kway", [("runs", runs.len() as u64), ("", 0)]);
     let ref_vecs: Vec<Vec<StrRef>> = runs.iter().map(run_refs).collect();
     let views: Vec<MergeRun<'_>> = runs
         .iter()

@@ -17,6 +17,7 @@ use crate::exchange::{ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToA
 use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig};
 use crate::DistSorter;
+use dss_net::trace::{self, cat};
 use dss_net::Comm;
 use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
 use dss_strkit::StringSet;
@@ -91,6 +92,11 @@ impl DistSorter for Ms {
     }
 
     fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        let _algo = trace::span_args(
+            cat::ALGO,
+            self.name(),
+            [("strings", input.len() as u64), ("", 0)],
+        );
         comm.set_phase("local_sort");
         let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
         if comm.size() == 1 {

@@ -40,6 +40,7 @@ use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig};
 use crate::DistSorter;
 use dss_net::topology;
+use dss_net::trace::{self, cat};
 use dss_net::Comm;
 use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
 use dss_strkit::StringSet;
@@ -130,6 +131,11 @@ impl DistSorter for Ms2l {
     }
 
     fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        let _algo = trace::span_args(
+            cat::ALGO,
+            self.name(),
+            [("strings", input.len() as u64), ("", 0)],
+        );
         let p = comm.size();
         let Some((r, c)) = self.dims(p) else {
             // No r×c grid with r, c ≥ 2: single-level MS does the job.

@@ -45,6 +45,7 @@ use crate::output::SortedRun;
 use crate::partition::{self, PartitionConfig};
 use crate::DistSorter;
 use dss_net::topology;
+use dss_net::trace::{self, cat};
 use dss_net::Comm;
 use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
 use dss_strkit::StringSet;
@@ -169,6 +170,11 @@ impl DistSorter for Msml {
     }
 
     fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        let _algo = trace::span_args(
+            cat::ALGO,
+            self.name(),
+            [("strings", input.len() as u64), ("", 0)],
+        );
         let p = comm.size();
         // Resolve (and validate) the grid before anything else so a bad
         // `levels` knob fails loudly on every PE, every run.

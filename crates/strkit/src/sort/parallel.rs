@@ -209,7 +209,17 @@ fn worker_loop(
             std::thread::yield_now();
             continue;
         };
-        process_task(shared, &mut ctx, task, &mut subtasks, &mut seq_queue);
+        {
+            let _g = dss_trace::span_args(
+                dss_trace::cat::SORT_TASK,
+                "task",
+                [
+                    ("worker", wi as u64),
+                    ("strings", (task.end - task.begin) as u64),
+                ],
+            );
+            process_task(shared, &mut ctx, task, &mut subtasks, &mut seq_queue);
+        }
         // Account for the children *before* retiring the parent, so the
         // pending counter can only reach zero once the whole task tree —
         // including everything the children will spawn — has drained.

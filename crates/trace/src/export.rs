@@ -1,0 +1,378 @@
+//! Exporters and analysis over drained traces: begin/end pairing,
+//! Chrome trace-event (Perfetto) JSON, and send-window overlap.
+
+use crate::{json_escape, EventKind, Trace};
+
+/// A paired begin/end span, produced by [`pair_spans`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Track (thread) id the span was recorded on.
+    pub tid: u64,
+    /// Span name.
+    pub name: String,
+    /// Category from [`crate::cat`].
+    pub cat: &'static str,
+    /// Numeric arguments; `("", 0)` entries are unused.
+    pub args: [(&'static str, u64); 2],
+    /// Begin timestamp, ns since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+    /// Nesting depth on its thread (0 = top level).
+    pub depth: usize,
+}
+
+impl Span {
+    /// End timestamp, ns since the trace epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// Pairs every thread's begin/end events into [`Span`]s, verifying
+/// balance as it goes: an `End` with no open `Begin`, or a `Begin` left
+/// open at the end of a stream, is an error naming the offending thread.
+/// This is the trace-integrity check the tests pin — a drained trace
+/// from a quiescent run must always pair cleanly.
+pub fn pair_spans(trace: &Trace) -> Result<Vec<Span>, String> {
+    let mut spans = Vec::new();
+    for t in &trace.threads {
+        let mut stack: Vec<Span> = Vec::new();
+        for ev in &t.events {
+            match &ev.kind {
+                EventKind::Begin { name, cat, args } => stack.push(Span {
+                    tid: t.tid,
+                    name: name.clone(),
+                    cat,
+                    args: *args,
+                    start_ns: ev.ts_ns,
+                    dur_ns: 0,
+                    depth: stack.len(),
+                }),
+                EventKind::End => {
+                    let mut s = stack.pop().ok_or_else(|| {
+                        format!(
+                            "thread '{}' (tid {}): End at {} ns with no open Begin",
+                            t.thread, t.tid, ev.ts_ns
+                        )
+                    })?;
+                    s.dur_ns = ev.ts_ns.saturating_sub(s.start_ns);
+                    spans.push(s);
+                }
+            }
+        }
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "thread '{}' (tid {}): {} span(s) still open at drain, innermost '{}'",
+                t.thread,
+                t.tid,
+                stack.len(),
+                open.name
+            ));
+        }
+    }
+    spans.sort_by_key(|s| (s.tid, s.start_ns, std::cmp::Reverse(s.dur_ns)));
+    Ok(spans)
+}
+
+fn push_args_json(args: &[(&'static str, u64); 2], out: &mut String) {
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    for (k, v) in args.iter().filter(|(k, _)| !k.is_empty()) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        json_escape(k, out);
+        out.push_str(&format!("\":{v}"));
+    }
+    out.push('}');
+}
+
+/// Renders a drained trace as Chrome trace-event JSON, loadable in
+/// [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`. One track
+/// per recorded thread (named via `thread_name` metadata events), each
+/// span a complete (`"ph":"X"`) event with microsecond timestamps;
+/// nesting falls out of the begin/end pairing. Returns an error if any
+/// stream is unbalanced, same as [`pair_spans`].
+pub fn chrome_trace_json(trace: &Trace) -> Result<String, String> {
+    let spans = pair_spans(trace)?;
+    let mut out = String::with_capacity(128 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for t in &trace.threads {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"",
+            t.tid
+        ));
+        json_escape(&t.thread, &mut out);
+        out.push_str("\"}}");
+    }
+    for s in &spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"cat\":\"",
+            s.tid,
+            s.start_ns as f64 / 1000.0,
+            s.dur_ns as f64 / 1000.0
+        ));
+        json_escape(s.cat, &mut out);
+        out.push_str("\",\"name\":\"");
+        json_escape(&s.name, &mut out);
+        out.push('"');
+        push_args_json(&s.args, &mut out);
+        out.push('}');
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// Measures how much of a set of window spans is covered by a set of
+/// work spans, per thread: for each window, work intervals *on the same
+/// track* are clipped to the window and their union length accumulated.
+/// Returns `(covered_ns, window_ns)` totals.
+///
+/// This is the engine behind the exchange overlap ratio: windows are
+/// [`crate::cat::SEND_WINDOW`] spans, work is decode + merge, and the
+/// ratio says how much of the send section was spent doing useful
+/// receive-side work instead of just shipping bytes.
+pub fn overlap<'a>(
+    windows: impl IntoIterator<Item = &'a Span>,
+    work: impl IntoIterator<Item = &'a Span>,
+) -> (u64, u64) {
+    let windows: Vec<&Span> = windows.into_iter().collect();
+    let work: Vec<&Span> = work.into_iter().collect();
+    let mut covered = 0u64;
+    let mut total = 0u64;
+    for w in &windows {
+        total += w.dur_ns;
+        // Clip work intervals on this track to the window, then take the
+        // union length (work spans can nest, e.g. merge inside decode).
+        let mut clipped: Vec<(u64, u64)> = work
+            .iter()
+            .filter(|s| s.tid == w.tid)
+            .map(|s| (s.start_ns.max(w.start_ns), s.end_ns().min(w.end_ns())))
+            .filter(|(a, b)| a < b)
+            .collect();
+        clipped.sort_unstable();
+        let mut cursor = 0u64;
+        let mut started = false;
+        let mut run_end = 0u64;
+        for (a, b) in clipped {
+            if started && a <= run_end {
+                run_end = run_end.max(b);
+            } else {
+                if started {
+                    covered += run_end - cursor;
+                }
+                cursor = a;
+                run_end = b;
+                started = true;
+            }
+        }
+        if started {
+            covered += run_end - cursor;
+        }
+    }
+    total = total.max(covered);
+    (covered, total)
+}
+
+/// [`overlap`] as a ratio in `[0, 1]`; `0.0` when there are no windows.
+pub fn overlap_ratio<'a>(
+    windows: impl IntoIterator<Item = &'a Span>,
+    work: impl IntoIterator<Item = &'a Span>,
+) -> f64 {
+    let (covered, total) = overlap(windows, work);
+    if total == 0 {
+        0.0
+    } else {
+        covered as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cat, Event, EventKind, ThreadTrace, Trace};
+
+    fn begin(ts: u64, name: &str, cat: &'static str) -> Event {
+        Event {
+            ts_ns: ts,
+            kind: EventKind::Begin {
+                name: name.into(),
+                cat,
+                args: [("", 0), ("", 0)],
+            },
+        }
+    }
+
+    fn end(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            kind: EventKind::End,
+        }
+    }
+
+    fn trace_of(events: Vec<Event>) -> Trace {
+        Trace {
+            threads: vec![ThreadTrace {
+                tid: 0,
+                thread: "pe0".into(),
+                events,
+            }],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn pairing_recovers_nesting() {
+        let trace = trace_of(vec![
+            begin(0, "phase", cat::PHASE),
+            begin(10, "coll", cat::COLL),
+            end(30),
+            begin(40, "coll2", cat::COLL),
+            end(70),
+            end(100),
+        ]);
+        let spans = pair_spans(&trace).expect("balanced");
+        assert_eq!(spans.len(), 3);
+        let phase = spans.iter().find(|s| s.name == "phase").unwrap();
+        assert_eq!((phase.start_ns, phase.dur_ns, phase.depth), (0, 100, 0));
+        let coll = spans.iter().find(|s| s.name == "coll").unwrap();
+        assert_eq!((coll.start_ns, coll.dur_ns, coll.depth), (10, 20, 1));
+    }
+
+    #[test]
+    fn pairing_rejects_stray_end() {
+        let err = pair_spans(&trace_of(vec![end(5)])).expect_err("unbalanced");
+        assert!(err.contains("no open Begin"), "{err}");
+        assert!(err.contains("pe0"), "{err}");
+    }
+
+    #[test]
+    fn pairing_rejects_unclosed_begin() {
+        let err =
+            pair_spans(&trace_of(vec![begin(0, "left-open", cat::WAIT)])).expect_err("unbalanced");
+        assert!(err.contains("still open"), "{err}");
+        assert!(err.contains("left-open"), "{err}");
+    }
+
+    /// Minimal structural JSON check: braces/brackets balance outside
+    /// string literals and close in order. Catches the classic
+    /// extra-brace emission bug without a JSON parser dependency.
+    fn assert_balanced_json(s: &str) {
+        let mut stack = Vec::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => loop {
+                    match chars.next() {
+                        Some('\\') => {
+                            chars.next();
+                        }
+                        Some('"') => break,
+                        Some(_) => {}
+                        None => panic!("unterminated string"),
+                    }
+                },
+                '{' | '[' => stack.push(c),
+                '}' => assert_eq!(stack.pop(), Some('{'), "stray '}}' in {s}"),
+                ']' => assert_eq!(stack.pop(), Some('['), "stray ']' in {s}"),
+                _ => {}
+            }
+        }
+        assert!(stack.is_empty(), "unclosed {stack:?} in {s}");
+    }
+
+    #[test]
+    fn chrome_json_has_metadata_and_complete_events() {
+        let trace = trace_of(vec![
+            begin(1000, "alltoallv", cat::COLL),
+            end(3500),
+            Event {
+                ts_ns: 4000,
+                kind: EventKind::Begin {
+                    name: "send".into(),
+                    cat: cat::SEND,
+                    args: [("dst", 3), ("bytes", 128)],
+                },
+            },
+            end(5000),
+        ]);
+        let json = chrome_trace_json(&trace).expect("balanced");
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"args\":{\"dst\":3,\"bytes\":128}"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"pe0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("\"cat\":\"coll\""));
+    }
+
+    #[test]
+    fn chrome_json_escapes_names() {
+        let trace = trace_of(vec![begin(0, "we\"ird\\name", cat::PHASE), end(1)]);
+        let json = chrome_trace_json(&trace).expect("balanced");
+        assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn chrome_json_propagates_imbalance() {
+        let err =
+            chrome_trace_json(&trace_of(vec![begin(0, "open", cat::RUN)])).expect_err("unbalanced");
+        assert!(err.contains("still open"));
+    }
+
+    fn span(tid: u64, start: u64, dur: u64, cat: &'static str) -> Span {
+        Span {
+            tid,
+            name: cat.into(),
+            cat,
+            args: [("", 0), ("", 0)],
+            start_ns: start,
+            dur_ns: dur,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn overlap_unions_and_clips() {
+        let windows = [span(0, 100, 100, cat::SEND_WINDOW)];
+        let work = [
+            // Overlapping pair inside the window: union 110..160.
+            span(0, 110, 30, cat::DECODE),
+            span(0, 120, 40, cat::MERGE),
+            // Extends past the window end: clipped at 200.
+            span(0, 190, 50, cat::DECODE),
+            // Entirely outside: ignored.
+            span(0, 300, 20, cat::MERGE),
+            // Other track: ignored.
+            span(1, 110, 80, cat::DECODE),
+        ];
+        let (covered, total) = overlap(windows.iter(), work.iter());
+        assert_eq!(total, 100);
+        assert_eq!(covered, 50 + 10);
+        let ratio = overlap_ratio(windows.iter(), work.iter());
+        assert!((ratio - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_with_no_windows_is_zero() {
+        let work = [span(0, 0, 100, cat::DECODE)];
+        assert_eq!(overlap([].iter(), work.iter()), (0, 0));
+        assert_eq!(overlap_ratio([].iter(), work.iter()), 0.0);
+    }
+}

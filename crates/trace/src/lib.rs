@@ -1,0 +1,631 @@
+//! Span-level tracing core: the flight recorder behind `dss_net::trace`.
+//!
+//! The workspace's [`NetStats`] aggregates answer *how much* each phase
+//! cost; this crate answers *when* things happened — which is the only
+//! way to see the pipelined exchange's encode/transfer/decode overlap,
+//! work-stealing balance, or where a PE sat stalled waiting for a
+//! message. It lives below `dss-net` and `dss-strkit` in the dependency
+//! graph so both the comm runtime and the parallel sort driver can emit
+//! spans; `dss_net::trace` re-exports the whole API.
+//!
+//! ## Design
+//!
+//! * **Per-thread buffers of begin/end events.** Every recording thread
+//!   lazily registers a buffer in a process-wide registry (keyed by a
+//!   stable `tid` and the OS thread name — `pe3`, `dss-sort1`, …). A
+//!   span is a [`SpanGuard`]: `Begin` on creation, `End` on drop, on the
+//!   same thread (guards are `!Send`), so nesting is a per-thread stack
+//!   by construction.
+//! * **Zero cost when off.** [`span`] checks one relaxed atomic and
+//!   returns an inert guard before doing *any* other work — no
+//!   timestamp, no allocation, no lock. Recording is enabled by the
+//!   `DSS_TRACE` knob ([`init_from_env`]) or programmatically
+//!   ([`enable`]).
+//! * **Bounded buffers.** `DSS_TRACE=spans=N` caps recorded spans per
+//!   thread (default [`DEFAULT_SPAN_CAP`]), with a process-global cap of
+//!   16·N as a backstop for long test runs that never drain. When a
+//!   `Begin` is dropped at the cap its `End` is suppressed too, so
+//!   drained buffers stay balanced; drops are counted, never silent.
+//! * **Exporters.** [`chrome_trace_json`] writes Chrome trace-event JSON
+//!   loadable in [Perfetto](https://ui.perfetto.dev) (one track per
+//!   recorded thread, spans nested by begin/end pairing);
+//!   [`pair_spans`]/[`overlap`] turn raw events into analyzable
+//!   [`Span`]s — e.g. the send-window overlap ratio that makes the
+//!   pipelined exchange's logical overlap a measured number even on a
+//!   1-core host.
+//!
+//! Drain with [`take`] only at quiescent points (after `run_spmd`
+//! returns): a thread mid-span at drain time would surface an unclosed
+//! `Begin`, which [`pair_spans`] reports as an error.
+//!
+//! [`NetStats`]: ../dss_net/metrics/struct.NetStats.html
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+mod export;
+
+pub use export::{chrome_trace_json, overlap, overlap_ratio, pair_spans, Span};
+
+/// Span categories used across the instrumented stack. Using these
+/// constants (instead of ad-hoc strings) keeps the exporters' filters —
+/// overlap analysis, determinism tests, CI layer-coverage asserts — in
+/// one namespace.
+pub mod cat {
+    /// PE / run lifetime roots (`run_spmd`, one `pe` span per PE thread).
+    pub const RUN: &str = "run";
+    /// One span per metrics phase, driven by `Comm::set_phase`.
+    pub const PHASE: &str = "phase";
+    /// Collective operations (barrier, broadcast, alltoallv, …).
+    pub const COLL: &str = "coll";
+    /// Blocking completion calls (`recv`, `wait`, `wait_any`, `test`).
+    pub const WAIT: &str = "wait";
+    /// Time blocked with no matching message ready. Timing-dependent:
+    /// emitted only when a wait actually blocks, so span counts in this
+    /// category are *not* deterministic across runs.
+    pub const STALL: &str = "stall";
+    /// Point-to-point sends (`send`, `isend`).
+    pub const SEND: &str = "send";
+    /// The exchange engine's send section: from the first bucket encode
+    /// until the last bucket has been shipped (the blocking mode's
+    /// `alltoallv` call). The denominator of the overlap ratio.
+    pub const SEND_WINDOW: &str = "send-window";
+    /// Per-bucket wire encoding in the exchange engine.
+    pub const ENCODE: &str = "encode";
+    /// Per-source wire decoding in the exchange engine.
+    pub const DECODE: &str = "decode";
+    /// Merge work: cascade level merges, final materialization, and the
+    /// blocking path's k-way merge.
+    pub const MERGE: &str = "merge";
+    /// Work-stealing local-sort tasks (args: worker id, task size).
+    /// Scheduling-dependent when `DSS_THREADS` differs; the task *tree*
+    /// (and hence the span count) is deterministic for any fixed
+    /// `threads >= 2`.
+    pub const SORT_TASK: &str = "sort-task";
+    /// One span per distributed-sorter invocation (MS, MS2L, MSML, …).
+    pub const ALGO: &str = "algo";
+}
+
+/// Default per-thread span cap (≈ 262 k spans), overridden by
+/// `DSS_TRACE=spans=N`.
+pub const DEFAULT_SPAN_CAP: usize = 1 << 18;
+
+/// Parsed value of the `DSS_TRACE` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether span recording is on.
+    pub enabled: bool,
+    /// Per-thread span cap (the process-global backstop is 16× this).
+    pub span_cap: usize,
+}
+
+/// Parses a `DSS_TRACE` value: `off` (or unset) disables, `on` enables
+/// with [`DEFAULT_SPAN_CAP`], `spans=N` enables with a per-thread cap of
+/// `N` spans. Anything else **panics** with the offending value — same
+/// policy as `DSS_EXCHANGE_MODE` / `DSS_THREADS`: a typo'd knob must not
+/// silently run untraced while CI believes it captured a trace.
+pub fn parse_dss_trace(raw: Option<&str>) -> TraceConfig {
+    let off = TraceConfig {
+        enabled: false,
+        span_cap: DEFAULT_SPAN_CAP,
+    };
+    match raw {
+        None => off,
+        Some(v) if v.eq_ignore_ascii_case("off") => off,
+        Some(v) if v.eq_ignore_ascii_case("on") => TraceConfig {
+            enabled: true,
+            span_cap: DEFAULT_SPAN_CAP,
+        },
+        Some(v) => match v.strip_prefix("spans=") {
+            Some(n) => match n.trim().parse::<usize>() {
+                Ok(cap) if cap >= 1 => TraceConfig {
+                    enabled: true,
+                    span_cap: cap,
+                },
+                _ => panic!("DSS_TRACE spans=N needs a positive integer, got '{v}'"),
+            },
+            None => panic!("DSS_TRACE must be 'off', 'on' or 'spans=N', got '{v}'"),
+        },
+    }
+}
+
+/// Applies the `DSS_TRACE` environment knob, once per process (cached
+/// like `ExchangeMode::from_env`; later calls are no-ops so programmatic
+/// [`enable`]/[`disable`] — used by tests and `perfsnap --trace` — is
+/// not stomped by subsequent `run_spmd` calls). Panics on an invalid
+/// value, per [`parse_dss_trace`].
+pub fn init_from_env() {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        let cfg = match std::env::var("DSS_TRACE") {
+            Ok(v) => parse_dss_trace(Some(&v)),
+            Err(std::env::VarError::NotPresent) => parse_dss_trace(None),
+            Err(e) => panic!("DSS_TRACE must be valid unicode: {e}"),
+        };
+        if cfg.enabled {
+            enable(cfg.span_cap);
+        }
+    });
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SPAN_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_SPAN_CAP);
+static GLOBAL_CAP: AtomicUsize = AtomicUsize::new(16 * DEFAULT_SPAN_CAP);
+static GLOBAL_SPANS: AtomicUsize = AtomicUsize::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// Turns recording on with a per-thread cap of `span_cap` spans (and a
+/// process-global backstop of 16× that).
+pub fn enable(span_cap: usize) {
+    let cap = span_cap.max(1);
+    epoch(); // pin the common timestamp origin before the first event
+    SPAN_CAP.store(cap, Ordering::Relaxed);
+    GLOBAL_CAP.store(cap.saturating_mul(16), Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns recording off. Spans already begun still record their `End`
+/// (balance over speed); buffered events stay until [`take`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether recording is currently on (one relaxed load — the check every
+/// instrumentation site performs first).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch — the common clock all
+/// tracks share, so spans from different threads align in Perfetto.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// One timestamped begin/end record in a thread's buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Begin (with the span's identity) or End (pairs with the innermost
+    /// open Begin of the same thread).
+    pub kind: EventKind,
+}
+
+/// Payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Opens a span.
+    Begin {
+        /// Span name (phase label, collective name, …).
+        name: String,
+        /// Category from [`cat`].
+        cat: &'static str,
+        /// Up to two numeric arguments; `("", 0)` entries are unused.
+        args: [(&'static str, u64); 2],
+    },
+    /// Closes the innermost open span of the recording thread.
+    End,
+}
+
+struct BufState {
+    events: Vec<Event>,
+    /// Spans recorded since the last drain (the per-thread cap counts
+    /// these, not raw events).
+    begins: usize,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    name: String,
+    state: Mutex<BufState>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<ThreadBuf>>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let buf = l.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            let buf = Arc::new(ThreadBuf {
+                tid,
+                name,
+                state: Mutex::new(BufState {
+                    events: Vec::new(),
+                    begins: 0,
+                }),
+            });
+            registry()
+                .lock()
+                .expect("trace registry")
+                .push(Arc::clone(&buf));
+            buf
+        });
+        f(buf)
+    })
+}
+
+/// RAII span: records `Begin` on creation and `End` on drop. `!Send` on
+/// purpose — begin and end must land in the same thread's buffer for
+/// per-thread nesting to hold.
+#[must_use = "the span ends when this guard drops"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing — what [`span`] returns when tracing
+    /// is off, and the idle value for fields that hold the current span.
+    pub fn inert() -> Self {
+        Self {
+            live: false,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Default for SpanGuard {
+    fn default() -> Self {
+        Self::inert()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        // Deliberately not gated on `enabled()`: a span begun while
+        // tracing was on must close even if tracing was switched off
+        // mid-span, or the buffer drains unbalanced.
+        let ts_ns = now_ns();
+        with_local(|buf| {
+            buf.state.lock().expect("trace buffer").events.push(Event {
+                ts_ns,
+                kind: EventKind::End,
+            });
+        });
+    }
+}
+
+/// Opens a span of `cat` named `name` on the calling thread. When
+/// tracing is off this is a single relaxed atomic load returning an
+/// inert guard.
+#[inline]
+pub fn span(cat: &'static str, name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert();
+    }
+    span_slow(cat, name, [("", 0), ("", 0)])
+}
+
+/// [`span`] with up to two numeric arguments (worker id, byte count, …);
+/// unused entries are `("", 0)`.
+#[inline]
+pub fn span_args(cat: &'static str, name: &str, args: [(&'static str, u64); 2]) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert();
+    }
+    span_slow(cat, name, args)
+}
+
+#[cold]
+fn span_slow(cat: &'static str, name: &str, args: [(&'static str, u64); 2]) -> SpanGuard {
+    let ts_ns = now_ns();
+    let live = with_local(|buf| {
+        let mut st = buf.state.lock().expect("trace buffer");
+        let over_thread = st.begins >= SPAN_CAP.load(Ordering::Relaxed);
+        let over_global =
+            GLOBAL_SPANS.load(Ordering::Relaxed) >= GLOBAL_CAP.load(Ordering::Relaxed);
+        if over_thread || over_global {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        st.begins += 1;
+        GLOBAL_SPANS.fetch_add(1, Ordering::Relaxed);
+        st.events.push(Event {
+            ts_ns,
+            kind: EventKind::Begin {
+                name: name.to_string(),
+                cat,
+                args,
+            },
+        });
+        true
+    });
+    SpanGuard {
+        live,
+        _not_send: PhantomData,
+    }
+}
+
+/// Events of one recorded thread, as drained by [`take`].
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    /// Stable registration id (the Perfetto track id).
+    pub tid: u64,
+    /// OS thread name at registration (`pe0`, `dss-sort1`, `main`, …).
+    pub thread: String,
+    /// Begin/end events in record order.
+    pub events: Vec<Event>,
+}
+
+/// A drained trace: per-thread event streams plus the drop counter.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Per-thread streams, ordered by `tid`.
+    pub threads: Vec<ThreadTrace>,
+    /// Spans dropped at the buffer caps since the last drain.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Total number of events across all threads.
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Whether no thread recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Thread name for a `tid` (empty if unknown).
+    pub fn thread_name(&self, tid: u64) -> &str {
+        self.threads
+            .iter()
+            .find(|t| t.tid == tid)
+            .map(|t| t.thread.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// Drains every thread buffer into a [`Trace`] and resets the caps'
+/// accounting. Buffers of threads that have exited are removed from the
+/// registry; live threads keep recording into their (now empty) buffer.
+///
+/// Call at a quiescent point — after `run_spmd` has joined its PE
+/// threads — so no drained stream ends mid-span.
+pub fn take() -> Trace {
+    let mut reg = registry().lock().expect("trace registry");
+    let mut threads = Vec::new();
+    reg.retain(|buf| {
+        let (events, begins) = {
+            let mut st = buf.state.lock().expect("trace buffer");
+            let begins = st.begins;
+            st.begins = 0;
+            (std::mem::take(&mut st.events), begins)
+        };
+        if begins > 0 {
+            GLOBAL_SPANS.fetch_sub(begins, Ordering::Relaxed);
+        }
+        if !events.is_empty() {
+            threads.push(ThreadTrace {
+                tid: buf.tid,
+                thread: buf.name.clone(),
+                events,
+            });
+        }
+        // An Arc held only by the registry means the thread (and its
+        // thread-local handle) is gone; prune so long test runs do not
+        // accumulate dead buffers.
+        Arc::strong_count(buf) > 1
+    });
+    threads.sort_by_key(|t| t.tid);
+    Trace {
+        threads,
+        dropped: DROPPED.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// Drains and discards everything buffered so far (fresh-start helper
+/// for tests and capture sessions).
+pub fn reset() {
+    let _ = take();
+}
+
+pub(crate) fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Recording tests share the process-global recorder; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parse_accepts_known_values() {
+        assert!(!parse_dss_trace(None).enabled);
+        for v in ["off", "Off", "OFF"] {
+            assert!(!parse_dss_trace(Some(v)).enabled);
+        }
+        for v in ["on", "On", "ON"] {
+            let c = parse_dss_trace(Some(v));
+            assert!(c.enabled);
+            assert_eq!(c.span_cap, DEFAULT_SPAN_CAP);
+        }
+        let c = parse_dss_trace(Some("spans=512"));
+        assert!(c.enabled);
+        assert_eq!(c.span_cap, 512);
+        assert_eq!(parse_dss_trace(Some("spans= 64 ")).span_cap, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "DSS_TRACE must be 'off', 'on' or 'spans=N', got 'yes'")]
+    fn parse_rejects_unrecognized_values() {
+        parse_dss_trace(Some("yes"));
+    }
+
+    #[test]
+    #[should_panic(expected = "DSS_TRACE spans=N needs a positive integer, got 'spans=0'")]
+    fn parse_rejects_zero_cap() {
+        parse_dss_trace(Some("spans=0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "got 'spans=lots'")]
+    fn parse_rejects_garbage_cap() {
+        parse_dss_trace(Some("spans=lots"));
+    }
+
+    #[test]
+    #[should_panic(expected = "got ''")]
+    fn parse_rejects_empty_string() {
+        parse_dss_trace(Some(""));
+    }
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let _g = lock();
+        disable();
+        reset();
+        {
+            let _s = span(cat::PHASE, "invisible");
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let _g = lock();
+        reset();
+        enable(1024);
+        {
+            let _outer = span(cat::PHASE, "outer");
+            {
+                let _inner = span_args(cat::COLL, "inner", [("bytes", 7), ("", 0)]);
+            }
+        }
+        disable();
+        let trace = take();
+        let spans = pair_spans(&trace).expect("balanced");
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "outer").expect("outer");
+        let inner = spans.iter().find(|s| s.name == "inner").expect("inner");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.args[0], ("bytes", 7));
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    }
+
+    /// At the span cap, new begins are dropped *with* their ends, so the
+    /// drained stream still pairs cleanly; the drop counter reports the
+    /// loss instead of silent truncation.
+    #[test]
+    fn cap_overflow_keeps_streams_balanced() {
+        let _g = lock();
+        reset();
+        enable(3);
+        for i in 0..10 {
+            let _s = span(cat::MERGE, &format!("m{i}"));
+        }
+        disable();
+        let trace = take();
+        assert_eq!(trace.dropped, 7);
+        let spans = pair_spans(&trace).expect("balanced despite drops");
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.name.starts_with('m')));
+    }
+
+    #[test]
+    fn take_drains_and_resets_caps() {
+        let _g = lock();
+        reset();
+        enable(2);
+        {
+            let _a = span(cat::WAIT, "a");
+        }
+        {
+            let _b = span(cat::WAIT, "b");
+        }
+        {
+            // Over the cap: dropped.
+            let _c = span(cat::WAIT, "c");
+        }
+        let first = take();
+        assert_eq!(pair_spans(&first).expect("balanced").len(), 2);
+        assert_eq!(first.dropped, 1);
+        {
+            // The drain reset the per-thread count: records again.
+            let _d = span(cat::WAIT, "d");
+        }
+        disable();
+        let second = take();
+        let spans = pair_spans(&second).expect("balanced");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "d");
+        assert_eq!(second.dropped, 0);
+    }
+
+    #[test]
+    fn worker_threads_get_their_own_tracks() {
+        let _g = lock();
+        reset();
+        enable(1024);
+        std::thread::Builder::new()
+            .name("trace-test-worker".into())
+            .spawn(|| {
+                let _s = span(cat::SORT_TASK, "task");
+            })
+            .expect("spawn")
+            .join()
+            .expect("join");
+        {
+            let _s = span(cat::PHASE, "local");
+        }
+        disable();
+        let trace = take();
+        assert!(trace
+            .threads
+            .iter()
+            .any(|t| t.thread == "trace-test-worker"));
+        let spans = pair_spans(&trace).expect("balanced");
+        let task = spans
+            .iter()
+            .find(|s| s.cat == cat::SORT_TASK)
+            .expect("task");
+        let local = spans.iter().find(|s| s.cat == cat::PHASE).expect("local");
+        assert_ne!(task.tid, local.tid, "one track per thread");
+    }
+}
