@@ -112,13 +112,14 @@ fn main() {
 
     eprintln!();
     eprintln!(
-        "{:<10} {:<10} {:>9} {:>11} {:>13} {:>14} {:>10} {:>13} {:>9} {:>7}",
+        "{:<10} {:<10} {:>9} {:>11} {:>13} {:>14} {:>12} {:>10} {:>13} {:>9} {:>7}",
         "workload",
         "algo",
         "n",
         "wall_ms",
         "MB/s",
         "chars_accessed",
+        "wire_B/str",
         "allocs",
         "bytes_copied",
         "stall_ms",
@@ -126,7 +127,7 @@ fn main() {
     );
     for c in &cells {
         eprintln!(
-            "{:<10} {:<10} {:>9} {:>11.2} {:>13.2} {:>14} {:>10} {:>13} {:>9} {:>7}",
+            "{:<10} {:<10} {:>9} {:>11.2} {:>13.2} {:>14} {:>12} {:>10} {:>13} {:>9} {:>7}",
             c.workload,
             c.algo,
             c.n,
@@ -134,6 +135,8 @@ fn main() {
             c.mb_per_s,
             c.chars_accessed
                 .map_or_else(|| "-".into(), |v| v.to_string()),
+            c.wire_bytes_per_string
+                .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
             c.allocs,
             c.bytes_copied,
             c.comm_stall_ns

@@ -2,12 +2,15 @@
 //!
 //! Runs a fixed workload matrix (random / skewed / DNA / duplicate-heavy
 //! × seq-sort / MS / MS-simple / PDMS / PDMS-Golomb / hQuick / MS2L /
-//! MSML, plus an exchange+merge micro-cell) and reports, per cell:
+//! MSML / PD-MS2L / PD-MSML, plus an exchange+merge micro-cell) and
+//! reports, per cell:
 //!
 //! * **throughput** in MB of string characters per second (best of reps);
 //! * **chars_accessed** of the sequential sorters (the paper's D-bounded
 //!   work measure);
-//! * **bytes per string** on the wire for the distributed cells;
+//! * **wire_bytes_per_string** — exchange-phase wire volume per string
+//!   for the distributed cells (the column that shows the PD grid
+//!   variants shipping D rather than N characters);
 //! * **allocation counts** (calls + bytes) observed by the counting
 //!   global allocator installed by the `perfsnap` binary.
 //!
@@ -156,7 +159,7 @@ pub struct Cell {
     /// Sequential sorter work counter (seq cells only).
     pub chars_accessed: Option<u64>,
     /// Wire volume per string (distributed cells only).
-    pub bytes_per_string: Option<f64>,
+    pub wire_bytes_per_string: Option<f64>,
     /// Allocator calls in the measured region (best rep).
     pub allocs: u64,
     /// Bytes requested from the allocator in the measured region.
@@ -355,7 +358,7 @@ pub fn seq_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Cell {
             wall,
             mb_per_s: throughput(chars, wall),
             chars_accessed: Some(stats.chars_accessed),
-            bytes_per_string: None,
+            wire_bytes_per_string: None,
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
             bytes_copied: copyvol::bytes_copied() - c0,
@@ -397,7 +400,7 @@ pub fn par_sort_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
             wall,
             mb_per_s: throughput(chars, wall),
             chars_accessed: Some(stats.chars_accessed),
-            bytes_per_string: None,
+            wire_bytes_per_string: None,
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
             bytes_copied: copyvol::bytes_copied() - c0,
@@ -462,7 +465,7 @@ pub fn merge_cell(
             wall,
             mb_per_s: throughput(chars, wall),
             chars_accessed: None,
-            bytes_per_string: None,
+            wire_bytes_per_string: None,
             allocs: a1 - a0,
             alloc_bytes: b1 - b0,
             bytes_copied: copyvol::bytes_copied() - c0,
@@ -548,7 +551,7 @@ pub fn dist_cell(w: SnapWorkload, alg: Algorithm, cfg: &SnapConfig, probe: Alloc
             wall,
             mb_per_s: throughput(chars, wall),
             chars_accessed: None,
-            bytes_per_string: Some(bytes_sent as f64 / n.max(1) as f64),
+            wire_bytes_per_string: Some(bytes_sent as f64 / n.max(1) as f64),
             allocs,
             alloc_bytes,
             bytes_copied,
@@ -632,7 +635,7 @@ pub fn exchange_cell(w: SnapWorkload, cfg: &SnapConfig, probe: AllocProbe) -> Ce
             wall,
             mb_per_s: throughput(chars, wall),
             chars_accessed: None,
-            bytes_per_string: None,
+            wire_bytes_per_string: None,
             allocs,
             alloc_bytes,
             bytes_copied,
@@ -701,6 +704,8 @@ pub fn run_snapshot_filtered(cfg: &SnapConfig, probe: AllocProbe, filter: &str) 
             Algorithm::HQuick,
             Algorithm::Ms2l,
             Algorithm::Msml,
+            Algorithm::PdMs2l,
+            Algorithm::PdMsml,
         ] {
             if want(w, alg.label()) {
                 eprintln!("perfsnap: {} / {}", w.label(), alg.label());
@@ -747,7 +752,7 @@ pub fn snapshot_json(label: &str, cfg: &SnapConfig, cells: &[Cell]) -> String {
         let chars_accessed = c
             .chars_accessed
             .map_or("null".to_string(), |v| v.to_string());
-        let bps = c.bytes_per_string.map_or("null".to_string(), fmt_f64);
+        let bps = c.wire_bytes_per_string.map_or("null".to_string(), fmt_f64);
         let stall = c
             .comm_stall_ns
             .map_or("null".to_string(), |v| v.to_string());
@@ -755,7 +760,7 @@ pub fn snapshot_json(label: &str, cfg: &SnapConfig, cells: &[Cell]) -> String {
         out.push_str(&format!(
             "      {{\"workload\": \"{}\", \"algo\": \"{}\", \"n\": {}, \"chars\": {}, \
              \"wall_ms\": {}, \"throughput_mb_s\": {}, \"chars_accessed\": {}, \
-             \"bytes_per_string\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \
+             \"wire_bytes_per_string\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \
              \"bytes_copied\": {}, \"comm_stall_ns\": {}, \"overlap_ratio\": {}}}{}\n",
             c.workload,
             c.algo,
@@ -822,9 +827,9 @@ mod tests {
             threads: 2,
         };
         let cells = run_snapshot(&cfg, no_probe);
-        // seq-sort + par-sort + merge + par-merge + 7 distributed
+        // seq-sort + par-sort + merge + par-merge + 9 distributed
         // algorithms + the exchange micro-cell.
-        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 12);
+        assert_eq!(cells.len(), SnapWorkload::ALL.len() * 14);
         for c in &cells {
             assert!(c.n > 0, "{}/{} empty", c.workload, c.algo);
             assert!(c.mb_per_s > 0.0);
@@ -842,12 +847,14 @@ mod tests {
             "hQuick",
             "MS2L",
             "MSML",
+            "PD-MS2L",
+            "PD-MSML",
         ] {
             assert!(
                 cells
                     .iter()
                     .filter(|c| c.algo == algo)
-                    .all(|c| c.bytes_per_string.unwrap_or(0.0) > 0.0),
+                    .all(|c| c.wire_bytes_per_string.unwrap_or(0.0) > 0.0),
                 "{algo} cells must report wire volume"
             );
         }
@@ -875,7 +882,7 @@ mod tests {
             wall: Duration::from_millis(5),
             mb_per_s: 20.0,
             chars_accessed: Some(123),
-            bytes_per_string: None,
+            wire_bytes_per_string: None,
             allocs: 7,
             alloc_bytes: 512,
             bytes_copied: 4096,
@@ -894,6 +901,7 @@ mod tests {
         assert!(body.ends_with("]\n"));
         assert_eq!(body.matches("\"label\": \"test\"").count(), 2);
         assert_eq!(body.matches("\"chars_accessed\": 123").count(), 2);
+        assert_eq!(body.matches("\"wire_bytes_per_string\": null").count(), 2);
         assert_eq!(body.matches("\"bytes_copied\": 4096").count(), 2);
         assert_eq!(body.matches("\"comm_stall_ns\": 1234").count(), 2);
         assert_eq!(body.matches("\"overlap_ratio\": 0.250").count(), 2);

@@ -134,6 +134,61 @@ where
     len
 }
 
+/// Exact encoded sizes of one run under every wire format.
+///
+/// Produced by [`encoded_len_all`] in a single pass over the strings; the
+/// per-destination codec selection (`ExchangeCodec::Auto` in `dss-sort`)
+/// needs all three sizes to pick the cheapest format without re-walking
+/// the bucket once per candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedLens {
+    /// Bytes [`encode_plain`] would append.
+    pub plain: usize,
+    /// Bytes [`encode_lcp`] with raw LCPs would append.
+    pub lcp: usize,
+    /// Bytes [`encode_lcp`] with delta-coded LCPs would append.
+    pub lcp_delta: usize,
+}
+
+/// Computes [`encoded_len_plain`] and [`encoded_len_lcp`] (both flavors)
+/// in one pass. Each result is exactly what the corresponding encoder
+/// appends for the same arguments (see those functions' contracts).
+pub fn encoded_len_all<'a, I>(strings: I, lcps: &[u32], origins: Option<&[u64]>) -> EncodedLens
+where
+    I: ExactSizeIterator<Item = &'a [u8]>,
+{
+    let shared = encoded_len_u64(strings.len() as u64) + encoded_len_origins(origins);
+    let mut plain = shared + 1;
+    let mut lcp_total = shared + 2;
+    let mut lcp_delta = shared + 2;
+    let mut prev_lcp: u32 = 0;
+    for (i, s) in strings.enumerate() {
+        let full = encoded_len_u64(s.len() as u64) + s.len();
+        plain += full;
+        if i == 0 {
+            lcp_total += full;
+            lcp_delta += full;
+        } else {
+            let lcp = lcps[i];
+            debug_assert!(
+                (lcp as usize) <= s.len(),
+                "lcp {lcp} exceeds string length {}",
+                s.len()
+            );
+            let suffix_len = s.len() - lcp as usize;
+            let suffix = encoded_len_u64(suffix_len as u64) + suffix_len;
+            lcp_total += encoded_len_u64(lcp as u64) + suffix;
+            lcp_delta += encoded_len_u64(zigzag(lcp as i64 - prev_lcp as i64)) + suffix;
+            prev_lcp = lcp;
+        }
+    }
+    EncodedLens {
+        plain,
+        lcp: lcp_total,
+        lcp_delta,
+    }
+}
+
 /// Encodes a run in the plain format (no LCP exploitation).
 ///
 /// Layout: `count, has_origins, [len, bytes]*, [origin]*`.
@@ -505,6 +560,46 @@ mod tests {
                 buf.len(),
                 "delta {delta}"
             );
+        }
+    }
+
+    #[test]
+    fn encoded_len_all_matches_every_encoder() {
+        let cases: Vec<Vec<&[u8]>> = vec![
+            vec![],
+            vec![b"only"],
+            vec![b"snow", b"sorbet", b"sorter"],
+            vec![b"", b"", b"a", b"aa", b"aaa"],
+            vec![
+                b"prefix_common_aaaa",
+                b"prefix_common_aaab",
+                b"prefix_common_b",
+            ],
+        ];
+        for strings in cases {
+            let lcps = lcp_array(&strings);
+            let origins: Vec<u64> = (0..strings.len() as u64).map(|i| i * 7 + 3).collect();
+            for o in [None, Some(origins.as_slice())] {
+                let lens = encoded_len_all(strings.iter().copied(), &lcps, o);
+                assert_eq!(lens.plain, encoded_len_plain(strings.iter().copied(), o));
+                assert_eq!(
+                    lens.lcp,
+                    encoded_len_lcp(strings.iter().copied(), &lcps, o, false)
+                );
+                assert_eq!(
+                    lens.lcp_delta,
+                    encoded_len_lcp(strings.iter().copied(), &lcps, o, true)
+                );
+                let mut buf = Vec::new();
+                encode_plain(strings.iter().copied(), o, &mut buf);
+                assert_eq!(lens.plain, buf.len());
+                buf.clear();
+                encode_lcp(strings.iter().copied(), &lcps, o, false, &mut buf);
+                assert_eq!(lens.lcp, buf.len());
+                buf.clear();
+                encode_lcp(strings.iter().copied(), &lcps, o, true, &mut buf);
+                assert_eq!(lens.lcp_delta, buf.len());
+            }
         }
     }
 

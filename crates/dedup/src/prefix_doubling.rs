@@ -31,16 +31,19 @@ use dss_strkit::StringSet;
 /// Configuration of the distinguishing-prefix approximation.
 #[derive(Debug, Clone, Copy)]
 pub struct PrefixDoublingConfig {
-    /// Initial guess ℓ₀ in characters; 0 ⇒ auto (Θ(log p / log σ), scaled
-    /// by `log2(σ)` ≈ 8 for byte alphabets, min 4).
-    pub initial: u32,
+    /// Initial guess ℓ₀ in characters; `None` ⇒ auto (Θ(log p / log σ),
+    /// scaled by `log2(σ)` ≈ 8 for byte alphabets, min 4). An explicit
+    /// `Some(0)` is rejected by [`Self::validate`].
+    pub initial: Option<u32>,
     /// Growth factor 1+ε as a rational `num/den` (default 2/1 — doubling).
+    /// `num ≤ den` means ε ≤ 0 and is rejected by [`Self::validate`].
     pub growth_num: u32,
     /// See `growth_num`.
     pub growth_den: u32,
-    /// Parameters of the underlying duplicate detection. `fp_bits = 0`
-    /// auto-selects from the global string count.
-    pub fp_bits: u32,
+    /// Fingerprint width of the underlying duplicate detection. `None` ⇒
+    /// auto-select from the global string count; explicit widths must be
+    /// in `1..=64` ([`Self::validate`]).
+    pub fp_bits: Option<u32>,
     /// Golomb-code the fingerprint traffic (PDMS-Golomb).
     pub golomb: bool,
     /// Latency-reduced hypercube routing for the fingerprint all-to-alls.
@@ -50,12 +53,53 @@ pub struct PrefixDoublingConfig {
 impl Default for PrefixDoublingConfig {
     fn default() -> Self {
         Self {
-            initial: 0,
+            initial: None,
             growth_num: 2,
             growth_den: 1,
-            fp_bits: 0,
+            fp_bits: None,
             golomb: false,
             latency_optimal: false,
+        }
+    }
+}
+
+impl PrefixDoublingConfig {
+    /// Rejects nonsensical knob values with a panic naming the offender,
+    /// following the repo's fail-loud knob policy: a typo must not
+    /// silently hang the sorter or fall back to defaults.
+    ///
+    /// Every sorter that embeds this config calls `validate` up front, so
+    /// a bad value fails before any communication happens — even on
+    /// degenerate runs (p = 1, empty shards) that would never reach the
+    /// doubling loop.
+    pub fn validate(&self) {
+        assert!(
+            self.growth_den > 0,
+            "PrefixDoublingConfig::growth_den = 0: the growth factor 1+\u{3b5} = \
+             growth_num/growth_den needs a positive denominator"
+        );
+        assert!(
+            self.growth_num > self.growth_den,
+            "PrefixDoublingConfig growth factor {}/{} has \u{3b5} \u{2264} 0: the prefix \
+             length \u{2113} would never grow and Step 1+\u{3b5} would loop forever \
+             (need growth_num > growth_den)",
+            self.growth_num,
+            self.growth_den
+        );
+        if let Some(initial) = self.initial {
+            assert!(
+                initial > 0,
+                "PrefixDoublingConfig::initial = Some(0): a zero-character initial guess \
+                 fingerprints empty prefixes; use None for the automatic \u{398}(log p) guess"
+            );
+        }
+        if let Some(bits) = self.fp_bits {
+            assert!(
+                (1..=64).contains(&bits),
+                "PrefixDoublingConfig::fp_bits = Some({bits}): fingerprint width must be in \
+                 1..=64 (zero-width fingerprints make every string a duplicate; fingerprints \
+                 are u64); use None to auto-select from the global string count"
+            );
         }
     }
 }
@@ -94,6 +138,7 @@ pub fn approx_dist_prefixes(
     lcps: &[u32],
     cfg: &PrefixDoublingConfig,
 ) -> (Vec<u32>, PrefixDoublingStats) {
+    cfg.validate();
     let n = set.len();
     debug_assert_eq!(lcps.len(), n);
     debug_assert!(dss_strkit::checker::is_sorted(set), "input must be sorted");
@@ -104,24 +149,18 @@ pub fn approx_dist_prefixes(
     let mut active: Vec<u32> = (0..n as u32).collect();
 
     let global_n = comm.allreduce_u64(n as u64, ReduceOp::Sum);
-    let fp_bits = if cfg.fp_bits == 0 {
-        recommended_fp_bits(global_n)
-    } else {
-        cfg.fp_bits
-    };
+    let fp_bits = cfg.fp_bits.unwrap_or_else(|| recommended_fp_bits(global_n));
     let dedup_cfg = DedupConfig {
         fp_bits,
         golomb: cfg.golomb,
         latency_optimal: cfg.latency_optimal,
     };
-    let mut ell: u64 = if cfg.initial == 0 {
+    let mut ell: u64 = match cfg.initial {
         // Θ(log p / log σ) characters; for byte data log σ ≈ 8, and tiny
         // initial guesses only waste rounds, so start at ≥ 4.
-        (((64 - (comm.size() as u64).leading_zeros()) as u64).div_ceil(8)).max(4)
-    } else {
-        cfg.initial as u64
+        None => (((64 - (comm.size() as u64).leading_zeros()) as u64).div_ceil(8)).max(4),
+        Some(initial) => initial as u64,
     };
-    debug_assert!(cfg.growth_num > cfg.growth_den && cfg.growth_den > 0);
 
     loop {
         let globally_active = comm.allreduce_u64(active.len() as u64, ReduceOp::Sum);
@@ -422,6 +461,81 @@ mod tests {
         });
         let (t, d) = res.values[0];
         assert!(t <= d, "3/2 growth {t} should be ≤ doubling {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "PrefixDoublingConfig growth factor 1/1 has ε ≤ 0")]
+    fn growth_factor_one_panics() {
+        PrefixDoublingConfig {
+            growth_num: 1,
+            growth_den: 1,
+            ..PrefixDoublingConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "PrefixDoublingConfig growth factor 2/3 has ε ≤ 0")]
+    fn shrinking_growth_factor_panics() {
+        PrefixDoublingConfig {
+            growth_num: 2,
+            growth_den: 3,
+            ..PrefixDoublingConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "PrefixDoublingConfig::growth_den = 0")]
+    fn zero_growth_denominator_panics() {
+        PrefixDoublingConfig {
+            growth_den: 0,
+            ..PrefixDoublingConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "PrefixDoublingConfig::initial = Some(0)")]
+    fn zero_initial_guess_panics() {
+        PrefixDoublingConfig {
+            initial: Some(0),
+            ..PrefixDoublingConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "PrefixDoublingConfig::fp_bits = Some(0)")]
+    fn zero_width_fingerprints_panic() {
+        PrefixDoublingConfig {
+            fp_bits: Some(0),
+            ..PrefixDoublingConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "PrefixDoublingConfig::fp_bits = Some(65)")]
+    fn oversized_fingerprints_panic() {
+        PrefixDoublingConfig {
+            fp_bits: Some(65),
+            ..PrefixDoublingConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn explicit_valid_knobs_pass_validation() {
+        PrefixDoublingConfig {
+            initial: Some(8),
+            growth_num: 3,
+            growth_den: 2,
+            fp_bits: Some(32),
+            ..PrefixDoublingConfig::default()
+        }
+        .validate();
+        PrefixDoublingConfig::default().validate();
     }
 
     #[test]

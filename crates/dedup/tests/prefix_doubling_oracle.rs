@@ -126,7 +126,7 @@ fn oracle_tiny_fingerprints_stay_safe() {
             3,
             shards,
             PrefixDoublingConfig {
-                fp_bits: 16,
+                fp_bits: Some(16),
                 ..PrefixDoublingConfig::default()
             },
         );

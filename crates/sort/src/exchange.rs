@@ -120,6 +120,62 @@ pub enum ExchangeCodec {
     LcpCompressed,
     /// Like `LcpCompressed` with difference-coded LCP values (§VI-B).
     LcpDelta,
+    /// Per-destination selection: each bucket ships in whichever of the
+    /// three fixed formats encodes it smallest (exact sizes from one pass
+    /// over data the classifier already touched, ties to the simpler
+    /// codec), behind a 1-byte format tag. Short/low-LCP buckets stop
+    /// paying the LCP-header overhead; long-LCP buckets keep the prefix
+    /// compression. Decoded runs always carry exact run-local LCPs (they
+    /// are recomputed after a plain-tagged decode), so downstream LCP
+    /// merges — and the output — are byte-identical to the fixed codecs'.
+    Auto,
+}
+
+impl ExchangeCodec {
+    /// The codec an LCP-capable sorter config resolves to: [`Self::Auto`]
+    /// when per-destination selection is on (it overrides `delta_lcps`),
+    /// else the fixed LCP flavor the `delta_lcps` knob names.
+    pub fn for_lcp_config(delta_lcps: bool, auto_codec: bool) -> Self {
+        if auto_codec {
+            ExchangeCodec::Auto
+        } else if delta_lcps {
+            ExchangeCodec::LcpDelta
+        } else {
+            ExchangeCodec::LcpCompressed
+        }
+    }
+}
+
+/// Wire tags of [`ExchangeCodec::Auto`] messages (first byte of the
+/// buffer, ahead of the self-delimiting run formats of `dss_codec::wire`,
+/// which carry no format discriminator of their own).
+const AUTO_TAG_PLAIN: u8 = 0;
+const AUTO_TAG_LCP: u8 = 1;
+const AUTO_TAG_DELTA: u8 = 2;
+
+/// Picks the cheapest format for one bucket from its exact encoded sizes;
+/// ties prefer the simpler codec (plain over LCP-headed, raw LCPs over
+/// delta-coded).
+pub(crate) fn auto_pick(lens: wire::EncodedLens) -> ExchangeCodec {
+    if lens.plain <= lens.lcp && lens.plain <= lens.lcp_delta {
+        ExchangeCodec::Plain
+    } else if lens.lcp <= lens.lcp_delta {
+        ExchangeCodec::LcpCompressed
+    } else {
+        ExchangeCodec::LcpDelta
+    }
+}
+
+/// Rebuilds the exact run-local LCP array of a plain-decoded run, so a
+/// plain-tagged [`ExchangeCodec::Auto`] arrival feeds the LCP merges the
+/// same values an LCP-tagged one would have carried on the wire.
+fn recompute_run_lcps(run: &mut DecodedRun) {
+    for i in 1..run.bounds.len() {
+        let (po, pl) = run.bounds[i - 1];
+        let (o, l) = run.bounds[i];
+        run.lcps[i] = dss_strkit::lcp::lcp(&run.data[po..po + pl], &run.data[o..o + l]);
+    }
+    run.has_lcps = true;
 }
 
 /// What one exchange ships: the sorted local set plus its side arrays.
@@ -482,18 +538,7 @@ impl StringAllToAll {
                 buf
             }
             ExchangeCodec::LcpCompressed | ExchangeCodec::LcpDelta => {
-                // Run-local LCPs: slice of the global array, truncated to
-                // the transmitted lengths, first entry 0.
-                self.run_lcps.clear();
-                self.run_lcps.extend((lo..hi).enumerate().map(|(k, i)| {
-                    if k == 0 {
-                        0
-                    } else {
-                        payload.lcps[i]
-                            .min(payload.send_len(i - 1) as u32)
-                            .min(payload.send_len(i) as u32)
-                    }
-                }));
+                self.fill_run_lcps(payload, lo, hi);
                 let delta = self.codec == ExchangeCodec::LcpDelta;
                 let exact = wire::encoded_len_lcp(strings(), &self.run_lcps, origins_slice, delta);
                 let mut buf = Vec::with_capacity(exact);
@@ -502,7 +547,47 @@ impl StringAllToAll {
                 dss_strkit::copyvol::record_copied(buf.len());
                 buf
             }
+            ExchangeCodec::Auto => {
+                self.fill_run_lcps(payload, lo, hi);
+                let lens = wire::encoded_len_all(strings(), &self.run_lcps, origins_slice);
+                let pick = auto_pick(lens);
+                let (tag, exact) = match pick {
+                    ExchangeCodec::Plain => (AUTO_TAG_PLAIN, lens.plain),
+                    ExchangeCodec::LcpCompressed => (AUTO_TAG_LCP, lens.lcp),
+                    _ => (AUTO_TAG_DELTA, lens.lcp_delta),
+                };
+                let mut buf = Vec::with_capacity(1 + exact);
+                buf.push(tag);
+                match pick {
+                    ExchangeCodec::Plain => wire::encode_plain(strings(), origins_slice, &mut buf),
+                    _ => wire::encode_lcp(
+                        strings(),
+                        &self.run_lcps,
+                        origins_slice,
+                        tag == AUTO_TAG_DELTA,
+                        &mut buf,
+                    ),
+                }
+                debug_assert_eq!(buf.len(), 1 + exact);
+                dss_strkit::copyvol::record_copied(buf.len());
+                buf
+            }
         }
+    }
+
+    /// Run-local LCPs of bucket `[lo, hi)`: slice of the global array,
+    /// truncated to the transmitted lengths, first entry 0.
+    fn fill_run_lcps(&mut self, payload: &ExchangePayload<'_>, lo: usize, hi: usize) {
+        self.run_lcps.clear();
+        self.run_lcps.extend((lo..hi).enumerate().map(|(k, i)| {
+            if k == 0 {
+                0
+            } else {
+                payload.lcps[i]
+                    .min(payload.send_len(i - 1) as u32)
+                    .min(payload.send_len(i) as u32)
+            }
+        }));
     }
 
     /// Grows the pooled scratch ring to its high-water mark.
@@ -523,7 +608,26 @@ impl StringAllToAll {
         let mut pos = 0;
         match self.codec {
             ExchangeCodec::Plain => wire::decode_plain_into(buf, &mut pos, run),
-            _ => wire::decode_lcp_into(buf, &mut pos, run),
+            ExchangeCodec::LcpCompressed | ExchangeCodec::LcpDelta => {
+                wire::decode_lcp_into(buf, &mut pos, run)
+            }
+            ExchangeCodec::Auto => {
+                pos = 1;
+                match buf.first().copied() {
+                    Some(AUTO_TAG_PLAIN) => {
+                        wire::decode_plain_into(buf, &mut pos, run).map(|()| {
+                            // The LCP values a fixed codec would have
+                            // shipped; keeps the merge inputs — and thus
+                            // the output — independent of the tag choice.
+                            recompute_run_lcps(run);
+                        })
+                    }
+                    Some(AUTO_TAG_LCP | AUTO_TAG_DELTA) => {
+                        wire::decode_lcp_into(buf, &mut pos, run)
+                    }
+                    _ => None,
+                }
+            }
         }
         .expect("well-formed exchange run");
         debug_assert_eq!(pos, buf.len());
@@ -1062,6 +1166,200 @@ mod tests {
     #[test]
     fn lcp_delta_roundtrip() {
         roundtrip(ExchangeCodec::LcpDelta, true);
+    }
+
+    #[test]
+    fn auto_roundtrip() {
+        roundtrip(ExchangeCodec::Auto, true);
+    }
+
+    fn lcp_array_of(strings: &[Vec<u8>]) -> Vec<u32> {
+        let mut lcps = vec![0u32];
+        for w in strings.windows(2) {
+            lcps.push(dss_strkit::lcp::lcp(&w[0], &w[1]));
+        }
+        lcps.truncate(strings.len());
+        lcps
+    }
+
+    /// The Auto selection heuristic on fixed buckets: disjoint short
+    /// strings make the LCP headers pure overhead (→ Plain); a shared
+    /// prefix ≥ 128 chars makes every raw LCP a 2-byte varint while the
+    /// deltas stay 1 byte (→ LcpDelta). Sizes are the exact encoder
+    /// outputs, so the pick is provably minimal.
+    #[test]
+    fn auto_selects_plain_for_low_lcp_and_delta_for_high_lcp() {
+        let low: Vec<Vec<u8>> = (b'a'..=b'z').map(|c| vec![c]).collect();
+        let low_lcps = lcp_array_of(&low);
+        assert!(low_lcps.iter().all(|&l| l == 0));
+        let lens = wire::encoded_len_all(
+            ExactIter::new(low.iter().map(|s| s.as_slice()), low.len()),
+            &low_lcps,
+            None,
+        );
+        assert!(lens.plain < lens.lcp && lens.plain < lens.lcp_delta);
+        assert_eq!(auto_pick(lens), ExchangeCodec::Plain);
+
+        let base = "q".repeat(160);
+        let high: Vec<Vec<u8>> = (0..64)
+            .map(|i| format!("{base}{i:03}").into_bytes())
+            .collect();
+        let high_lcps = lcp_array_of(&high);
+        assert!(high_lcps[1..].iter().all(|&l| l >= 128));
+        let lens = wire::encoded_len_all(
+            ExactIter::new(high.iter().map(|s| s.as_slice()), high.len()),
+            &high_lcps,
+            None,
+        );
+        assert!(lens.lcp_delta < lens.lcp && lens.lcp_delta < lens.plain);
+        assert_eq!(auto_pick(lens), ExchangeCodec::LcpDelta);
+    }
+
+    /// End-to-end wire accounting of Auto: on a uniformly low-LCP input it
+    /// ships exactly the plain encoding plus one tag byte per message; on
+    /// a uniformly high-LCP input exactly the delta encoding plus the tag.
+    #[test]
+    fn auto_codec_tracks_the_cheapest_fixed_codec_on_the_wire() {
+        // Exchange-phase (bytes_sent, msgs_sent) for one codec on one
+        // workload. Every bucket (self bucket included) is non-empty and
+        // uniformly low- or high-LCP, so Auto picks the same format for
+        // all of them and the accounting is exact.
+        let measure = |codec: ExchangeCodec, high_lcp: bool| -> (u64, u64) {
+            let res = run_spmd(2, cfg_run(), move |comm| {
+                let mut set = StringSet::new();
+                let r = comm.rank() as u32;
+                if high_lcp {
+                    // Both buckets: ≥ 128 shared chars, small LCP deltas.
+                    let base = "q".repeat(160);
+                    for d in 0..2u32 {
+                        for i in 0..100u32 {
+                            set.push(format!("{d}{base}{i:02}{r}").as_bytes());
+                        }
+                    }
+                } else {
+                    // Both buckets: pairwise-disjoint single characters.
+                    for c in b'a'..=b'z' {
+                        set.push(&[c]);
+                    }
+                }
+                let lcps = sort_with_lcp(&mut set).0;
+                let splitters = StringSet::from_strs(&[if high_lcp { "1" } else { "n" }]);
+                comm.set_phase("exchange");
+                let mut engine = StringAllToAll::new(codec);
+                let _ = engine.exchange_by_splitters(
+                    comm,
+                    &ExchangePayload {
+                        set: &set,
+                        lcps: &lcps,
+                        origins: None,
+                        truncate: None,
+                    },
+                    &splitters,
+                    false,
+                );
+            });
+            let ph = res
+                .stats
+                .phases
+                .iter()
+                .find(|p| p.name == "exchange")
+                .expect("phase");
+            (ph.total.bytes_sent, ph.total.msgs_sent)
+        };
+        for high_lcp in [false, true] {
+            let (auto, auto_msgs) = measure(ExchangeCodec::Auto, high_lcp);
+            let best = if high_lcp {
+                let (delta, _) = measure(ExchangeCodec::LcpDelta, high_lcp);
+                let (raw, _) = measure(ExchangeCodec::LcpCompressed, high_lcp);
+                assert!(delta < raw, "high-LCP: delta {delta} should beat raw {raw}");
+                delta
+            } else {
+                let (plain, _) = measure(ExchangeCodec::Plain, high_lcp);
+                let (raw, _) = measure(ExchangeCodec::LcpCompressed, high_lcp);
+                assert!(plain < raw, "low-LCP: plain {plain} should beat raw {raw}");
+                plain
+            };
+            assert_eq!(
+                auto,
+                best + auto_msgs,
+                "Auto must ship the best fixed encoding plus one tag byte per \
+                 message (high_lcp = {high_lcp})"
+            );
+        }
+    }
+
+    /// A mixed workload — one low-LCP bucket, one long-shared-prefix
+    /// bucket — where every fixed codec pays on one side: per-destination
+    /// selection must beat all three despite the tag bytes.
+    #[test]
+    fn auto_codec_beats_every_fixed_codec_on_mixed_buckets() {
+        let measure = |codec: ExchangeCodec| -> (u64, Vec<Vec<Vec<u8>>>) {
+            let res = run_spmd(2, cfg_run(), move |comm| {
+                let mut set = StringSet::new();
+                let r = comm.rank() as u32;
+                // Bucket for PE 0: single characters — the one shape the
+                // LCP formats can only inflate (lcp 0 + suffix_len + char
+                // vs len + char), so Plain must win this bucket.
+                for i in 0..300u32 {
+                    set.push(&[b'!' + (i % 20) as u8]);
+                }
+                // Bucket for PE 1: 160-char shared prefix.
+                let base = "q".repeat(160);
+                for i in 0..300u32 {
+                    set.push(format!("{base}{:03}{r}", i).as_bytes());
+                }
+                let lcps = sort_with_lcp(&mut set).0;
+                let splitters = StringSet::from_strs(&["5"]);
+                comm.set_phase("exchange");
+                let mut engine = StringAllToAll::new(codec);
+                let runs = engine.exchange_by_splitters(
+                    comm,
+                    &ExchangePayload {
+                        set: &set,
+                        lcps: &lcps,
+                        origins: None,
+                        truncate: None,
+                    },
+                    &splitters,
+                    false,
+                );
+                let merged = if matches!(codec, ExchangeCodec::Plain) {
+                    merge_received_plain(runs, 1)
+                } else {
+                    merge_received_lcp(runs, 1)
+                };
+                if let Some(l) = &merged.lcps {
+                    dss_strkit::lcp::verify_lcp_array(&merged.set, l).expect("merged lcps");
+                }
+                merged.set.to_vecs()
+            });
+            for (rank, v) in res.values.iter().enumerate() {
+                assert!(v.windows(2).all(|w| w[0] <= w[1]), "rank {rank} sorted");
+            }
+            let bytes = res
+                .stats
+                .phases
+                .iter()
+                .find(|p| p.name == "exchange")
+                .expect("phase")
+                .total
+                .bytes_sent;
+            (bytes, res.values)
+        };
+        let (auto, auto_out) = measure(ExchangeCodec::Auto);
+        for fixed in [
+            ExchangeCodec::Plain,
+            ExchangeCodec::LcpCompressed,
+            ExchangeCodec::LcpDelta,
+        ] {
+            let (bytes, out) = measure(fixed);
+            assert!(
+                auto < bytes,
+                "Auto {auto} should undercut fixed {fixed:?} {bytes} on mixed buckets"
+            );
+            // Same per-PE output regardless of the wire format.
+            assert_eq!(auto_out, out, "output differs from {fixed:?}");
+        }
     }
 
     #[test]

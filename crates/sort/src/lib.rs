@@ -13,6 +13,8 @@
 //! | `PDMS-Golomb` | [`pdms`] | §VI-A | + Golomb-coded fingerprint traffic in the duplicate detection |
 //! | `MS2L` | [`ms2l`] | Kurpicz, Mehnert, Sanders, Schimek 2024 | two-level grid exchange: row then column over an r×c grid, `O(r + c)` partners per PE instead of `Θ(p)` |
 //! | `MSML` | [`msml`] | Kurpicz, Mehnert, Sanders, Schimek 2024 | recursive ℓ-level grid exchange for `p = d₁·…·dₗ` with per-group splitter sampling: `Σ(dᵢ − 1)` partners per PE |
+//! | `PD-MS2L` | [`pdms_grid`] | §VI × the 2024 follow-up | prefix doubling on the two-level grid: ship only distinguishing prefixes over `(r − 1) + (c − 1)` partners, permutation output |
+//! | `PD-MSML` | [`pdms_grid`] | §VI × the 2024 follow-up | prefix doubling on the ℓ-level grid: distinguishing prefixes over `Σ(dᵢ − 1)` partners, permutation output |
 //!
 //! Supporting modules: [`partition`] (string- and character-based regular
 //! sampling, Theorems 2 and 3; splitter determination), [`exchange`] (the
@@ -54,6 +56,7 @@ pub mod msml;
 pub mod output;
 pub mod partition;
 pub mod pdms;
+pub mod pdms_grid;
 
 pub use exchange::{
     parse_exchange_mode, ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll,
@@ -66,6 +69,7 @@ pub use msml::{parse_msml_levels, Msml, MsmlConfig};
 pub use output::SortedRun;
 pub use partition::{PartitionConfig, SamplingPolicy};
 pub use pdms::{Pdms, PdmsConfig};
+pub use pdms_grid::{PdMs2l, PdMs2lConfig, PdMsml, PdMsmlConfig};
 
 use dss_net::Comm;
 use dss_strkit::StringSet;
@@ -92,6 +96,8 @@ pub enum Algorithm {
     Pdms,
     Ms2l,
     Msml,
+    PdMs2l,
+    PdMsml,
 }
 
 impl Algorithm {
@@ -108,8 +114,9 @@ impl Algorithm {
     }
 
     /// Every implemented algorithm: the paper set plus the multi-level
-    /// extensions MS2L and MSML.
-    pub fn all_extended() -> [Algorithm; 8] {
+    /// extensions MS2L and MSML and their prefix-doubling composites
+    /// PD-MS2L and PD-MSML.
+    pub fn all_extended() -> [Algorithm; 10] {
         [
             Algorithm::FkMerge,
             Algorithm::HQuick,
@@ -119,6 +126,8 @@ impl Algorithm {
             Algorithm::Pdms,
             Algorithm::Ms2l,
             Algorithm::Msml,
+            Algorithm::PdMs2l,
+            Algorithm::PdMsml,
         ]
     }
 
@@ -178,6 +187,16 @@ impl Algorithm {
                 threads,
                 ..MsmlConfig::default()
             })),
+            Algorithm::PdMs2l => Box::new(PdMs2l::with_config(PdMs2lConfig {
+                mode,
+                threads,
+                ..PdMs2lConfig::default()
+            })),
+            Algorithm::PdMsml => Box::new(PdMsml::with_config(PdMsmlConfig {
+                mode,
+                threads,
+                ..PdMsmlConfig::default()
+            })),
         }
     }
 
@@ -192,6 +211,8 @@ impl Algorithm {
             Algorithm::Pdms => "PDMS",
             Algorithm::Ms2l => "MS2L",
             Algorithm::Msml => "MSML",
+            Algorithm::PdMs2l => "PD-MS2L",
+            Algorithm::PdMsml => "PD-MSML",
         }
     }
 }

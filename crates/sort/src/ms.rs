@@ -29,6 +29,10 @@ pub struct MsConfig {
     pub lcp: bool,
     /// Difference-code the LCP values on the wire (§VI-B extension).
     pub delta_lcps: bool,
+    /// Pick the wire codec per destination bucket instead
+    /// ([`ExchangeCodec::Auto`]); overrides `delta_lcps`. Ignored by
+    /// MS-simple, which always ships plain strings.
+    pub auto_codec: bool,
     /// Blocking or pipelined exchange (defaults to the
     /// `DSS_EXCHANGE_MODE` knob).
     pub mode: ExchangeMode,
@@ -45,6 +49,7 @@ impl Default for MsConfig {
         Self {
             lcp: true,
             delta_lcps: false,
+            auto_codec: false,
             mode: ExchangeMode::default(),
             threads: threads_from_env(),
             partition: PartitionConfig::default(),
@@ -115,10 +120,10 @@ impl DistSorter for Ms {
         pcfg.threads = self.cfg.threads;
         let splitters = partition::determine_splitters(comm, &input, &pcfg, None, None);
         comm.set_phase("exchange");
-        let codec = match (self.cfg.lcp, self.cfg.delta_lcps) {
-            (false, _) => ExchangeCodec::Plain,
-            (true, false) => ExchangeCodec::LcpCompressed,
-            (true, true) => ExchangeCodec::LcpDelta,
+        let codec = if self.cfg.lcp {
+            ExchangeCodec::for_lcp_config(self.cfg.delta_lcps, self.cfg.auto_codec)
+        } else {
+            ExchangeCodec::Plain
         };
         let mut engine =
             StringAllToAll::with_mode(codec, self.cfg.mode).with_threads(self.cfg.threads);

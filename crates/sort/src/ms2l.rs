@@ -50,6 +50,9 @@ use dss_strkit::StringSet;
 pub struct Ms2lConfig {
     /// Difference-code the LCP values on the wire (§VI-B extension).
     pub delta_lcps: bool,
+    /// Pick the wire codec per destination bucket instead
+    /// ([`ExchangeCodec::Auto`]); overrides `delta_lcps`.
+    pub auto_codec: bool,
     /// Blocking or pipelined exchange, applied to **both** grid levels
     /// (defaults to the `DSS_EXCHANGE_MODE` knob).
     pub mode: ExchangeMode,
@@ -71,6 +74,7 @@ impl Default for Ms2lConfig {
     fn default() -> Self {
         Self {
             delta_lcps: false,
+            auto_codec: false,
             mode: ExchangeMode::default(),
             threads: threads_from_env(),
             rows: 0,
@@ -118,6 +122,7 @@ impl Ms2l {
         Ms::with_config(MsConfig {
             lcp: true,
             delta_lcps: self.cfg.delta_lcps,
+            auto_codec: self.cfg.auto_codec,
             mode: self.cfg.mode,
             threads: self.cfg.threads,
             partition: self.cfg.partition,
@@ -144,11 +149,7 @@ impl DistSorter for Ms2l {
 
         comm.set_phase("local_sort");
         let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
-        let codec = if self.cfg.delta_lcps {
-            ExchangeCodec::LcpDelta
-        } else {
-            ExchangeCodec::LcpCompressed
-        };
+        let codec = ExchangeCodec::for_lcp_config(self.cfg.delta_lcps, self.cfg.auto_codec);
         let tie_break = self.cfg.partition.duplicate_tie_break;
         // One mode (and thread count) for every byte this run moves: both
         // levels' sample sorts follow the algorithm's exchange mode and

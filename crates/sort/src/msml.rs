@@ -83,6 +83,9 @@ pub fn msml_levels_from_env() -> usize {
 pub struct MsmlConfig {
     /// Difference-code the LCP values on the wire (§VI-B extension).
     pub delta_lcps: bool,
+    /// Pick the wire codec per destination bucket instead
+    /// ([`ExchangeCodec::Auto`]); overrides `delta_lcps`.
+    pub auto_codec: bool,
     /// Blocking or pipelined exchange, applied to **every** grid level
     /// (defaults to the `DSS_EXCHANGE_MODE` knob).
     pub mode: ExchangeMode,
@@ -108,6 +111,7 @@ impl Default for MsmlConfig {
     fn default() -> Self {
         Self {
             delta_lcps: false,
+            auto_codec: false,
             mode: ExchangeMode::default(),
             threads: threads_from_env(),
             levels: msml_levels_from_env(),
@@ -157,6 +161,7 @@ impl Msml {
         Ms::with_config(MsConfig {
             lcp: true,
             delta_lcps: self.cfg.delta_lcps,
+            auto_codec: self.cfg.auto_codec,
             mode: self.cfg.mode,
             threads: self.cfg.threads,
             partition: self.cfg.partition,
@@ -185,11 +190,7 @@ impl DistSorter for Msml {
 
         comm.set_phase("local_sort");
         let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
-        let codec = if self.cfg.delta_lcps {
-            ExchangeCodec::LcpDelta
-        } else {
-            ExchangeCodec::LcpCompressed
-        };
+        let codec = ExchangeCodec::for_lcp_config(self.cfg.delta_lcps, self.cfg.auto_codec);
         let tie_break = self.cfg.partition.duplicate_tie_break;
         // One mode (and thread count) for every byte this run moves:
         // every level's sample handling follows the algorithm's exchange

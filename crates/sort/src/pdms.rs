@@ -39,6 +39,9 @@ pub struct PdmsConfig {
     pub partition: PartitionConfig,
     /// Difference-code LCPs on the wire (§VI-B extension).
     pub delta_lcps: bool,
+    /// Pick the wire codec per destination bucket instead
+    /// ([`ExchangeCodec::Auto`]); overrides `delta_lcps`.
+    pub auto_codec: bool,
     /// Blocking or pipelined exchange (defaults to the
     /// `DSS_EXCHANGE_MODE` knob).
     pub mode: ExchangeMode,
@@ -53,9 +56,46 @@ impl Default for PdmsConfig {
             pd: PrefixDoublingConfig::default(),
             partition: PartitionConfig::default(),
             delta_lcps: false,
+            auto_codec: false,
             mode: ExchangeMode::default(),
             threads: threads_from_env(),
         }
+    }
+}
+
+/// Step 1+ε front-end shared by flat PDMS and the PD grid variants
+/// ([`crate::PdMs2l`], [`crate::PdMsml`]): the approximated
+/// distinguishing-prefix lengths plus everything the downstream exchange
+/// derives from them.
+pub(crate) struct PrefixFront {
+    /// `approx[i].min(len(sᵢ))` — characters of string `i` that cross the
+    /// wire ([`ExchangePayload::truncate`]).
+    pub trunc: Vec<u32>,
+    /// `approx[i]` — splitter sampling weights under
+    /// [`crate::partition::SamplingPolicy::DistPrefix`].
+    pub weights: Vec<u32>,
+    /// `origin_tag(rank, i)` for every local string — the permutation
+    /// payload that rides next to the truncated prefixes.
+    pub origins: Vec<u64>,
+}
+
+/// Runs Step 1+ε over a locally sorted set and derives the truncation
+/// lengths, sampling weights and origin tags. Collective.
+pub(crate) fn prefix_front(
+    comm: &Comm,
+    set: &StringSet,
+    lcps: &[u32],
+    cfg: &PrefixDoublingConfig,
+) -> PrefixFront {
+    let (approx, _) = approx_dist_prefixes(comm, set, lcps, cfg);
+    let trunc = (0..set.len())
+        .map(|i| approx[i].min(set.get(i).len() as u32))
+        .collect();
+    let origins = (0..set.len()).map(|i| origin_tag(comm.rank(), i)).collect();
+    PrefixFront {
+        trunc,
+        weights: approx,
+        origins,
     }
 }
 
@@ -102,6 +142,7 @@ impl DistSorter for Pdms {
     }
 
     fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        self.cfg.pd.validate();
         comm.set_phase("local_sort");
         let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
         if comm.size() == 1 {
@@ -116,34 +157,28 @@ impl DistSorter for Pdms {
 
         // Step 1+ε: approximate distinguishing prefix lengths.
         comm.set_phase("prefix_doubling");
-        let (approx, _) = approx_dist_prefixes(comm, &input, &lcps, &self.cfg.pd);
-        let trunc: Vec<u32> = (0..input.len())
-            .map(|i| approx[i].min(input.get(i).len() as u32))
-            .collect();
+        let front = prefix_front(comm, &input, &lcps, &self.cfg.pd);
 
         // Step 2: splitters over the truncated strings, weighted by the
         // approximate distinguishing prefix lengths when requested.
         comm.set_phase("partition");
-        let weights = approx.clone();
         // One mode (and thread count) for every byte this run moves: the
         // sample sort follows the algorithm's exchange mode and threads.
         let mut pcfg = self.cfg.partition;
         pcfg.mode = self.cfg.mode;
         pcfg.threads = self.cfg.threads;
-        let splitters =
-            partition::determine_splitters(comm, &input, &pcfg, Some(&weights), Some(&trunc));
+        let splitters = partition::determine_splitters(
+            comm,
+            &input,
+            &pcfg,
+            Some(&front.weights),
+            Some(&front.trunc),
+        );
 
         // Step 3: exchange only the distinguishing prefixes, tagged with
         // their origin, LCP-compressed.
         comm.set_phase("exchange");
-        let origins: Vec<u64> = (0..input.len())
-            .map(|i| origin_tag(comm.rank(), i))
-            .collect();
-        let codec = if self.cfg.delta_lcps {
-            ExchangeCodec::LcpDelta
-        } else {
-            ExchangeCodec::LcpCompressed
-        };
+        let codec = ExchangeCodec::for_lcp_config(self.cfg.delta_lcps, self.cfg.auto_codec);
         let mut engine =
             StringAllToAll::with_mode(codec, self.cfg.mode).with_threads(self.cfg.threads);
         // Step 4 rides along: the LCP loser-tree merge of the prefix runs
@@ -153,8 +188,8 @@ impl DistSorter for Pdms {
             &ExchangePayload {
                 set: &input,
                 lcps: &lcps,
-                origins: Some(&origins),
-                truncate: Some(&trunc),
+                origins: Some(&front.origins),
+                truncate: Some(&front.trunc),
             },
             &splitters,
             self.cfg.partition.duplicate_tie_break,

@@ -1,0 +1,736 @@
+//! PD-MS2L / PD-MSML — distinguishing-prefix exchange on the grids.
+//!
+//! [`Pdms`] cuts exchange *volume* from `N` to `D` characters (ship only
+//! approximate distinguishing prefixes, §VI); [`crate::Ms2l`] /
+//! [`crate::Msml`] cut exchange *partners* from `p − 1` to
+//! `(r − 1) + (c − 1)` resp. `Σ(dᵢ − 1)` (grid communication). The two
+//! optimizations are orthogonal, and this module composes them:
+//!
+//! 1. **local sort** with LCP array;
+//! 2. **Step 1+ε** ([`dss_dedup`] prefix doubling, Golomb option) runs
+//!    **once**, before the first grid level, over the world communicator
+//!    — approximating every string's distinguishing prefix length;
+//! 3. **grid rounds**: the usual partition → exchange → LCP-merge rounds
+//!    of MS2L/MSML, except that splitter sampling ([`SamplingPolicy::
+//!    DistPrefix`](crate::partition::SamplingPolicy) weights), exchange
+//!    payloads ([`ExchangePayload::truncate`]) and merges all operate on
+//!    the *truncated prefixes*. Origin tags ride next to the prefixes
+//!    through every level's codec and merge, carrying the permutation.
+//!
+//! Only the first level truncates: from level 2 on, the local sets
+//! *already are* truncated prefixes, so later rounds forward them
+//! verbatim (`truncate: None`), origins attached. The full strings never
+//! leave their birth PE — they stay behind, locally sorted, as
+//! [`SortedRun::local_store`], giving the PD grid variants exactly flat
+//! PDMS's permutation-output contract: globally sorted prefixes + origin
+//! tags identifying the full string, on `O(√p)` / `O(Σdᵢ)` partners.
+//!
+//! Both variants accept [`ExchangeCodec::Auto`]: per-destination codec
+//! election from the exact [`dss_codec::wire::encoded_len_all`] sizes.
+//!
+//! When `p` admits no grid (`p < 4` or prime) the variants fall back to
+//! flat [`Pdms`] with the same Step-1+ε and codec settings — the
+//! permutation contract is preserved either way.
+
+use crate::exchange::{ExchangeCodec, ExchangeMode, ExchangePayload, StringAllToAll};
+use crate::msml::msml_levels_from_env;
+use crate::output::SortedRun;
+use crate::partition::{self, PartitionConfig};
+use crate::pdms::{prefix_front, Pdms, PdmsConfig};
+use crate::DistSorter;
+use dss_dedup::prefix_doubling::PrefixDoublingConfig;
+use dss_net::topology;
+use dss_net::trace::{self, cat};
+use dss_net::Comm;
+use dss_strkit::sort::{par_sort_with_lcp, threads_from_env};
+use dss_strkit::StringSet;
+
+/// Configuration of PD-MS2L.
+#[derive(Debug, Clone, Copy)]
+pub struct PdMs2lConfig {
+    /// Step 1+ε parameters (growth factor, initial guess, fingerprint
+    /// width, Golomb coding). Validated loudly before any work.
+    pub pd: PrefixDoublingConfig,
+    /// Sampling/splitter policy, used by both levels.
+    /// `SamplingPolicy::DistPrefix` balances approximated
+    /// distinguishing-prefix characters.
+    pub partition: PartitionConfig,
+    /// Difference-code LCPs on the wire (§VI-B extension).
+    pub delta_lcps: bool,
+    /// Pick the wire codec per destination bucket instead
+    /// ([`ExchangeCodec::Auto`]); overrides `delta_lcps`.
+    pub auto_codec: bool,
+    /// Blocking or pipelined exchange, applied to **both** grid levels
+    /// (defaults to the `DSS_EXCHANGE_MODE` knob).
+    pub mode: ExchangeMode,
+    /// Shared-memory threads per PE (defaults to the `DSS_THREADS` knob).
+    pub threads: usize,
+    /// Grid rows `r` (`0` ⇒ auto near-square [`topology::grid_dims`],
+    /// falling back to flat PDMS when `p < 4` or prime). An explicit
+    /// value must tile `p` into an `r×c` grid with `r, c ≥ 2`, else
+    /// **panics** with the offending value.
+    pub rows: usize,
+}
+
+impl Default for PdMs2lConfig {
+    fn default() -> Self {
+        Self {
+            pd: PrefixDoublingConfig::default(),
+            partition: PartitionConfig::default(),
+            delta_lcps: false,
+            auto_codec: false,
+            mode: ExchangeMode::default(),
+            threads: threads_from_env(),
+            rows: 0,
+        }
+    }
+}
+
+/// Two-level grid PDMS (see module docs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PdMs2l {
+    pub cfg: PdMs2lConfig,
+}
+
+impl PdMs2l {
+    /// PD-MS2L with a custom configuration.
+    pub fn with_config(cfg: PdMs2lConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Overrides the shared-memory thread count (local sort + merges).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive, got 0");
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// The grid this configuration yields for `p` PEs (`None` ⇒ fallback
+    /// to flat PDMS).
+    fn dims(&self, p: usize) -> Option<(usize, usize)> {
+        match self.cfg.rows {
+            0 => topology::grid_dims(p),
+            r => {
+                assert!(
+                    r >= 2 && p.is_multiple_of(r) && p / r >= 2,
+                    "PdMs2lConfig::rows = {r} does not tile p = {p} PEs into an \
+                     r x c grid with r, c >= 2"
+                );
+                Some((r, p / r))
+            }
+        }
+    }
+
+    fn fallback(&self) -> Pdms {
+        Pdms::with_config(PdmsConfig {
+            pd: self.cfg.pd,
+            partition: self.cfg.partition,
+            delta_lcps: self.cfg.delta_lcps,
+            auto_codec: self.cfg.auto_codec,
+            mode: self.cfg.mode,
+            threads: self.cfg.threads,
+        })
+    }
+}
+
+impl DistSorter for PdMs2l {
+    fn name(&self) -> &'static str {
+        "PD-MS2L"
+    }
+
+    fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        self.cfg.pd.validate();
+        let _algo = trace::span_args(
+            cat::ALGO,
+            self.name(),
+            [("strings", input.len() as u64), ("", 0)],
+        );
+        let p = comm.size();
+        let Some((r, c)) = self.dims(p) else {
+            // No r×c grid with r, c ≥ 2: flat PDMS does the job (and
+            // keeps the permutation-output contract).
+            return self.fallback().sort(comm, input);
+        };
+
+        comm.set_phase("local_sort");
+        let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
+
+        // Step 1+ε, once, before the first grid level: truncation
+        // lengths, sampling weights and origin tags for the whole run.
+        comm.set_phase("prefix_doubling");
+        let front = prefix_front(comm, &input, &lcps, &self.cfg.pd);
+
+        let codec = ExchangeCodec::for_lcp_config(self.cfg.delta_lcps, self.cfg.auto_codec);
+        let tie_break = self.cfg.partition.duplicate_tie_break;
+        let mut pcfg = self.cfg.partition;
+        pcfg.mode = self.cfg.mode;
+        pcfg.threads = self.cfg.threads;
+        comm.set_phase("grid_setup");
+        let grid = topology::grid_view(comm, r, c);
+        let mut engine =
+            StringAllToAll::with_mode(codec, self.cfg.mode).with_threads(self.cfg.threads);
+
+        // Level 1: c − 1 global splitters over the *truncated prefixes*
+        // (weighted by the approximated distinguishing-prefix lengths
+        // under DistPrefix sampling); the row exchange ships prefixes
+        // only, origins attached.
+        comm.set_phase("partition_row");
+        let row_splitters = partition::determine_splitters_for(
+            comm,
+            &input,
+            c,
+            &pcfg,
+            Some(&front.weights),
+            Some(&front.trunc),
+        );
+        comm.set_phase("exchange_row");
+        let mid = engine.exchange_merge_by_splitters(
+            &grid.row,
+            &ExchangePayload {
+                set: &input,
+                lcps: &lcps,
+                origins: Some(&front.origins),
+                truncate: Some(&front.trunc),
+            },
+            &row_splitters,
+            tie_break,
+            Some("merge_row"),
+        );
+        // `input` stays alive: the full strings never leave this PE and
+        // become the local_store below.
+        let mid_lcps = mid.lcps.as_deref().expect("LCP merge yields LCPs");
+
+        // Level 2: an ordinary column round — the local set already *is*
+        // truncated prefixes, so no further truncation; its lengths are
+        // the distinguishing-prefix weights, which is exactly the
+        // DistPrefix fallback when no explicit weights are passed.
+        comm.set_phase("partition_col");
+        let col_splitters = partition::determine_splitters(&grid.col, &mid.set, &pcfg, None, None);
+        comm.set_phase("exchange_col");
+        let mut out = engine.exchange_merge_by_splitters(
+            &grid.col,
+            &ExchangePayload {
+                set: &mid.set,
+                lcps: mid_lcps,
+                origins: mid.origins.as_deref(),
+                truncate: None,
+            },
+            &col_splitters,
+            tie_break,
+            Some("merge_col"),
+        );
+        out.local_store = Some(input);
+        out
+    }
+}
+
+/// Configuration of PD-MSML.
+#[derive(Debug, Clone, Copy)]
+pub struct PdMsmlConfig {
+    /// Step 1+ε parameters. Validated loudly before any work.
+    pub pd: PrefixDoublingConfig,
+    /// Sampling/splitter policy, used per group at every level.
+    pub partition: PartitionConfig,
+    /// Difference-code LCPs on the wire (§VI-B extension).
+    pub delta_lcps: bool,
+    /// Pick the wire codec per destination bucket instead
+    /// ([`ExchangeCodec::Auto`]); overrides `delta_lcps`.
+    pub auto_codec: bool,
+    /// Blocking or pipelined exchange, applied to **every** grid level
+    /// (defaults to the `DSS_EXCHANGE_MODE` knob).
+    pub mode: ExchangeMode,
+    /// Shared-memory threads per PE (defaults to the `DSS_THREADS` knob).
+    pub threads: usize,
+    /// Exact grid depth ℓ (defaults to the `DSS_MSML_LEVELS` knob; `0` ⇒
+    /// auto, `1` forces the flat [`Pdms`] fallback; an untileable value
+    /// **panics**, same as [`crate::MsmlConfig::levels`]).
+    pub levels: usize,
+    /// In auto mode, cap each level's fan-out (`0` ⇒ uncapped depth).
+    pub max_level_size: usize,
+}
+
+impl Default for PdMsmlConfig {
+    fn default() -> Self {
+        Self {
+            pd: PrefixDoublingConfig::default(),
+            partition: PartitionConfig::default(),
+            delta_lcps: false,
+            auto_codec: false,
+            mode: ExchangeMode::default(),
+            threads: threads_from_env(),
+            levels: msml_levels_from_env(),
+            max_level_size: 0,
+        }
+    }
+}
+
+/// Multi-level grid PDMS (see module docs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PdMsml {
+    pub cfg: PdMsmlConfig,
+}
+
+impl PdMsml {
+    /// PD-MSML with a custom configuration.
+    pub fn with_config(cfg: PdMsmlConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Overrides the shared-memory thread count (local sort + merges).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive, got 0");
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// The level fan-outs this configuration yields for `p` PEs (`None`
+    /// ⇒ fallback to flat PDMS). Panics on an explicit `levels` that
+    /// cannot tile `p`.
+    fn dims(&self, p: usize) -> Option<Vec<usize>> {
+        match self.cfg.levels {
+            0 => topology::multi_grid_dims(p, self.cfg.max_level_size),
+            1 => None,
+            l => match topology::factor_into_levels(p, l) {
+                Some(dims) => Some(dims),
+                None => panic!(
+                    "PdMsmlConfig::levels / DSS_MSML_LEVELS = {l} cannot tile p = {p} PEs \
+                     into {l} grid levels of size >= 2"
+                ),
+            },
+        }
+    }
+
+    fn fallback(&self) -> Pdms {
+        Pdms::with_config(PdmsConfig {
+            pd: self.cfg.pd,
+            partition: self.cfg.partition,
+            delta_lcps: self.cfg.delta_lcps,
+            auto_codec: self.cfg.auto_codec,
+            mode: self.cfg.mode,
+            threads: self.cfg.threads,
+        })
+    }
+}
+
+impl DistSorter for PdMsml {
+    fn name(&self) -> &'static str {
+        "PD-MSML"
+    }
+
+    fn sort(&self, comm: &Comm, mut input: StringSet) -> SortedRun {
+        self.cfg.pd.validate();
+        let _algo = trace::span_args(
+            cat::ALGO,
+            self.name(),
+            [("strings", input.len() as u64), ("", 0)],
+        );
+        let p = comm.size();
+        // Resolve (and validate) the grid before anything else so a bad
+        // `levels` knob fails loudly on every PE, every run.
+        let Some(dims) = self.dims(p) else {
+            return self.fallback().sort(comm, input);
+        };
+
+        comm.set_phase("local_sort");
+        let (lcps, _) = par_sort_with_lcp(&mut input, self.cfg.threads);
+
+        // Step 1+ε, once, before the first grid level.
+        comm.set_phase("prefix_doubling");
+        let front = prefix_front(comm, &input, &lcps, &self.cfg.pd);
+
+        let codec = ExchangeCodec::for_lcp_config(self.cfg.delta_lcps, self.cfg.auto_codec);
+        let tie_break = self.cfg.partition.duplicate_tie_break;
+        let mut pcfg = self.cfg.partition;
+        pcfg.mode = self.cfg.mode;
+        pcfg.threads = self.cfg.threads;
+        comm.set_phase("grid_setup");
+        let grid = topology::multi_grid_view(comm, &dims);
+        let mut engine =
+            StringAllToAll::with_mode(codec, self.cfg.mode).with_threads(self.cfg.threads);
+
+        // Level 0 is the only truncating round: per-group splitters over
+        // the truncated prefixes (distinguishing-prefix weights), the
+        // exchange ships prefixes only, origins attached. The full
+        // strings stay behind in `input`.
+        let levels = grid.levels();
+        comm.set_phase("partition_l0");
+        let splitters = partition::determine_group_splitters(
+            grid.sampling_comm(0, comm),
+            &input,
+            levels[0].dim,
+            &pcfg,
+            Some(&front.weights),
+            Some(&front.trunc),
+        );
+        comm.set_phase("exchange_l0");
+        let mut run = engine.exchange_merge_by_splitters(
+            &levels[0].exchange,
+            &ExchangePayload {
+                set: &input,
+                lcps: &lcps,
+                origins: Some(&front.origins),
+                truncate: Some(&front.trunc),
+            },
+            &splitters,
+            tie_break,
+            Some("merge_l0"),
+        );
+
+        // Levels ≥ 1 forward the already-truncated prefixes verbatim;
+        // origins keep riding through every codec and merge.
+        for (i, level) in levels.iter().enumerate().skip(1) {
+            comm.set_phase(&format!("partition_l{i}"));
+            let splitters = partition::determine_group_splitters(
+                grid.sampling_comm(i, comm),
+                &run.set,
+                level.dim,
+                &pcfg,
+                None,
+                None,
+            );
+            comm.set_phase(&format!("exchange_l{i}"));
+            let merge_phase = format!("merge_l{i}");
+            run = engine.exchange_merge_by_splitters(
+                &level.exchange,
+                &ExchangePayload {
+                    set: &run.set,
+                    lcps: run.lcps.as_deref().expect("LCP merge yields LCPs"),
+                    origins: run.origins.as_deref(),
+                    truncate: None,
+                },
+                &splitters,
+                tie_break,
+                Some(&merge_phase),
+            );
+        }
+        run.local_store = Some(input);
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::origin_parts;
+    use crate::Algorithm;
+    use dss_net::runner::{run_spmd, RunConfig};
+    use rand::prelude::*;
+    use std::time::Duration;
+
+    fn cfg_run() -> RunConfig {
+        RunConfig {
+            recv_timeout: Duration::from_secs(120),
+            ..RunConfig::default()
+        }
+    }
+
+    /// Full permutation-contract validation, shared by both variants:
+    /// output prefixes sorted with valid LCPs, every prefix a prefix of
+    /// the full string its origin tag names, and the reconstructed full
+    /// strings equal to the sorted global input.
+    fn check(p: usize, shards: Vec<Vec<Vec<u8>>>, sorter: impl DistSorter + Copy + 'static) {
+        let mut expect: Vec<Vec<u8>> = shards.iter().flatten().cloned().collect();
+        expect.sort();
+        let shards_ref = &shards;
+        let res = run_spmd(p, cfg_run(), move |comm| {
+            let set =
+                StringSet::from_iter_bytes(shards_ref[comm.rank()].iter().map(|s| s.as_slice()));
+            let out = sorter.sort(comm, set);
+            if let Some(l) = &out.lcps {
+                dss_strkit::lcp::verify_lcp_array(&out.set, l).expect("output lcps");
+            }
+            assert!(dss_strkit::checker::is_sorted(&out.set), "prefixes sorted");
+            (
+                out.set.to_vecs(),
+                out.origins.expect("pd grid variants report origins"),
+                out.local_store
+                    .expect("pd grid variants keep local store")
+                    .to_vecs(),
+            )
+        });
+        let stores: Vec<&Vec<Vec<u8>>> = res.values.iter().map(|(_, _, s)| s).collect();
+        let mut reconstructed: Vec<Vec<u8>> = Vec::new();
+        for (prefixes, origins, _) in &res.values {
+            assert_eq!(prefixes.len(), origins.len());
+            for (pref, &tag) in prefixes.iter().zip(origins) {
+                let (pe, idx) = origin_parts(tag);
+                let full = &stores[pe][idx];
+                assert!(
+                    full.starts_with(pref),
+                    "prefix {:?} not a prefix of its origin {:?}",
+                    String::from_utf8_lossy(pref),
+                    String::from_utf8_lossy(full)
+                );
+                reconstructed.push(full.clone());
+            }
+        }
+        assert_eq!(reconstructed, expect, "origin permutation sorts the input");
+    }
+
+    fn random_shards(p: usize, n: usize, seed: u64) -> Vec<Vec<Vec<u8>>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        let len = rng.gen_range(0..14);
+                        (0..len).map(|_| rng.gen_range(b'a'..=b'e')).collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pd_ms2l_sorts_square_and_rectangular_grids() {
+        // 4 = 2×2, 6 = 2×3, 8 = 2×4, 9 = 3×3.
+        for p in [4usize, 6, 8, 9] {
+            check(p, random_shards(p, 50, p as u64), PdMs2l::default());
+        }
+    }
+
+    #[test]
+    fn pd_msml_sorts_two_and_three_level_grids() {
+        // 4 = 2×2, 8 = 2×2×2, 12 = 3×2×2, 16 = 2×2×2×2.
+        for p in [4usize, 8, 12, 16] {
+            check(p, random_shards(p, 50, 20 + p as u64), PdMsml::default());
+        }
+    }
+
+    #[test]
+    fn pd_grid_variants_fall_back_on_prime_and_tiny_pe_counts() {
+        for p in [1usize, 2, 3, 5, 7] {
+            check(p, random_shards(p, 40, 40 + p as u64), PdMs2l::default());
+            check(p, random_shards(p, 40, 60 + p as u64), PdMsml::default());
+        }
+    }
+
+    #[test]
+    fn pd_ms2l_with_golomb_delta_and_auto_codec() {
+        let golomb_delta = PdMs2l::with_config(PdMs2lConfig {
+            pd: PrefixDoublingConfig {
+                golomb: true,
+                ..PrefixDoublingConfig::default()
+            },
+            delta_lcps: true,
+            ..PdMs2lConfig::default()
+        });
+        check(6, random_shards(6, 50, 77), golomb_delta);
+        let auto = PdMs2l::with_config(PdMs2lConfig {
+            auto_codec: true,
+            ..PdMs2lConfig::default()
+        });
+        check(4, random_shards(4, 50, 78), auto);
+    }
+
+    #[test]
+    fn pd_msml_with_explicit_levels_and_auto_codec() {
+        let sorter = PdMsml::with_config(PdMsmlConfig {
+            auto_codec: true,
+            levels: 3,
+            ..PdMsmlConfig::default()
+        });
+        check(8, random_shards(8, 50, 79), sorter);
+        // levels: 1 is the explicit flat-PDMS fallback.
+        let single = PdMsml::with_config(PdMsmlConfig {
+            levels: 1,
+            ..PdMsmlConfig::default()
+        });
+        check(4, random_shards(4, 40, 80), single);
+    }
+
+    #[test]
+    #[should_panic(expected = "PdMs2lConfig::rows = 4 does not tile p = 6")]
+    fn pd_ms2l_panics_on_rows_not_dividing_p() {
+        let bad = PdMs2l::with_config(PdMs2lConfig {
+            rows: 4,
+            ..PdMs2lConfig::default()
+        });
+        check(6, random_shards(6, 10, 81), bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "PdMsmlConfig::levels / DSS_MSML_LEVELS = 4 cannot tile p = 8")]
+    fn pd_msml_panics_on_untileable_level_count() {
+        let bad = PdMsml::with_config(PdMsmlConfig {
+            levels: 4,
+            ..PdMsmlConfig::default()
+        });
+        check(8, random_shards(8, 10, 82), bad);
+    }
+
+    #[test]
+    fn pd_grid_variants_handle_duplicates_prefixes_and_empty_shards() {
+        let mut shards = random_shards(8, 0, 90);
+        shards[1] = vec![b"dup".to_vec(); 120];
+        shards[5] = vec![b"dup".to_vec(); 30];
+        shards[6] = vec![b"du".to_vec(), b"d".to_vec(), Vec::new()];
+        check(8, shards.clone(), PdMs2l::default());
+        check(8, shards, PdMsml::default());
+    }
+
+    #[test]
+    fn pd_grid_variants_handle_all_empty_input() {
+        check(8, random_shards(8, 0, 91), PdMs2l::default());
+        check(8, random_shards(8, 0, 92), PdMsml::default());
+    }
+
+    /// Long-LCP workload: a 40-char shared prefix, a short unique id and
+    /// a long unique random tail. DIST ≈ 45 ≪ len ≈ 245, and the tails
+    /// are incompressible for the LCP codec — the regime where prefix
+    /// truncation must beat LCP compression outright.
+    fn long_lcp_shards(p: usize, n: usize) -> Vec<Vec<Vec<u8>>> {
+        (0..p)
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(7000 + r as u64);
+                (0..n)
+                    .map(|i| {
+                        let mut s = vec![b'q'; 40];
+                        s.extend(format!("{:05}", r * n + i).into_bytes());
+                        s.extend((0..200).map(|_| rng.gen_range(b'a'..=b'z')));
+                        s
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Dup-heavy workload: a majority of short exact duplicates (which
+    /// ship whole either way — equal strings have no distinguishing
+    /// prefix) plus a minority of long strings whose DIST is a few
+    /// characters. The savings come entirely from truncating the latter.
+    fn dup_heavy_shards(p: usize, n: usize) -> Vec<Vec<Vec<u8>>> {
+        (0..p)
+            .map(|r| {
+                (0..n)
+                    .map(|i| {
+                        if i % 3 != 0 {
+                            format!("dup{:02}", i % 8).into_bytes()
+                        } else {
+                            let mut s = format!("{:05}", r * n + i).into_bytes();
+                            s.extend(std::iter::repeat_n(b'x', 180));
+                            s
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Satellite pin: on both workloads and p ∈ {8, 16, 27}, the PD grid
+    /// variant moves strictly fewer exchange-phase bytes than its non-PD
+    /// counterpart while contacting exactly the same number of exchange
+    /// partners — truncation cuts volume, never topology.
+    fn wire_reduction_pin(
+        p: usize,
+        pd_alg: Algorithm,
+        base_alg: Algorithm,
+        shards: Vec<Vec<Vec<u8>>>,
+    ) {
+        let shards_ref = &shards;
+        let run = |alg: Algorithm| {
+            run_spmd(p, cfg_run(), move |comm| {
+                let set = StringSet::from_iter_bytes(
+                    shards_ref[comm.rank()].iter().map(|s| s.as_slice()),
+                );
+                let _ = alg.instance().sort(comm, set);
+            })
+            .stats
+        };
+        let exchange_phases = |stats: &dss_net::NetStats| -> (u64, u64) {
+            stats
+                .phases
+                .iter()
+                .filter(|ph| ph.name.starts_with("exchange"))
+                .map(|ph| (ph.total.bytes_sent, ph.max.msgs_sent))
+                .fold((0, 0), |(b, m), (pb, pm)| (b + pb, m + pm))
+        };
+        let (pd_bytes, pd_partners) = exchange_phases(&run(pd_alg));
+        let (base_bytes, base_partners) = exchange_phases(&run(base_alg));
+        assert!(pd_bytes > 0, "pd exchange must move something");
+        assert!(
+            pd_bytes < base_bytes,
+            "{:?} exchange ({pd_bytes} B) must be strictly below {:?} \
+             ({base_bytes} B) at p={p}",
+            pd_alg,
+            base_alg
+        );
+        assert_eq!(
+            pd_partners, base_partners,
+            "prefix truncation must not change the exchange topology at p={p}"
+        );
+    }
+
+    #[test]
+    fn pd_ms2l_ships_fewer_exchange_bytes_than_ms2l() {
+        for p in [8usize, 16, 27] {
+            wire_reduction_pin(
+                p,
+                Algorithm::PdMs2l,
+                Algorithm::Ms2l,
+                long_lcp_shards(p, 30),
+            );
+            wire_reduction_pin(
+                p,
+                Algorithm::PdMs2l,
+                Algorithm::Ms2l,
+                dup_heavy_shards(p, 30),
+            );
+        }
+    }
+
+    #[test]
+    fn pd_msml_ships_fewer_exchange_bytes_than_msml() {
+        for p in [8usize, 16, 27] {
+            wire_reduction_pin(
+                p,
+                Algorithm::PdMsml,
+                Algorithm::Msml,
+                long_lcp_shards(p, 30),
+            );
+            wire_reduction_pin(
+                p,
+                Algorithm::PdMsml,
+                Algorithm::Msml,
+                dup_heavy_shards(p, 30),
+            );
+        }
+    }
+
+    /// The partner-count formulas themselves: (r−1)+(c−1) for PD-MS2L,
+    /// Σ(dᵢ−1) for PD-MSML — identical to the non-PD grids.
+    #[test]
+    fn pd_grids_keep_grid_partner_counts() {
+        let p = 16usize;
+        let run = |alg: Algorithm| {
+            run_spmd(p, cfg_run(), move |comm| {
+                let mut rng = StdRng::seed_from_u64(3000 + comm.rank() as u64);
+                let mut set = StringSet::new();
+                for _ in 0..40 {
+                    let len = rng.gen_range(0..10);
+                    let s: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'f')).collect();
+                    set.push(&s);
+                }
+                let _ = alg.instance().sort(comm, set);
+            })
+            .stats
+        };
+        let partners = |stats: &dss_net::NetStats| -> u64 {
+            stats
+                .phases
+                .iter()
+                .filter(|ph| ph.name.starts_with("exchange"))
+                .map(|ph| ph.max.msgs_sent)
+                .sum()
+        };
+        // 16 = 4×4 ⇒ 3 + 3 partners; 16 = 2×2×2×2 ⇒ 4 partners.
+        let (r, c) = dss_net::grid_dims(p).expect("16 has a grid");
+        assert_eq!(
+            partners(&run(Algorithm::PdMs2l)),
+            (r as u64 - 1) + (c as u64 - 1)
+        );
+        let dims = dss_net::multi_grid_dims(p, 0).expect("16 has a multi-grid");
+        let expect: u64 = dims.iter().map(|&d| d as u64 - 1).sum();
+        assert_eq!(partners(&run(Algorithm::PdMsml)), expect);
+    }
+}

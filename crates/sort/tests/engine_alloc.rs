@@ -130,6 +130,82 @@ fn exchange_decode_reaches_allocation_steady_state() {
     }
 }
 
+/// Same steady-state guard for [`ExchangeCodec::Auto`]: the
+/// per-destination codec election sizes each encode buffer with the
+/// exact `encoded_len_all` figure up front, so repeated exchanges with a
+/// *mixed* workload — buckets that elect Plain next to buckets that
+/// elect LcpDelta — must neither regrow the pooled decode scratch nor
+/// reallocate mid-encode once warm.
+#[test]
+fn auto_codec_reaches_allocation_steady_state() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let p = 4usize;
+    let cfg = RunConfig {
+        recv_timeout: Duration::from_secs(60),
+        ..RunConfig::default()
+    };
+    let rounds = 4usize;
+    let res = run_spmd(p, cfg, move |comm| {
+        // Low half: single characters (Plain wins); high half: a long
+        // shared prefix (LcpDelta wins). The splitters put each shape in
+        // its own buckets, so one exchange elects both codecs.
+        let mut set = StringSet::new();
+        for i in 0..1500u32 {
+            set.push(&[b'!' + (i % 60) as u8]);
+        }
+        for i in 0..1500u32 {
+            set.push(format!("{}{:04}_{}", "z".repeat(120), i, comm.rank()).as_bytes());
+        }
+        let lcps = sort_with_lcp(&mut set).0;
+        let mut splitters = StringSet::new();
+        for j in 1..comm.size() {
+            splitters.push(set.get(j * set.len() / comm.size()));
+        }
+        let payload = ExchangePayload {
+            set: &set,
+            lcps: &lcps,
+            origins: None,
+            truncate: None,
+        };
+        let mut engine = StringAllToAll::new(ExchangeCodec::Auto);
+        let mut deltas: Vec<u64> = Vec::with_capacity(rounds);
+        let mut caps: Vec<(usize, usize, usize)> = Vec::new();
+        for round in 0..rounds {
+            comm.barrier();
+            let before = (comm.rank() == 0).then(allocs);
+            comm.barrier();
+            let runs = engine.exchange_by_splitters(comm, &payload, &splitters, false);
+            let now: Vec<(usize, usize, usize)> = runs
+                .iter()
+                .map(|r| (r.data.capacity(), r.bounds.capacity(), r.lcps.capacity()))
+                .collect();
+            if round == 0 {
+                caps = now;
+                let merged = merge_received_lcp(runs, 1);
+                assert!(dss_strkit::checker::is_sorted(&merged.set));
+            } else {
+                assert_eq!(caps, now, "pooled scratch grew in round {round}");
+            }
+            comm.barrier();
+            if let Some(b) = before {
+                deltas.push(allocs() - b);
+            }
+        }
+        deltas
+    });
+    let deltas = res
+        .values
+        .into_iter()
+        .find(|d| !d.is_empty())
+        .expect("rank 0 measured");
+    for &d in &deltas[1..] {
+        assert!(
+            d < deltas[0] / 2,
+            "Auto steady-state round should allocate < half of the cold round: {deltas:?}"
+        );
+    }
+}
+
 /// One whole SPMD run for [`pipelined_copy_volume_not_above_blocking`]:
 /// `rounds` fused exchange+merges in the given mode through one engine
 /// (cold round plus steady-state rounds), returning the process-wide

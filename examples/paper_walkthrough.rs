@@ -102,7 +102,7 @@ fn figure2() {
 fn figure3() {
     println!("\n=== Fig. 3 — Algorithm PDMS: Step 1+ε prefix doubling ===\n");
     let cfg = PrefixDoublingConfig {
-        initial: 1, // the figure starts at depth 1
+        initial: Some(1), // the figure starts at depth 1
         ..PrefixDoublingConfig::default()
     };
     let result = run_spmd(3, RunConfig::default(), move |comm| {

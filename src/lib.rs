@@ -47,7 +47,8 @@ pub mod prelude {
     pub use dss_sort::checker::check_distributed_sort;
     pub use dss_sort::{
         Algorithm, DistSorter, ExchangeCodec, ExchangeMode, ExchangePayload, FkMerge, HQuick, Ms,
-        Ms2l, Ms2lConfig, MsConfig, Msml, MsmlConfig, Pdms, PdmsConfig, SortedRun, StringAllToAll,
+        Ms2l, Ms2lConfig, MsConfig, Msml, MsmlConfig, PdMs2l, PdMs2lConfig, PdMsml, PdMsmlConfig,
+        Pdms, PdmsConfig, SortedRun, StringAllToAll,
     };
     pub use dss_strkit::sort::sort_with_lcp;
     pub use dss_strkit::StringSet;

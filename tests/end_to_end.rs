@@ -231,6 +231,120 @@ fn msml_matches_ms_oracle_on_prime_fallback_and_degenerate_inputs() {
     msml_vs_ms_oracle(12, (0..12).map(|_| Vec::new()).collect());
 }
 
+/// Runs flat PDMS and a PD grid variant over identical shards and pins
+/// the permutation contract byte for byte:
+///
+/// * the world-rank-ordered concatenation of output *prefixes* is
+///   identical — both sorters truncate with the same (collectively
+///   computed) Step-1+ε lengths, and the sorted sequence of a fixed
+///   multiset is unique;
+/// * the origin tags across all PEs form a permutation of every
+///   `(pe, idx)` pair, and resolving them through the local stores
+///   reconstructs the sorted global input exactly (equal truncated
+///   prefixes imply equal full strings, so tie order cannot leak);
+/// * every PE's local store is its own shard, locally sorted.
+fn pd_grid_vs_pdms_oracle(p: usize, shards: Vec<Vec<Vec<u8>>>) {
+    use std::time::Duration;
+    let cfg = RunConfig {
+        recv_timeout: Duration::from_secs(120),
+        ..RunConfig::default()
+    };
+    let run = |alg: Algorithm| {
+        let shards = shards.clone();
+        let cfg = cfg.clone();
+        run_spmd(p, cfg, move |comm| {
+            let set = StringSet::from_iter_bytes(shards[comm.rank()].iter().map(|s| s.as_slice()));
+            let input = set.clone();
+            let out = alg.instance().sort(comm, set);
+            check_distributed_sort(comm, &input, &out)
+                .unwrap_or_else(|e| panic!("{} checker: {e}", alg.label()));
+            (
+                out.set.to_vecs(),
+                out.origins.expect("permutation output carries origins"),
+                out.local_store.expect("full strings stay home").to_vecs(),
+            )
+        })
+        .values
+    };
+    let mut expect: Vec<Vec<u8>> = shards.iter().flatten().cloned().collect();
+    expect.sort();
+    type PeOut = (Vec<Vec<u8>>, Vec<u64>, Vec<Vec<u8>>);
+    let flat = run(Algorithm::Pdms);
+    let cat = |v: &[PeOut]| -> Vec<Vec<u8>> { v.iter().flat_map(|(s, _, _)| s.clone()).collect() };
+    for alg in [Algorithm::PdMs2l, Algorithm::PdMsml] {
+        let grid = run(alg);
+        assert_eq!(
+            cat(&grid),
+            cat(&flat),
+            "p={p}: {} prefix stream deviates from flat PDMS",
+            alg.label()
+        );
+        // Origins form a permutation and resolve to the sorted input.
+        let stores: Vec<&Vec<Vec<u8>>> = grid.iter().map(|(_, _, st)| st).collect();
+        for (pe, (_, _, store)) in grid.iter().enumerate() {
+            let mut local = shards[pe].clone();
+            local.sort();
+            assert_eq!(
+                store, &local,
+                "p={p} PE {pe}: local store not the sorted shard"
+            );
+        }
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let mut reconstructed: Vec<Vec<u8>> = Vec::new();
+        for (prefixes, origins, _) in &grid {
+            assert_eq!(prefixes.len(), origins.len());
+            for (pref, &tag) in prefixes.iter().zip(origins) {
+                let (pe, idx) = origin_parts(tag);
+                seen.push((pe, idx));
+                let full = &stores[pe][idx];
+                assert!(
+                    full.starts_with(pref),
+                    "{}: prefix/origin mismatch",
+                    alg.label()
+                );
+                reconstructed.push(full.clone());
+            }
+        }
+        seen.sort_unstable();
+        let all_slots: Vec<(usize, usize)> = (0..p)
+            .flat_map(|pe| (0..shards[pe].len()).map(move |i| (pe, i)))
+            .collect();
+        assert_eq!(
+            seen,
+            all_slots,
+            "{}: origins are not a permutation",
+            alg.label()
+        );
+        assert_eq!(
+            reconstructed,
+            expect,
+            "p={p}: {} origin permutation does not sort the input",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn pd_grid_variants_match_pdms_oracle_across_grid_depths() {
+    // Same acceptance matrix as MSML-vs-MS: 4 = 2·2, 6 = 3·2, 8 = 2·2·2,
+    // 12 = 3·2·2, 16 = 2·2·2·2, 27 = 3·3·3.
+    for &p in &[4usize, 6, 8, 12, 16, 27] {
+        let n = (360 / p).max(10);
+        pd_grid_vs_pdms_oracle(p, mixed_shards(p, n, 100 + p as u64));
+    }
+}
+
+#[test]
+fn pd_grid_variants_match_pdms_on_prime_fallback_and_degenerate_inputs() {
+    // p = 7 is prime: both grid variants fall back to flat PDMS, so the
+    // pin guards the fallback wiring (including origins + local store).
+    pd_grid_vs_pdms_oracle(7, mixed_shards(7, 30, 107));
+    // Duplicate-only shards (every prefix ships whole, tie-break through
+    // every level) and all-empty shards (splitter padding per group).
+    pd_grid_vs_pdms_oracle(8, (0..8).map(|_| vec![b"dup".to_vec(); 40]).collect());
+    pd_grid_vs_pdms_oracle(12, (0..12).map(|_| Vec::new()).collect());
+}
+
 #[test]
 fn degenerate_duplicate_only_input() {
     // Every string identical across all PEs — the FKmerge-crash trigger.

@@ -92,7 +92,7 @@ fn figure2_full_ms_result() {
 #[test]
 fn figure3_prefix_doubling_depths() {
     let cfg = PrefixDoublingConfig {
-        initial: 1,
+        initial: Some(1),
         ..PrefixDoublingConfig::default()
     };
     let result = run_spmd(3, RunConfig::default(), move |comm| {
@@ -131,7 +131,7 @@ fn figure3_pdms_transmits_prefixes_only() {
     let result = run_spmd(3, RunConfig::default(), |comm| {
         let pdms = Pdms::with_config(PdmsConfig {
             pd: PrefixDoublingConfig {
-                initial: 1,
+                initial: Some(1),
                 ..PrefixDoublingConfig::default()
             },
             ..PdmsConfig::default()

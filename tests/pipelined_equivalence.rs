@@ -84,7 +84,7 @@ fn build_shards(p: usize, n_per_pe: usize, seed: u64) -> Vec<Vec<Vec<u8>>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// Every algorithm that supports the mode switch (all eight) yields
+    /// Every algorithm that supports the mode switch (all ten) yields
     /// identical output in both modes, on random duplicate- and
     /// empty-laden shard sets over several PE counts.
     #[test]
@@ -160,6 +160,64 @@ fn pipelined_ms2l_4x4_keeps_partner_count_and_total_bytes() {
         assert_eq!(bp.name, pp.name, "phase order");
         assert_eq!(bp.max.rounds, pp.max.rounds, "rounds in {}", bp.name);
         assert_eq!(bp.max.bytes_sent, pp.max.bytes_sent, "bytes in {}", bp.name);
+    }
+}
+
+/// The PD grid pins: prefix truncation changes neither the exchange
+/// topology nor the mode equivalence — a pipelined PD-MS2L run on the
+/// 4×4 grid and a pipelined PD-MSML run on the 2×2×2 grid keep the grid
+/// partner counts and byte-for-byte wire accounting of their blocking
+/// runs, phase by phase (prefix_doubling and grid_setup included).
+#[test]
+fn pipelined_pd_grids_keep_partner_counts_and_total_bytes() {
+    for (alg, p, expect_partners) in [
+        (Algorithm::PdMs2l, 16usize, 6u64),
+        (Algorithm::PdMsml, 8, 3),
+    ] {
+        let shards = build_shards(p, 50, 0xD15_7DE ^ p as u64);
+        let stats_of = |mode: ExchangeMode| {
+            let shards = shards.clone();
+            let res = run_spmd(p, cfg(), move |comm| {
+                let set =
+                    StringSet::from_iter_bytes(shards[comm.rank()].iter().map(|s| s.as_slice()));
+                let _ = alg.instance_with_mode(mode).sort(comm, set);
+            });
+            res.stats
+        };
+        let blocking = stats_of(ExchangeMode::Blocking);
+        let pipelined = stats_of(ExchangeMode::Pipelined);
+
+        let exchange_partners = |stats: &NetStats| -> u64 {
+            stats
+                .phases
+                .iter()
+                .filter(|ph| ph.name.starts_with("exchange"))
+                .map(|ph| ph.max.msgs_sent)
+                .sum()
+        };
+        assert_eq!(
+            exchange_partners(&pipelined),
+            expect_partners,
+            "pipelined {} exchange partners per PE",
+            alg.label()
+        );
+        assert_eq!(
+            exchange_partners(&pipelined),
+            exchange_partners(&blocking),
+            "{}: partner count must not depend on the mode",
+            alg.label()
+        );
+        assert_eq!(
+            pipelined.total_bytes_sent(),
+            blocking.total_bytes_sent(),
+            "{}: pipelining must not change a single wire byte",
+            alg.label()
+        );
+        for (bp, pp) in blocking.phases.iter().zip(&pipelined.phases) {
+            assert_eq!(bp.name, pp.name, "{}: phase order", alg.label());
+            assert_eq!(bp.max.rounds, pp.max.rounds, "rounds in {}", bp.name);
+            assert_eq!(bp.max.bytes_sent, pp.max.bytes_sent, "bytes in {}", bp.name);
+        }
     }
 }
 

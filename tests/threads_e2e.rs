@@ -131,6 +131,57 @@ fn threaded_output_identical_to_single_threaded() {
     }
 }
 
+/// PD-MSML on a genuine three-level grid (p = 8 = 2×2×2): the full
+/// permutation output — truncated prefixes, LCP arrays, origin tags and
+/// local stores — must be byte-identical across threads × modes, and the
+/// wire accounting must match byte for byte too (Step 1+ε and all three
+/// levels included).
+#[test]
+fn pd_msml_three_level_output_and_wire_identical_across_threads_and_modes() {
+    let w = Workload::DnRatio {
+        n_per_pe: 2500,
+        len: 24,
+        r: 0.5,
+        sigma: 6,
+    };
+    let run = |mode: ExchangeMode, threads: usize| {
+        let w = &w;
+        run_spmd(8, RunConfig::default(), move |comm| {
+            let shard = w.generate(comm.rank(), comm.size(), 15);
+            let input = shard.clone();
+            let out = Algorithm::PdMsml
+                .instance_with(mode, threads)
+                .sort(comm, shard);
+            check_distributed_sort(comm, &input, &out)
+                .unwrap_or_else(|e| panic!("PD-MSML ({}) checker: {e}", mode.label()));
+            (
+                out.set.to_vecs(),
+                out.lcps,
+                out.origins,
+                out.local_store.map(|s| s.to_vecs()),
+            )
+        })
+    };
+    let reference = run(ExchangeMode::Blocking, 1);
+    for mode in [ExchangeMode::Blocking, ExchangeMode::Pipelined] {
+        for threads in [1, THREADS] {
+            let res = run(mode, threads);
+            assert_eq!(
+                res.values,
+                reference.values,
+                "PD-MSML ({}, {threads} threads) deviates on the 2x2x2 grid",
+                mode.label()
+            );
+            assert_eq!(
+                res.stats.total_bytes_sent(),
+                reference.stats.total_bytes_sent(),
+                "PD-MSML ({}, {threads} threads) wire accounting deviates",
+                mode.label()
+            );
+        }
+    }
+}
+
 /// MSML on a genuine three-level grid (p = 8 = 2×2×2, so every level's
 /// merge runs threaded): byte-identical per-PE output across
 /// threads × modes — the matrix above only reaches two-level grids at
